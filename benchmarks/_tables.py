@@ -1,0 +1,12 @@
+"""Thin shim: table layouts live in :mod:`repro.core.reporting`."""
+
+from repro.core.reporting import (  # noqa: F401
+    AM_FAMILY,
+    format_dba_table,
+    format_duration,
+    format_table4,
+    has_interior_minimum,
+)
+
+# Backwards-compatible alias used by the bench modules.
+u_shape_score = has_interior_minimum

@@ -1,0 +1,111 @@
+"""Ablation — backend composition: LDA/MMI variants, logistic fusion, TFLLR.
+
+Two design decisions DESIGN.md calls out:
+
+1. the reproduction disables LDA whitening by default (the paper's dev set
+   is ~200x larger; at reduced scale the within-class scatter estimate is
+   too noisy to whiten against) — this bench measures that choice;
+2. the TFLLR kernel map (Eq. 5) versus raw probability supervectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.fusion import LdaMmiFusion, stack_scores
+from repro.backend.logistic import LogisticFusion
+from repro.core.pipeline import evaluate_scores
+from repro.svm.vsm import VSM
+
+
+def test_ablation_lda_mmi(lab, report, benchmark):
+    duration = min(lab.durations)
+    baseline = lab.baseline()
+    dev_labels = lab.system.labels_for("dev")
+    test_labels = lab.system.labels_for(f"test@{duration}")
+    dev = baseline.dev_scores
+    test = baseline.test_scores(duration)
+
+    def run():
+        rows = {}
+        for use_lda in (False, True):
+            for mmi in (0, 40):
+                fusion = LdaMmiFusion(use_lda=use_lda, mmi_iterations=mmi)
+                fused = fusion.fit_transform(dev, dev_labels, test)
+                rows[(use_lda, mmi)] = evaluate_scores(fused, test_labels)
+        # The FoCal-style alternative: logistic regression over the stack.
+        lf = LogisticFusion().fit(
+            stack_scores(dev), dev_labels,
+            n_classes=len(lab.system.bundle.registry),
+        )
+        rows["logistic"] = evaluate_scores(
+            lf.detection_scores(stack_scores(test)), test_labels
+        )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'backend':<16}{'EER %':>8}{'Cavg %':>8}"]
+    for key, (eer, c_avg) in rows.items():
+        label = (
+            "logistic"
+            if key == "logistic"
+            else f"LDA={key[0]} MMI={key[1]}"
+        )
+        lines.append(f"{label:<16}{eer:>8.2f}{c_avg:>8.2f}")
+    report("ablation_backend", "\n".join(lines))
+    # Logistic fusion must be competitive with the Gaussian default.
+    assert rows["logistic"][0] <= rows[(False, 40)][0] + 3.0
+
+    # The documented default (no LDA) must not lose to LDA at this scale.
+    grid = {k: v for k, v in rows.items() if isinstance(k, tuple)}
+    best_no_lda = min(eer for (lda, _), (eer, _) in grid.items() if not lda)
+    best_lda = min(eer for (lda, _), (eer, _) in grid.items() if lda)
+    assert best_no_lda <= best_lda + 0.5
+    # MMI (I-smoothed) must not hurt materially.
+    assert rows[(False, 40)][0] <= rows[(False, 0)][0] + 1.0
+
+
+def test_ablation_tfllr(lab, report, benchmark):
+    duration = min(lab.durations)
+    system = lab.system
+    frontend = system.frontends[0]
+    y_train = system.labels_for("train")
+
+    def run():
+        rows = {}
+        for tfllr in (True, False):
+            vsm = VSM(
+                len(frontend.phone_set),
+                len(system.bundle.registry),
+                orders=system.system.orders,
+                max_epochs=system.system.svm_max_epochs,
+                tfllr=tfllr,
+                seed=system.system.seed + 900,
+            )
+            vsm.fit_matrix(system.raw_matrix(frontend, "train"), y_train)
+            from repro.core.pipeline import calibrate_scores
+
+            dev = vsm.score_matrix(system.raw_matrix(frontend, "dev"))
+            test = vsm.score_matrix(
+                system.raw_matrix(frontend, f"test@{duration}")
+            )
+            calibrated = calibrate_scores(
+                [dev],
+                system.labels_for("dev"),
+                [test],
+                system=system.system,
+            )
+            rows[tfllr] = evaluate_scores(
+                calibrated, system.labels_for(f"test@{duration}")
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_tfllr",
+        f"{frontend.name} @ {int(duration)}s:  "
+        f"TFLLR on: EER {rows[True][0]:.2f} %   "
+        f"TFLLR off: EER {rows[False][0]:.2f} %",
+    )
+    # Eq. 5 scaling should help (or at worst be neutral).
+    assert rows[True][0] <= rows[False][0] + 1.0

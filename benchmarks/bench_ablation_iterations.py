@@ -1,0 +1,99 @@
+"""Ablation — one boosting round (the paper) versus iterated DBA.
+
+The paper runs a single retrain pass (§3 f repeats steps a-c once).  A
+natural extension is to iterate: re-vote with the boosted subsystems,
+re-select, re-train.  This bench runs up to three rounds of DBA-M2 at
+V = 3 and reports the mean single-frontend EER per round — measuring
+whether extra rounds keep paying or saturate/degrade (self-training
+feedback loops amplify their own mistakes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import select_pseudo_labels, vote_count_matrix
+from repro.core.dba import build_dba_training_set
+from repro.core.pipeline import calibrate_scores, evaluate_scores
+from repro.svm.vsm import VSM
+
+THRESHOLD = 3
+ROUNDS = 3
+
+
+def _round_metrics(lab, pooled_scores, duration, round_idx):
+    """Retrain all subsystems from pooled votes; return metrics + scores."""
+    system = lab.system
+    y_train = system.labels_for("train")
+    counts = vote_count_matrix(pooled_scores)
+    pseudo = select_pseudo_labels(counts, THRESHOLD)
+    new_pooled = []
+    eers = []
+    for q, frontend in enumerate(system.frontends):
+        x_train = system.raw_matrix(frontend, "train")
+        x_pool = system.pooled_test_matrix(frontend)
+        x_dba, y_dba = build_dba_training_set(
+            "M2", x_train, y_train, x_pool, pseudo
+        )
+        vsm = VSM(
+            len(frontend.phone_set),
+            len(system.bundle.registry),
+            orders=system.system.orders,
+            max_epochs=system.system.svm_max_epochs,
+            seed=system.system.seed + 700 + 10 * round_idx + q,
+        )
+        vsm.fit_matrix(x_dba, y_dba)
+        new_pooled.append(vsm.score_matrix(x_pool))
+        dev = vsm.score_matrix(system.raw_matrix(frontend, "dev"))
+        test = vsm.score_matrix(
+            system.raw_matrix(frontend, f"test@{duration}")
+        )
+        calibrated = calibrate_scores(
+            [dev], system.labels_for("dev"), [test], system=system.system
+        )
+        eer, _ = evaluate_scores(
+            calibrated, system.labels_for(f"test@{duration}")
+        )
+        eers.append(eer)
+    return float(np.mean(eers)), new_pooled, pseudo
+
+
+def test_ablation_iterated_boosting(lab, report, benchmark):
+    duration = min(lab.durations)
+    baseline = lab.baseline()
+    truth = lab.pooled_labels()
+
+    def run():
+        pooled = baseline.pooled_test_scores()
+        base_mean = float(
+            np.mean(
+                [e for e, _ in lab.frontend_table(baseline, duration).values()]
+            )
+        )
+        history = [("round0 (baseline)", base_mean, None, None)]
+        for round_idx in range(1, ROUNDS + 1):
+            mean_eer, pooled, pseudo = _round_metrics(
+                lab, pooled, duration, round_idx
+            )
+            history.append(
+                (
+                    f"round{round_idx}",
+                    mean_eer,
+                    len(pseudo),
+                    pseudo.error_rate(truth),
+                )
+            )
+        return history
+
+    history = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'round':<20}{'mean EER %':>11}{'pool':>7}{'pool err':>10}"]
+    for name, eer, pool, err in history:
+        pool_s = f"{pool:>7d}" if pool is not None else f"{'—':>7}"
+        err_s = f"{100 * err:>9.2f}%" if err is not None else f"{'—':>10}"
+        lines.append(f"{name:<20}{eer:>10.2f} {pool_s}{err_s}")
+    report("ablation_iterations", "\n".join(lines))
+
+    # Round 1 (the paper's DBA) must improve on the baseline.
+    assert history[1][1] < history[0][1]
+    # Further rounds must not catastrophically degrade (< 2 % abs).
+    assert history[-1][1] < history[0][1] + 2.0

@@ -1,0 +1,138 @@
+"""Ablation — the Eq. 13 vote criterion vs a naive top-1 margin rule.
+
+DESIGN.md calls out the strict "winner positive, all others negative"
+criterion as a design choice worth ablating.  This bench compares three
+pseudo-label selectors at matched pool sizes:
+
+- **eq13**: the paper's criterion + vote threshold (the shipped system);
+- **margin**: label every test utterance whose top-1 vs top-2 score margin
+  (averaged over subsystems) clears a percentile cut;
+- **top1**: just take every utterance's fused arg-max (self-training with
+  no confidence gate).
+
+Expected: the gated pools are far cleaner than ungated self-training.
+Whether gating also wins end-to-end depends on pool noise: at the paper's
+scale (loose pools ~32 % label error) it does; this reproduction's pools
+are cleaner, so volume can win — the bench reports both numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import select_pseudo_labels, vote_count_matrix
+from repro.core.dba import PseudoLabels, build_dba_training_set
+from repro.svm.vsm import VSM
+
+THRESHOLD = 3
+
+
+def _margin_pseudo(score_matrices, pool_size) -> PseudoLabels:
+    stacked = np.mean(
+        [(s - s.mean()) / (s.std() + 1e-12) for s in score_matrices], axis=0
+    )
+    order = np.argsort(stacked, axis=1)
+    margin = (
+        stacked[np.arange(len(stacked)), order[:, -1]]
+        - stacked[np.arange(len(stacked)), order[:, -2]]
+    )
+    chosen = np.argsort(margin)[::-1][:pool_size]
+    chosen = np.sort(chosen)
+    return PseudoLabels(
+        indices=chosen,
+        labels=np.argmax(stacked[chosen], axis=1),
+        votes=np.zeros(chosen.size, dtype=np.int64),
+    )
+
+
+def _top1_pseudo(score_matrices) -> PseudoLabels:
+    stacked = np.mean(
+        [(s - s.mean()) / (s.std() + 1e-12) for s in score_matrices], axis=0
+    )
+    indices = np.arange(stacked.shape[0])
+    return PseudoLabels(
+        indices=indices,
+        labels=np.argmax(stacked, axis=1),
+        votes=np.zeros(indices.size, dtype=np.int64),
+    )
+
+
+def _boosted_mean_eer(lab, pseudo: PseudoLabels, duration: float) -> float:
+    """Retrain every subsystem M2-style on the given pool; mean EER."""
+    system = lab.system
+    y_train = system.labels_for("train")
+    eers = []
+    for q, frontend in enumerate(system.frontends):
+        x_train = system.raw_matrix(frontend, "train")
+        x_pool = system.pooled_test_matrix(frontend)
+        x_dba, y_dba = build_dba_training_set(
+            "M2", x_train, y_train, x_pool, pseudo
+        )
+        vsm = VSM(
+            len(frontend.phone_set),
+            len(system.bundle.registry),
+            orders=system.system.orders,
+            max_epochs=system.system.svm_max_epochs,
+            seed=system.system.seed + 500 + q,
+        )
+        vsm.fit_matrix(x_dba, y_dba)
+        from repro.core.pipeline import calibrate_scores, evaluate_scores
+
+        dev = vsm.score_matrix(system.raw_matrix(frontend, "dev"))
+        test = vsm.score_matrix(system.raw_matrix(frontend, f"test@{duration}"))
+        calibrated = calibrate_scores(
+            [dev], system.labels_for("dev"), [test], system=system.system
+        )
+        eer, _ = evaluate_scores(
+            calibrated, system.labels_for(f"test@{duration}")
+        )
+        eers.append(eer)
+    return float(np.mean(eers))
+
+
+def test_ablation_vote_criterion(lab, report, benchmark):
+    duration = min(lab.durations)
+    baseline = lab.baseline()
+    pooled = baseline.pooled_test_scores()
+    truth = lab.pooled_labels()
+
+    def run():
+        counts = vote_count_matrix(pooled)
+        eq13 = select_pseudo_labels(counts, THRESHOLD)
+        margin = _margin_pseudo(pooled, len(eq13))
+        top1 = _top1_pseudo(pooled)
+        rows = {}
+        for name, pseudo in (
+            ("eq13", eq13),
+            ("margin", margin),
+            ("top1", top1),
+        ):
+            rows[name] = (
+                len(pseudo),
+                pseudo.error_rate(truth),
+                _boosted_mean_eer(lab, pseudo, duration),
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"{'selector':<10}{'pool':>6}{'pool err':>10}{'boosted EER':>13}"
+    ]
+    for name, (size, err, eer) in rows.items():
+        lines.append(
+            f"{name:<10}{size:>6d}{100 * err:>9.2f}%{eer:>12.2f}%"
+        )
+    report("ablation_vote", "\n".join(lines))
+
+    # Mechanical sanity + the relationships that hold at every scale:
+    # the gated pool is far cleaner than ungated self-training labels...
+    assert rows["eq13"][1] < rows["top1"][1]
+    # ...and every selector's boosted system should remain usable.  (At
+    # the paper's scale the loose pools carry ~32 % label error and the
+    # Eq. 13 gate is what keeps boosting viable; this reproduction's
+    # pools are cleaner across the board, so ungated self-training can
+    # match or beat gating here — an honest scale artefact recorded in
+    # EXPERIMENTS.md.)
+    for name in ("eq13", "margin", "top1"):
+        assert np.isfinite(rows[name][2])
+        assert rows[name][2] < 45.0

@@ -1,0 +1,87 @@
+"""Figure 3 — DET curves, baseline vs (DBA-M1)+(DBA-M2) fusion (§5.3).
+
+Regenerates the paper's Fig. 3: detection-error-tradeoff curves of the
+six-frontend fused baseline and the fused (DBA-M1)+(DBA-M2) system at
+V = 3, per duration.  The figure is emitted as an ASCII probit plot plus
+the raw (P_fa, P_miss) series.  Expected shape: the DBA curve lies on or
+below the baseline curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.det import det_curve, render_det_ascii
+from repro.metrics.svg import save_det_svg
+from repro.metrics.eer import split_trials
+
+THRESHOLD = 3
+
+
+def _curves(lab, duration):
+    baseline = lab.baseline()
+    m1 = lab.dba(THRESHOLD, "M1")
+    m2 = lab.dba(THRESHOLD, "M2")
+    labels = lab.system.labels_for(f"test@{duration}")
+    base_scores = lab.system.fused_scores([baseline], duration)
+    dba_scores = lab.system.fused_scores([m1, m2], duration)
+    curves = {}
+    for name, scores in (("PPRVSM", base_scores), ("dba", dba_scores)):
+        tar, non = split_trials(scores, labels)
+        curves[name] = det_curve(tar, non)
+    return curves
+
+
+def _mean_miss_at(p_fa_grid, curve):
+    """Interpolated P_miss at the given P_fa operating points."""
+    p_fa, p_miss = curve
+    order = np.argsort(p_fa)
+    return np.interp(p_fa_grid, p_fa[order], p_miss[order])
+
+
+def test_fig3_det_curves(lab, report, benchmark):
+    duration = min(lab.durations)  # the paper's most challenging case
+
+    curves = benchmark.pedantic(
+        _curves, args=(lab, duration), rounds=1, iterations=1
+    )
+    art = render_det_ascii(curves)
+    # Also dump a compact numeric series for plotting elsewhere.
+    series_lines = []
+    grid = np.array([0.02, 0.05, 0.10, 0.20, 0.30])
+    for name, curve in curves.items():
+        miss = _mean_miss_at(grid, curve)
+        series_lines.append(
+            f"{name:>8}: "
+            + "  ".join(
+                f"P_fa={g:.2f}->P_miss={m:.3f}" for g, m in zip(grid, miss)
+            )
+        )
+    report(
+        f"fig3_det_{int(duration)}s",
+        art + "\n\n" + "\n".join(series_lines),
+    )
+    from conftest import RESULTS_DIR
+
+    save_det_svg(
+        RESULTS_DIR / f"fig3_det_{int(duration)}s.svg",
+        curves,
+        title=f"DET, fused baseline vs DBA ({int(duration)} s)",
+    )
+
+    base_miss = _mean_miss_at(grid, curves["PPRVSM"])
+    dba_miss = _mean_miss_at(grid, curves["dba"])
+    # DBA's curve must not lie above the baseline's on average.
+    assert dba_miss.mean() <= base_miss.mean() + 0.02
+
+
+def test_fig3_det_all_durations(lab, report, benchmark):
+    def regenerate():
+        return {d: _curves(lab, d) for d in lab.durations}
+
+    by_duration = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    blocks = []
+    for duration, curves in by_duration.items():
+        blocks.append(f"--- {int(duration)}s ---")
+        blocks.append(render_det_ascii(curves, height=16, width=48))
+    report("fig3_det_all", "\n".join(blocks))

@@ -1,0 +1,33 @@
+"""Table 1 — composition of Tr_DBA versus vote threshold V (paper §5.1).
+
+Regenerates the paper's row pair (pool size, pseudo-label error rate) for
+V = 6 … 1 from the six subsystems' pooled baseline test scores.  Expected
+shape: the pool shrinks and its error rate falls as V rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import trdba_composition, vote_count_matrix
+from repro.core.analysis import format_table1
+
+
+def test_table1_trdba_composition(lab, report, benchmark):
+    baseline = lab.baseline()
+
+    def regenerate():
+        counts = vote_count_matrix(baseline.pooled_test_scores())
+        return trdba_composition(counts, lab.pooled_labels(), lab.thresholds)
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    text = format_table1(rows)
+    report("table1_trdba", text)
+
+    sizes = [r.n_selected for r in rows]         # ordered V = 6 .. 1
+    errors = [r.error_rate for r in rows if np.isfinite(r.error_rate)]
+    # Paper shape: pool grows monotonically as V decreases...
+    assert sizes == sorted(sizes)
+    # ...and the loosest pool is dirtier than the strictest non-empty one.
+    if len(errors) >= 2:
+        assert errors[-1] >= errors[0] - 1e-9

@@ -1,0 +1,67 @@
+"""Table 2 — DBA-M1 EER/C_avg per frontend × duration × threshold V.
+
+Regenerates the paper's Table 2: for every frontend and nominal duration,
+baseline EER/C_avg plus the DBA-M1 sweep over V = 6 … 1.  Expected shape
+(§5.2): EER first decreases then increases as V drops (an interior
+optimum — the paper finds V = 3), and DBA at the best V beats baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _tables import format_dba_table, u_shape_score
+
+from repro.core import trdba_composition, vote_count_matrix
+
+VARIANT = "M1"
+
+
+def _sweep(lab):
+    baseline = lab.baseline()
+    baseline_cells = {}
+    dba_cells = {}
+    for duration in lab.durations:
+        for name, cell in lab.frontend_table(baseline, duration).items():
+            baseline_cells[(name, duration)] = cell
+    for threshold in lab.thresholds:
+        result = lab.dba(threshold, VARIANT)
+        for duration in lab.durations:
+            for name, cell in lab.frontend_table(result, duration).items():
+                dba_cells[(name, duration, threshold)] = cell
+    return baseline_cells, dba_cells
+
+
+def test_table2_dba_m1(lab, report, benchmark):
+    baseline_cells, dba_cells = benchmark.pedantic(
+        _sweep, args=(lab,), rounds=1, iterations=1
+    )
+    names = [fe.name for fe in lab.system.frontends]
+    text = format_dba_table(
+        names, lab.durations, lab.thresholds, baseline_cells, dba_cells
+    )
+    report("table2_dba_m1", text)
+
+    # Shape assertions (aggregated over frontends, per duration):
+    u_shapes = []
+    for duration in lab.durations:
+        base_mean = np.mean(
+            [baseline_cells[(n, duration)][0] for n in names]
+        )
+        sweep_means = [
+            np.mean([dba_cells[(n, duration, v)][0] for n in names])
+            for v in lab.thresholds
+        ]
+        # 1. The best threshold beats baseline.
+        assert min(sweep_means) < base_mean
+        u_shapes.append(u_shape_score(sweep_means))
+    # 2. The paper's interior-optimum (U-shape) signature must show
+    #    wherever the loose pools are actually noisy.  Our V=1 pools are
+    #    cleaner than the paper's (~19 % vs 31.9 % label error), so the
+    #    noise-tolerant 30 s sweep may stay monotone: require the U-shape
+    #    on a majority of durations (EXPERIMENTS.md discusses this).
+    counts = vote_count_matrix(lab.baseline().pooled_test_scores())
+    rows = trdba_composition(counts, lab.pooled_labels(), lab.thresholds)
+    loosest_error = rows[-1].error_rate
+    if np.isfinite(loosest_error) and loosest_error > 0.15:
+        assert sum(u_shapes) >= max(1, len(u_shapes) - 1)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Acoustic vs phonotactic language recognition, head to head.
+
+The paper's introduction contrasts the two dominant LR paradigms:
+"acoustic LR systems" (GMMs over shifted-delta-cepstral features, their
+reference [3]) and phonotactic systems like PPRVSM.  This example trains
+both on the identical synthetic corpus and scores the same test sets:
+
+1. GMM-UBM acoustic system: SDC features → UBM → per-language MAP models;
+2. one phonotactic subsystem (the EN_DNN frontend's VSM);
+3. both calibrated through the same LDA-MMI backend.
+
+In this synthetic world language identity lives *only* in phonotactics
+(phone acoustics are shared across languages), so the acoustic system
+captures just phone-frequency residue — a clean illustration of what
+each paradigm actually measures.
+
+Run:
+    python examples/acoustic_vs_phonotactic.py       (~1 minute)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustic_lr import AcousticLanguageRecognizer, SdcConfig
+from repro.core import build_system, smoke_scale
+from repro.core.pipeline import calibrate_scores, evaluate_scores
+
+
+def main() -> None:
+    system = build_system(smoke_scale())
+    bundle = system.bundle
+
+    # --- acoustic system ----------------------------------------------
+    print("training GMM-UBM acoustic system (SDC 7-1-3-7)...")
+    acoustic = AcousticLanguageRecognizer(
+        bundle.acoustics,
+        bundle.language_names,
+        n_components=32,
+        sdc=SdcConfig(n=7, d=1, p=3, k=7),
+        seed=11,
+    )
+    acoustic.train(bundle.train)
+    acoustic_dev = acoustic.score_corpus(bundle.dev)
+
+    # --- phonotactic system (single best frontend) ---------------------
+    print("training phonotactic baseline (6 frontends)...")
+    baseline = system.baseline()
+
+    # --- compare -------------------------------------------------------
+    print(f"\n{'duration':<10}{'acoustic':>12}{'EN_DNN':>12}{'fused':>12}")
+    for duration in system.durations:
+        labels = system.labels_for(f"test@{duration}")
+        acoustic_test = acoustic.score_corpus(
+            system.corpus_for(f"test@{duration}")
+        )
+        acoustic_cal = calibrate_scores(
+            [acoustic_dev], system.labels_for("dev"), [acoustic_test],
+            system=system.system,
+        )
+        acoustic_eer, _ = evaluate_scores(acoustic_cal, labels)
+        phono = system.frontend_metrics(baseline, duration)["EN_DNN"][0]
+        fused, _ = system.fused_metrics([baseline], duration)
+        print(
+            f"{int(duration):>7}s {acoustic_eer:>11.2f}%{phono:>11.2f}%"
+            f"{fused:>11.2f}%"
+        )
+
+    print(
+        "\n(EER; the corpus realises language identity phonotactically,"
+        "\n so the GMM-UBM only sees phone-frequency residue - exactly"
+        "\n the gap the PPRVSM architecture was designed to exploit)"
+    )
+
+
+if __name__ == "__main__":
+    main()

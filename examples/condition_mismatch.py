@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Why DBA works: train/test condition mismatch, quantified.
+
+The paper motivates DBA with "the training and test data are variable in
+speakers, background noise, channel conditions" (§1).  This example makes
+the mechanism visible: it sweeps the severity of the test-condition shift
+(SNR gap + speaker/channel spread) and reports baseline vs DBA-M2 EER at
+each point.  Expected shape: the baseline degrades as the mismatch grows
+while DBA claws back a growing share — matched-condition pseudo-labels
+are worth the label noise they carry.
+
+Run:
+    python examples/condition_mismatch.py        (~2-3 minutes)
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.core import build_system, smoke_scale
+
+
+def run_at_gap(snr_gap_db: float, speaker_widening: float) -> dict:
+    """Build a system with the given train→test condition gap; evaluate."""
+    config = smoke_scale()
+    corpus = replace(
+        config.corpus,
+        test_snr_db=config.corpus.train_snr_db - snr_gap_db,
+        test_speaker_scale=config.corpus.train_speaker_scale
+        + speaker_widening,
+        durations=(10.0,),
+    )
+    system = build_system(replace(config, corpus=corpus))
+    baseline = system.baseline()
+    dba = system.dba(3, "M2", baseline)
+
+    def mean_eer(result):
+        return float(
+            np.mean(
+                [e for e, _ in system.frontend_metrics(result, 10.0).values()]
+            )
+        )
+
+    return {
+        "baseline": mean_eer(baseline),
+        "dba": mean_eer(dba),
+        "pool": len(dba.pseudo),
+        "pool_error": dba.pseudo.error_rate(system.pooled_test_labels()),
+    }
+
+
+def main() -> None:
+    gaps = [
+        (0.0, 0.0),    # matched conditions
+        (4.0, 0.1),
+        (8.0, 0.18),
+        (12.0, 0.3),   # severe mismatch
+    ]
+    print(
+        f"{'SNR gap':>8}{'spk widen':>10}{'base EER':>10}{'DBA EER':>9}"
+        f"{'rel.gain':>9}{'pool':>6}{'pool err':>9}"
+    )
+    for snr_gap, widen in gaps:
+        out = run_at_gap(snr_gap, widen)
+        gain = 1.0 - out["dba"] / max(out["baseline"], 1e-9)
+        print(
+            f"{snr_gap:>7.0f}d{widen:>10.2f}{out['baseline']:>10.2f}"
+            f"{out['dba']:>9.2f}{100 * gain:>8.1f}%{out['pool']:>6d}"
+            f"{100 * out['pool_error']:>8.1f}%"
+        )
+    print(
+        "\n(mean single-frontend EER %, 10 s test; relative gain is the"
+        "\n DBA improvement over baseline.  Expected shape: the baseline"
+        "\n degrades as the gap widens while DBA keeps recovering a"
+        "\n substantial share; at this small scale the per-point gains"
+        "\n are noisy, so read the trend, not single cells)"
+    )
+
+
+if __name__ == "__main__":
+    main()

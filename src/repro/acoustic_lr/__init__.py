@@ -1,0 +1,19 @@
+"""Acoustic language recognition (GMM-UBM + SDC): the paper's comparator.
+
+The paper's introduction contrasts phonotactic LR with "acoustic LR
+systems [3]" (GMM models over shifted-delta-cepstral features).  This
+subpackage implements that comparator end to end on the same synthetic
+corpus, so the two paradigms can be benchmarked side by side.
+"""
+
+from repro.acoustic_lr.sdc import SdcConfig, shifted_delta_cepstra
+from repro.acoustic_lr.system import AcousticLanguageRecognizer
+from repro.acoustic_lr.ubm import map_adapt_means, train_ubm
+
+__all__ = [
+    "SdcConfig",
+    "shifted_delta_cepstra",
+    "AcousticLanguageRecognizer",
+    "map_adapt_means",
+    "train_ubm",
+]

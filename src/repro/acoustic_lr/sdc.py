@@ -1,0 +1,68 @@
+r"""Shifted delta cepstra (SDC).
+
+The classic acoustic-LR feature of Torres-Carrasquillo et al. (2002) —
+the paper's reference [3] for "acoustic LR systems".  An SDC-(N, d, P, k)
+configuration stacks, for every frame t, k delta blocks
+
+.. math::  Δc(t + iP) = c(t + iP + d) - c(t + iP - d), \quad i = 0 … k-1
+
+over the first N cepstral coefficients, capturing long-span temporal
+dynamics without an HMM.  The canonical configuration is 7-1-3-7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SdcConfig", "shifted_delta_cepstra"]
+
+
+class SdcConfig:
+    """SDC parameters (N, d, P, k)."""
+
+    def __init__(self, n: int = 7, d: int = 1, p: int = 3, k: int = 7) -> None:
+        check_positive("n", n)
+        check_positive("d", d)
+        check_positive("p", p)
+        check_positive("k", k)
+        self.n = int(n)
+        self.d = int(d)
+        self.p = int(p)
+        self.k = int(k)
+
+    @property
+    def output_dim(self) -> int:
+        """Stacked feature dimensionality (N * k)."""
+        return self.n * self.k
+
+    def __repr__(self) -> str:
+        return f"SdcConfig({self.n}-{self.d}-{self.p}-{self.k})"
+
+
+def shifted_delta_cepstra(
+    features: np.ndarray, config: SdcConfig | None = None
+) -> np.ndarray:
+    """Compute SDC features, shape ``(T, N*k)``.
+
+    Frame indices outside the utterance are clamped to the edges (as in
+    delta computation), so the output has one row per input frame.
+    """
+    config = config or SdcConfig()
+    x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    t, dim = x.shape
+    if dim < config.n:
+        raise ValueError(
+            f"need at least N={config.n} coefficients, got {dim}"
+        )
+    if t == 0:
+        return np.zeros((0, config.output_dim))
+    base = x[:, : config.n]
+    idx = np.arange(t)
+    blocks = []
+    for i in range(config.k):
+        plus = np.clip(idx + i * config.p + config.d, 0, t - 1)
+        minus = np.clip(idx + i * config.p - config.d, 0, t - 1)
+        blocks.append(base[plus] - base[minus])
+    return np.hstack(blocks)

@@ -1,0 +1,135 @@
+"""GMM-UBM acoustic language recognizer (the paper's §1 comparator).
+
+An end-to-end acoustic LR system over the same synthetic corpus as the
+phonotactic stack: render utterances to frames, compute SDC features,
+train a UBM on pooled training frames, MAP-adapt one GMM per language,
+and score test utterances by average-frame log-likelihood against each
+language model.  Scores plug into the same
+:func:`repro.core.pipeline.calibrate_scores` backend and metrics as the
+PPRVSM subsystems, so acoustic-vs-phonotactic comparisons are apples to
+apples (see ``benchmarks/bench_extension_acoustic_lr.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.acoustic_lr.sdc import SdcConfig, shifted_delta_cepstra
+from repro.acoustic_lr.ubm import map_adapt_means, train_ubm
+from repro.corpus.acoustics import AcousticSpace
+from repro.corpus.generator import Corpus, Utterance
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.utils.rng import child_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["AcousticLanguageRecognizer"]
+
+
+class AcousticLanguageRecognizer:
+    """GMM-UBM language recognizer over SDC features.
+
+    Parameters
+    ----------
+    acoustics:
+        The shared synthetic acoustic space (frame renderer).
+    language_names:
+        Label order (must match the phonotactic pipeline's registry order
+        for score-level comparisons).
+    n_components:
+        UBM mixture size.
+    sdc:
+        SDC configuration; ``None`` scores raw frames instead (ablation).
+    relevance:
+        MAP relevance factor.
+    """
+
+    def __init__(
+        self,
+        acoustics: AcousticSpace,
+        language_names: list[str],
+        *,
+        n_components: int = 64,
+        sdc: SdcConfig | None = SdcConfig(n=7, d=1, p=3, k=7),
+        relevance: float = 16.0,
+        seed: int = 0,
+    ) -> None:
+        check_positive("n_components", n_components)
+        if len(language_names) < 2:
+            raise ValueError("need at least 2 languages")
+        self.acoustics = acoustics
+        self.language_names = list(language_names)
+        self.n_components = int(n_components)
+        self.sdc = sdc
+        self.relevance = float(relevance)
+        self.seed = seed
+        self.ubm: DiagonalGMM | None = None
+        self.language_models: list[DiagonalGMM] = []
+
+    # ------------------------------------------------------------------
+    # features
+    # ------------------------------------------------------------------
+    def extract(self, utterance: Utterance) -> np.ndarray:
+        """Render an utterance and compute its (SDC) feature frames."""
+        frames = self.acoustics.emit(
+            utterance, child_rng(self.seed, f"alr/{utterance.utt_id}")
+        )
+        if self.sdc is not None:
+            return shifted_delta_cepstra(frames, self.sdc)
+        return frames
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    @property
+    def is_trained(self) -> bool:
+        """Whether language models exist."""
+        return bool(self.language_models)
+
+    def train(self, corpus: Corpus) -> "AcousticLanguageRecognizer":
+        """Train the UBM on pooled frames, then MAP-adapt per language."""
+        by_language: dict[str, list[np.ndarray]] = {
+            name: [] for name in self.language_names
+        }
+        for utterance in corpus:
+            if utterance.language not in by_language:
+                raise ValueError(
+                    f"utterance language {utterance.language!r} not in "
+                    "the recognizer's language list"
+                )
+            by_language[utterance.language].append(self.extract(utterance))
+        missing = [k for k, v in by_language.items() if not v]
+        if missing:
+            raise ValueError(f"no training data for languages {missing}")
+        pooled = np.vstack([f for fs in by_language.values() for f in fs])
+        self.ubm = train_ubm(
+            pooled,
+            self.n_components,
+            rng=child_rng(self.seed, "alr/ubm"),
+        )
+        self.language_models = [
+            map_adapt_means(
+                self.ubm,
+                np.vstack(by_language[name]),
+                relevance=self.relevance,
+            )
+            for name in self.language_names
+        ]
+        return self
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score_utterance(self, utterance: Utterance) -> np.ndarray:
+        """Per-language average-frame log-likelihood ratios vs the UBM."""
+        if not self.is_trained or self.ubm is None:
+            raise RuntimeError("recognizer is not trained")
+        frames = self.extract(utterance)
+        ubm_ll = self.ubm.log_likelihood(frames)
+        scores = np.empty(len(self.language_models))
+        for k, model in enumerate(self.language_models):
+            scores[k] = float(np.mean(model.log_likelihood(frames) - ubm_ll))
+        return scores
+
+    def score_corpus(self, corpus: Corpus) -> np.ndarray:
+        """Score matrix ``(len(corpus), K)`` for a corpus."""
+        return np.vstack([self.score_utterance(u) for u in corpus])

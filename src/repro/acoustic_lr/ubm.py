@@ -1,0 +1,73 @@
+"""Universal background model and MAP adaptation (GMM-UBM).
+
+The standard acoustic-LR recipe: train one large GMM — the UBM — on
+pooled multilingual frames, then derive each language's model by
+relevance-MAP adaptation of the UBM means (Reynolds-style).  Adaptation
+keeps the mixture structure aligned across languages, which makes the
+per-language log-likelihood-ratio scores well calibrated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["train_ubm", "map_adapt_means"]
+
+
+def train_ubm(
+    frames: np.ndarray,
+    n_components: int = 64,
+    *,
+    n_iter: int = 10,
+    rng: np.random.Generator | int | None = 0,
+    max_frames: int | None = 50_000,
+) -> DiagonalGMM:
+    """Train the UBM on pooled frames (optionally subsampled)."""
+    check_positive("n_components", n_components)
+    rng = ensure_rng(rng)
+    frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+    if max_frames is not None and frames.shape[0] > max_frames:
+        keep = rng.choice(frames.shape[0], size=max_frames, replace=False)
+        frames = frames[keep]
+    return DiagonalGMM(n_components).fit(frames, n_iter=n_iter, rng=rng)
+
+
+def map_adapt_means(
+    ubm: DiagonalGMM,
+    frames: np.ndarray,
+    *,
+    relevance: float = 16.0,
+) -> DiagonalGMM:
+    """Relevance-MAP adaptation of the UBM means to adaptation frames.
+
+    .. math::  \\hat μ_m = α_m E_m[x] + (1 - α_m) μ_m^{UBM},
+               \\quad α_m = n_m / (n_m + r)
+
+    where n_m is the soft frame count of component m and r the relevance
+    factor.  Weights and variances stay at the UBM values (the classic
+    means-only adaptation).
+    """
+    check_positive("relevance", relevance)
+    if ubm.means is None:
+        raise RuntimeError("UBM must be trained before adaptation")
+    frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+    if frames.shape[0] == 0:
+        raise ValueError("need adaptation frames")
+    post = ubm.responsibilities(frames)        # (T, M)
+    counts = post.sum(axis=0)                   # n_m
+    # First-order sufficient statistics E_m[x].
+    first = post.T @ frames                     # (M, D)
+    safe_counts = np.maximum(counts, 1e-10)
+    expected = first / safe_counts[:, None]
+    alpha = counts / (counts + relevance)
+    new_means = alpha[:, None] * expected + (1.0 - alpha[:, None]) * ubm.means
+    return DiagonalGMM.from_parameters(
+        new_means,
+        ubm.variances,
+        np.exp(ubm.log_weights),
+        var_floor=ubm.var_floor,
+    )

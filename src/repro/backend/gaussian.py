@@ -1,0 +1,114 @@
+"""Gaussian class-conditional score backend.
+
+Models the (LDA-projected) score vectors of each language with a Gaussian
+sharing a diagonal covariance across classes — the ``p(x | λ_j)`` of the
+paper's Eq. 14.  ML fitting here; discriminative (MMI) refinement of the
+means lives in :mod:`repro.backend.mmi`.
+
+Outputs are class log-posterior-ratio scores
+``log P(k|x) − log((1 − P(k|x)) / (K − 1))`` so that a decision threshold
+of 0 corresponds to the NIST detection task's flat-prior operating point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["GaussianBackend"]
+
+
+class GaussianBackend:
+    """Shared-diagonal-covariance Gaussian classifier over score vectors."""
+
+    def __init__(self, *, var_floor: float = 1e-6) -> None:
+        self.var_floor = float(var_floor)
+        self.means_: np.ndarray | None = None
+        self.variance_: np.ndarray | None = None
+        self.log_priors_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.means_ is not None
+
+    @property
+    def n_classes(self) -> int:
+        if self.means_ is None:
+            raise RuntimeError("backend is not fitted")
+        return int(self.means_.shape[0])
+
+    def fit(
+        self,
+        x: np.ndarray,
+        labels: np.ndarray,
+        *,
+        n_classes: int | None = None,
+        uniform_priors: bool = True,
+    ) -> "GaussianBackend":
+        """ML-fit class means and the shared diagonal covariance."""
+        x = check_matrix("x", x)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (x.shape[0],):
+            raise ValueError("labels must align with rows")
+        k = int(n_classes or labels.max() + 1)
+        if labels.min() < 0 or labels.max() >= k:
+            raise ValueError("label out of range")
+        d = x.shape[1]
+        means = np.zeros((k, d))
+        counts = np.zeros(k)
+        grand_mean = x.mean(axis=0)
+        for c in range(k):
+            rows = x[labels == c]
+            counts[c] = rows.shape[0]
+            means[c] = rows.mean(axis=0) if rows.shape[0] else grand_mean
+        centred = x - means[labels]
+        variance = np.maximum(centred.var(axis=0), self.var_floor)
+        self.means_ = means
+        self.variance_ = variance
+        if uniform_priors:
+            self.log_priors_ = np.full(k, -np.log(k))
+        else:
+            priors = (counts + 1.0) / (counts.sum() + k)
+            self.log_priors_ = np.log(priors)
+        return self
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def log_likelihoods(self, x: np.ndarray) -> np.ndarray:
+        """``log p(x | λ_k)`` matrix, shape ``(n, K)``."""
+        if self.means_ is None or self.variance_ is None:
+            raise RuntimeError("backend is not fitted")
+        x = check_matrix("x", x, n_cols=self.means_.shape[1])
+        diff = x[:, None, :] - self.means_[None, :, :]
+        quad = np.sum(diff * diff / self.variance_[None, None, :], axis=2)
+        log_det = float(np.sum(np.log(self.variance_)))
+        d = x.shape[1]
+        return -0.5 * (quad + log_det + d * np.log(2.0 * np.pi))
+
+    def class_log_posteriors(self, x: np.ndarray) -> np.ndarray:
+        """``log P(k | x)`` under the fitted priors."""
+        joint = self.log_likelihoods(x) + self.log_priors_[None, :]
+        m = joint.max(axis=1, keepdims=True)
+        log_norm = m + np.log(np.exp(joint - m).sum(axis=1, keepdims=True))
+        return joint - log_norm
+
+    def detection_scores(self, x: np.ndarray) -> np.ndarray:
+        """Calibrated detection log-odds per language.
+
+        ``log p(x|λ_k) − logsumexp_{j≠k}(log p(x|λ_j) − log(K−1))``: the
+        log-likelihood ratio of "language k" against the average of the
+        others, which is the LRE detection statistic (threshold at 0).
+        """
+        ll = self.log_likelihoods(x)
+        n, k = ll.shape
+        out = np.empty_like(ll)
+        for c in range(k):
+            others = np.delete(ll, c, axis=1)
+            m = others.max(axis=1, keepdims=True)
+            denom = m[:, 0] + np.log(
+                np.exp(others - m).sum(axis=1) / (k - 1)
+            )
+            out[:, c] = ll[:, c] - denom
+        return out

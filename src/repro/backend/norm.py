@@ -1,0 +1,64 @@
+"""Score normalisation (Z-norm / T-norm style).
+
+Standard speaker/language-recognition practice: raw SVM scores from
+different subsystems live on incompatible scales, so before fusion (or
+threshold-based decisions) they are normalised against a cohort — here,
+the development set's score distribution.  :class:`ZNorm` learns per-
+detector (per-language-column) statistics; ``per_detector=False`` learns
+one global pair, matching how §5's fusion stacks whole score vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["ZNorm"]
+
+
+class ZNorm:
+    """Cohort-based score normalisation: ``(s - μ) / σ``.
+
+    Parameters
+    ----------
+    per_detector:
+        Learn one (μ, σ) per language column (True) or one global pair
+        (False).
+    """
+
+    def __init__(self, *, per_detector: bool = True, eps: float = 1e-12) -> None:
+        self.per_detector = bool(per_detector)
+        self.eps = float(eps)
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, cohort_scores: np.ndarray) -> "ZNorm":
+        """Estimate normalisation statistics from cohort scores."""
+        scores = check_matrix("cohort_scores", cohort_scores)
+        if scores.shape[0] < 2:
+            raise ValueError("need at least 2 cohort rows")
+        if self.per_detector:
+            self.mean_ = scores.mean(axis=0)
+            self.std_ = np.maximum(scores.std(axis=0), self.eps)
+        else:
+            self.mean_ = np.full(scores.shape[1], scores.mean())
+            self.std_ = np.full(
+                scores.shape[1], max(float(scores.std()), self.eps)
+            )
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Normalise a score matrix with the fitted statistics."""
+        if self.mean_ is None or self.std_ is None:
+            raise RuntimeError("ZNorm is not fitted")
+        scores = check_matrix("scores", scores, n_cols=self.mean_.shape[0])
+        return (scores - self.mean_[None, :]) / self.std_[None, :]
+
+    def fit_transform(self, cohort_scores: np.ndarray) -> np.ndarray:
+        """Fit on the cohort and return it normalised."""
+        return self.fit(cohort_scores).transform(cohort_scores)

@@ -1,0 +1,279 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiment set:
+
+- ``info``       corpus/frontend summary of a scale
+- ``baseline``   PPRVSM per-frontend + fused EER/C_avg
+- ``dba``        one boosting pass (threshold, variant) vs baseline
+- ``table1``     Tr_DBA composition vs threshold (paper Table 1)
+- ``sweep``      full Table 2/3 threshold sweep for one variant
+- ``table4``     baseline vs DBA singles + fusion (paper Table 4)
+- ``campaign``   the full protocol: Tables 1-4 in one run
+- ``replicate``  the headline comparison across corpus seeds
+
+All commands accept ``--scale smoke|bench`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core import (
+    bench_scale,
+    build_system,
+    format_dba_table,
+    format_table4,
+    smoke_scale,
+    trdba_composition,
+    vote_count_matrix,
+)
+from repro.core import replicate_headline, run_campaign, vote_report
+from repro.core.analysis import format_table1
+
+__all__ = ["main", "build_parser"]
+
+
+def _make_system(args):
+    config = smoke_scale(args.seed) if args.scale == "smoke" else bench_scale(args.seed)
+    return build_system(config), config
+
+
+def _print_metrics(system, result, label: str) -> None:
+    for duration in system.durations:
+        metrics = system.frontend_metrics(result, duration)
+        cells = "  ".join(
+            f"{name}:{eer:.2f}/{c:.2f}" for name, (eer, c) in metrics.items()
+        )
+        fe, fc = system.fused_metrics([result], duration)
+        print(f"[{label}] {int(duration)}s  {cells}  fused:{fe:.2f}/{fc:.2f}")
+
+
+def cmd_info(args) -> int:
+    """Print a corpus/frontend summary of the chosen scale."""
+    system, config = _make_system(args)
+    corpus = config.corpus
+    print(f"scale: {args.scale} (seed {corpus.seed})")
+    print(
+        f"languages: {corpus.n_languages} in {corpus.n_families} families "
+        f"(cohesion {corpus.family_weight})"
+    )
+    print(
+        f"corpora: train {len(system.bundle.train)}, dev "
+        f"{len(system.bundle.dev)}, test "
+        + ", ".join(
+            f"{int(d)}s:{len(c)}" for d, c in system.bundle.test.items()
+        )
+    )
+    print("frontends:")
+    for fe in system.frontends:
+        print(f"  {fe.name:<8} |phones| = {len(fe.phone_set)}")
+    print(f"supervector orders: {system.system.orders}")
+    return 0
+
+
+def cmd_baseline(args) -> int:
+    """Run the PPRVSM baseline and print per-frontend + fused metrics."""
+    system, _ = _make_system(args)
+    baseline = system.baseline()
+    _print_metrics(system, baseline, "PPRVSM")
+    return 0
+
+
+def cmd_dba(args) -> int:
+    """Run one DBA pass and print baseline vs boosted metrics."""
+    system, _ = _make_system(args)
+    baseline = system.baseline()
+    result = system.dba(args.threshold, args.variant, baseline)
+    _print_metrics(system, baseline, "PPRVSM")
+    _print_metrics(system, result, f"DBA-{args.variant} V={args.threshold}")
+    truth = system.pooled_test_labels()
+    print(
+        f"pool: {len(result.pseudo)} utterances, "
+        f"error {100 * result.pseudo.error_rate(truth):.2f} %"
+    )
+    print("\nper-subsystem voting behaviour (baseline scores):")
+    print(
+        vote_report(
+            baseline.pooled_test_scores(),
+            truth,
+            [fe.name for fe in system.frontends],
+        ).to_text()
+    )
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """Regenerate the paper's Table 1 (Tr_DBA composition)."""
+    system, config = _make_system(args)
+    baseline = system.baseline()
+    counts = vote_count_matrix(baseline.pooled_test_scores())
+    rows = trdba_composition(
+        counts, system.pooled_test_labels(), config.vote_thresholds
+    )
+    print(format_table1(rows))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Regenerate the paper's Table 2/3 threshold sweep."""
+    system, config = _make_system(args)
+    baseline = system.baseline()
+    names = [fe.name for fe in system.frontends]
+    baseline_cells, dba_cells = {}, {}
+    for duration in system.durations:
+        for name, cell in system.frontend_metrics(baseline, duration).items():
+            baseline_cells[(name, duration)] = cell
+    for threshold in config.vote_thresholds:
+        result = system.dba(threshold, args.variant, baseline)
+        for duration in system.durations:
+            for name, cell in system.frontend_metrics(result, duration).items():
+                dba_cells[(name, duration, threshold)] = cell
+    print(
+        format_dba_table(
+            names,
+            system.durations,
+            config.vote_thresholds,
+            baseline_cells,
+            dba_cells,
+        )
+    )
+    return 0
+
+
+def cmd_table4(args) -> int:
+    """Regenerate the paper's Table 4 (singles + fusion)."""
+    system, _ = _make_system(args)
+    baseline = system.baseline()
+    m1 = system.dba(args.threshold, "M1", baseline)
+    m2 = system.dba(args.threshold, "M2", baseline)
+    names = [fe.name for fe in system.frontends]
+    baseline_cells, dba_cells, baseline_fused, dba_fused = {}, {}, {}, {}
+    for duration in system.durations:
+        for name, cell in system.frontend_metrics(baseline, duration).items():
+            baseline_cells[(name, duration)] = cell
+        for name, cell in system.frontend_metrics(m2, duration).items():
+            dba_cells[(name, duration)] = cell
+        baseline_fused[duration] = system.fused_metrics([baseline], duration)
+        dba_fused[duration] = system.fused_metrics([m1, m2], duration)
+    print(
+        format_table4(
+            names,
+            system.durations,
+            baseline_cells,
+            baseline_fused,
+            dba_cells,
+            dba_fused,
+        )
+    )
+    return 0
+
+
+def cmd_campaign(args) -> int:
+    """Run the full evaluation protocol and print/save every table."""
+    system, config = _make_system(args)
+    result = run_campaign(
+        config,
+        system=system,
+        fusion_threshold=args.threshold,
+        progress=lambda msg: print(f"... {msg}"),
+    )
+    print()
+    print(result.to_text())
+    if args.output:
+        path = result.save(args.output)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+def cmd_replicate(args) -> int:
+    """Replicate baseline-vs-DBA over several corpus seeds (error bars)."""
+    from repro.core import bench_scale as _bench
+    from repro.core import smoke_scale as _smoke
+
+    factory = _smoke if args.scale == "smoke" else _bench
+    seeds = tuple(args.seed + i for i in range(args.n_seeds))
+    summary = replicate_headline(
+        seeds,
+        config_factory=factory,
+        threshold=args.threshold,
+        variant=args.variant,
+        progress=lambda msg: print(f"... {msg}"),
+    )
+    print()
+    print(summary.to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PPRVSM + Discriminative Boosting Algorithm experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--scale", choices=("smoke", "bench"), default="smoke",
+            help="experiment scale (default: smoke)",
+        )
+        p.add_argument("--seed", type=int, default=2009)
+
+    p = sub.add_parser("info", help="corpus/frontend summary")
+    common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("baseline", help="PPRVSM baseline metrics")
+    common(p)
+    p.set_defaults(func=cmd_baseline)
+
+    p = sub.add_parser("dba", help="one DBA pass vs baseline")
+    common(p)
+    p.add_argument("--threshold", "-V", type=int, default=3)
+    p.add_argument("--variant", choices=("M1", "M2"), default="M2")
+    p.set_defaults(func=cmd_dba)
+
+    p = sub.add_parser("table1", help="Tr_DBA composition (paper Table 1)")
+    common(p)
+    p.set_defaults(func=cmd_table1)
+
+    p = sub.add_parser("sweep", help="threshold sweep (paper Tables 2/3)")
+    common(p)
+    p.add_argument("--variant", choices=("M1", "M2"), default="M1")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("table4", help="baseline vs DBA + fusion (Table 4)")
+    common(p)
+    p.add_argument("--threshold", "-V", type=int, default=3)
+    p.set_defaults(func=cmd_table4)
+
+    p = sub.add_parser(
+        "campaign", help="full protocol: Tables 1-4 in one run"
+    )
+    common(p)
+    p.add_argument("--threshold", "-V", type=int, default=3)
+    p.add_argument("--output", "-o", default=None, help="save tables here")
+    p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "replicate", help="baseline vs DBA over several corpus seeds"
+    )
+    common(p)
+    p.add_argument("--n-seeds", type=int, default=3)
+    p.add_argument("--threshold", "-V", type=int, default=3)
+    p.add_argument("--variant", choices=("M1", "M2"), default="M2")
+    p.set_defaults(func=cmd_replicate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

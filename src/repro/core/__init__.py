@@ -1,0 +1,71 @@
+"""The paper's contribution: DBA voting, training-set update, pipelines."""
+
+from repro.core.analysis import TrdbaRow, format_table1, trdba_composition
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.config import (
+    ExperimentConfig,
+    SystemConfig,
+    bench_scale,
+    smoke_scale,
+    with_duration,
+)
+from repro.core.diagnostics import VoteReport, vote_overlap_matrix, vote_report
+from repro.core.dba import (
+    PseudoLabels,
+    build_dba_training_set,
+    select_pseudo_labels,
+)
+from repro.core.pipeline import (
+    BaselineResult,
+    DBAResult,
+    PhonotacticSystem,
+    SubsystemScores,
+    SystemResult,
+    build_system,
+    calibrate_scores,
+    evaluate_scores,
+)
+from repro.core.replication import ReplicationSummary, replicate_headline
+from repro.core.reporting import (
+    AM_FAMILY,
+    format_dba_table,
+    format_table4,
+    has_interior_minimum,
+)
+from repro.core.voting import subsystem_votes, vote_count_matrix, vote_fit_counts
+
+__all__ = [
+    "TrdbaRow",
+    "CampaignResult",
+    "run_campaign",
+    "format_table1",
+    "trdba_composition",
+    "ExperimentConfig",
+    "SystemConfig",
+    "bench_scale",
+    "smoke_scale",
+    "with_duration",
+    "PseudoLabels",
+    "VoteReport",
+    "vote_overlap_matrix",
+    "vote_report",
+    "build_dba_training_set",
+    "select_pseudo_labels",
+    "BaselineResult",
+    "DBAResult",
+    "PhonotacticSystem",
+    "SubsystemScores",
+    "SystemResult",
+    "build_system",
+    "calibrate_scores",
+    "evaluate_scores",
+    "ReplicationSummary",
+    "replicate_headline",
+    "AM_FAMILY",
+    "format_dba_table",
+    "format_table4",
+    "has_interior_minimum",
+    "subsystem_votes",
+    "vote_count_matrix",
+    "vote_fit_counts",
+]

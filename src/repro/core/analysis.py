@@ -1,0 +1,63 @@
+"""Analysis of the DBA pseudo-label pool (paper Table 1, §5.1).
+
+Table 1 reports, for each vote threshold V, the size of :math:`Tr_{DBA}`
+(DBA-M1, i.e. pseudo-labelled test data only) and its label error rate.
+:func:`trdba_composition` computes both from a vote-count matrix and the
+ground-truth test labels, and :func:`format_table1` renders the paper's
+row layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dba import select_pseudo_labels
+
+__all__ = ["TrdbaRow", "trdba_composition", "format_table1"]
+
+
+@dataclass(frozen=True)
+class TrdbaRow:
+    """One Table 1 column: the pool at a given threshold."""
+
+    threshold: int
+    n_selected: int
+    error_rate: float
+
+
+def trdba_composition(
+    vote_counts: np.ndarray,
+    true_labels: np.ndarray,
+    thresholds: tuple[int, ...] = (6, 5, 4, 3, 2, 1),
+) -> list[TrdbaRow]:
+    """Pool size and pseudo-label error rate per threshold."""
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    rows = []
+    for threshold in thresholds:
+        pseudo = select_pseudo_labels(vote_counts, threshold)
+        err = pseudo.error_rate(true_labels) if len(pseudo) else float("nan")
+        rows.append(
+            TrdbaRow(
+                threshold=int(threshold),
+                n_selected=len(pseudo),
+                error_rate=float(err),
+            )
+        )
+    return rows
+
+
+def format_table1(rows: list[TrdbaRow]) -> str:
+    """Render rows in the paper's Table 1 layout."""
+    header = "            " + "".join(f"V = {r.threshold:<5d}" for r in rows)
+    number = "number      " + "".join(f"{r.n_selected:<9d}" for r in rows)
+    error = "error rate  " + "".join(
+        (
+            f"{100.0 * r.error_rate:<8.2f}%"
+            if np.isfinite(r.error_rate)
+            else "   --    "
+        )
+        for r in rows
+    )
+    return "\n".join([header, number, error])

@@ -1,0 +1,209 @@
+"""One-call reproduction campaigns.
+
+:func:`run_campaign` executes the paper's full evaluation protocol —
+baseline, Table 1 composition, the V-sweep for each DBA variant, and the
+Table 4 fusion comparison — and returns a :class:`CampaignResult` that
+renders every table in the paper's layout and can persist itself to a
+results directory.  The CLI and the benchmark harness are thin wrappers
+over this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core.analysis import TrdbaRow, format_table1, trdba_composition
+from repro.core.config import ExperimentConfig
+from repro.core.pipeline import PhonotacticSystem, build_system
+from repro.core.reporting import format_dba_table, format_table4
+from repro.core.voting import vote_count_matrix
+
+__all__ = ["CampaignResult", "run_campaign"]
+
+Cell = tuple[float, float]
+
+
+@dataclass
+class CampaignResult:
+    """Everything the paper's evaluation section reports, regenerated.
+
+    Attributes
+    ----------
+    frontends / durations / thresholds:
+        The campaign grid.
+    table1:
+        Tr_DBA composition rows (paper Table 1).
+    baseline_cells:
+        (frontend, duration) → (EER %, C_avg %) for PPRVSM.
+    sweep_cells:
+        variant → {(frontend, duration, V) → (EER %, C_avg %)}
+        (paper Tables 2 and 3).
+    baseline_fused / dba_fused:
+        duration → (EER %, C_avg %) for the fused systems (Table 4; the
+        DBA row is (M1)+(M2) at ``fusion_threshold``).
+    dba_cells:
+        (frontend, duration) → DBA-M2 cell at ``fusion_threshold``
+        (Table 4's per-frontend DBA block).
+    """
+
+    frontends: list[str]
+    durations: tuple[float, ...]
+    thresholds: tuple[int, ...]
+    fusion_threshold: int
+    table1: list[TrdbaRow] = field(default_factory=list)
+    baseline_cells: dict[tuple[str, float], Cell] = field(default_factory=dict)
+    sweep_cells: dict[str, dict[tuple[str, float, int], Cell]] = field(
+        default_factory=dict
+    )
+    dba_cells: dict[tuple[str, float], Cell] = field(default_factory=dict)
+    baseline_fused: dict[float, Cell] = field(default_factory=dict)
+    dba_fused: dict[float, Cell] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def table1_text(self) -> str:
+        """Paper Table 1 layout."""
+        return format_table1(self.table1)
+
+    def sweep_text(self, variant: str) -> str:
+        """Paper Table 2 (M1) / Table 3 (M2) layout."""
+        if variant not in self.sweep_cells:
+            raise KeyError(f"variant {variant!r} was not swept")
+        return format_dba_table(
+            self.frontends,
+            self.durations,
+            self.thresholds,
+            self.baseline_cells,
+            self.sweep_cells[variant],
+        )
+
+    def table4_text(self) -> str:
+        """Paper Table 4 layout."""
+        return format_table4(
+            self.frontends,
+            self.durations,
+            self.baseline_cells,
+            self.baseline_fused,
+            self.dba_cells,
+            self.dba_fused,
+        )
+
+    def to_text(self) -> str:
+        """All regenerated tables, concatenated."""
+        blocks = [
+            "== Table 1: Tr_DBA composition ==",
+            self.table1_text(),
+        ]
+        for variant in self.sweep_cells:
+            table_no = "2" if variant == "M1" else "3"
+            blocks += [
+                f"\n== Table {table_no}: DBA-{variant} sweep ==",
+                self.sweep_text(variant),
+            ]
+        blocks += ["\n== Table 4: baseline vs DBA + fusion ==", self.table4_text()]
+        return "\n".join(blocks)
+
+    def save(self, directory: str | Path) -> Path:
+        """Write all tables under ``directory``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "table1.txt").write_text(self.table1_text() + "\n")
+        for variant in self.sweep_cells:
+            (directory / f"sweep_{variant}.txt").write_text(
+                self.sweep_text(variant) + "\n"
+            )
+        (directory / "table4.txt").write_text(self.table4_text() + "\n")
+        (directory / "campaign.txt").write_text(self.to_text() + "\n")
+        return directory
+
+
+def run_campaign(
+    config: ExperimentConfig | None = None,
+    *,
+    system: PhonotacticSystem | None = None,
+    variants: tuple[str, ...] = ("M1", "M2"),
+    fusion_threshold: int = 3,
+    progress: Callable[[str], None] | None = None,
+) -> CampaignResult:
+    """Run the paper's full evaluation protocol.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration (ignored when ``system`` is given).
+    system:
+        An existing :class:`PhonotacticSystem` to reuse (its decode and
+        supervector caches carry over).
+    variants:
+        Which DBA variants to sweep over all ``config.vote_thresholds``.
+    fusion_threshold:
+        The V used for the Table 4 DBA block ((M1)+(M2) fusion).
+    progress:
+        Optional callback receiving one line per completed stage.
+    """
+    config = config or ExperimentConfig()
+    say = progress or (lambda msg: None)
+    if system is None:
+        say("building corpus + frontends")
+        system = build_system(config)
+    thresholds = config.vote_thresholds
+    names = [fe.name for fe in system.frontends]
+    result = CampaignResult(
+        frontends=names,
+        durations=system.durations,
+        thresholds=thresholds,
+        fusion_threshold=fusion_threshold,
+    )
+
+    say("PPRVSM baseline")
+    baseline = system.baseline()
+    counts = vote_count_matrix(baseline.pooled_test_scores())
+    result.table1 = trdba_composition(
+        counts, system.pooled_test_labels(), thresholds
+    )
+    for duration in system.durations:
+        for name, cell in system.frontend_metrics(baseline, duration).items():
+            result.baseline_cells[(name, duration)] = cell
+        result.baseline_fused[duration] = system.fused_metrics(
+            [baseline], duration
+        )
+
+    dba_at_fusion_threshold = {}
+    for variant in variants:
+        cells: dict[tuple[str, float, int], Cell] = {}
+        for threshold in thresholds:
+            say(f"DBA-{variant} V={threshold}")
+            dba = system.dba(threshold, variant, baseline)
+            if threshold == fusion_threshold:
+                dba_at_fusion_threshold[variant] = dba
+            for duration in system.durations:
+                for name, cell in system.frontend_metrics(
+                    dba, duration
+                ).items():
+                    cells[(name, duration, threshold)] = cell
+        result.sweep_cells[variant] = cells
+
+    say("Table 4 fusion")
+    fusion_members = [
+        dba_at_fusion_threshold[v]
+        for v in variants
+        if v in dba_at_fusion_threshold
+    ]
+    if not fusion_members:
+        fusion_members = [system.dba(fusion_threshold, variants[0], baseline)]
+    table4_variant = "M2" if "M2" in variants else variants[0]
+    reference = dba_at_fusion_threshold.get(
+        table4_variant, fusion_members[0]
+    )
+    for duration in system.durations:
+        for name, cell in system.frontend_metrics(reference, duration).items():
+            result.dba_cells[(name, duration)] = cell
+        result.dba_fused[duration] = system.fused_metrics(
+            fusion_members, duration
+        )
+    return result

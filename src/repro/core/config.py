@@ -1,0 +1,115 @@
+"""Experiment configuration.
+
+Two layers of configuration exist: :class:`~repro.corpus.splits.CorpusConfig`
+(data scale and difficulty) and :class:`SystemConfig` (classifier stack and
+backend).  :class:`ExperimentConfig` pairs them with the frontend mode and
+provides the named scales used by tests, examples and benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.corpus.splits import CorpusConfig
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["SystemConfig", "ExperimentConfig", "bench_scale", "smoke_scale", "with_duration"]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Classifier-stack hyper-parameters shared by PPRVSM and DBA.
+
+    Attributes
+    ----------
+    orders:
+        N-gram orders stacked into the supervector.  The paper's systems
+        use orders up to N = 3 at 100 fps; at this reproduction's reduced
+        frame rate each utterance carries ~5x fewer phones, so trigram
+        statistics are too sparse for the Eq. 13 vote criterion to fire
+        (raw one-vs-rest scores stay near the negative bias on test data)
+        and the DBA pool starves.  Orders (1, 2) is therefore the default;
+        bench_ablation_orders measures the tradeoff and (1, 2, 3) remains
+        fully supported.
+    top_k:
+        Sausage-slot alternatives kept by the recognizers (lattice
+        richness; directly controls supervector density).
+    svm_C / svm_loss / svm_max_epochs / svm_tol:
+        LIBLINEAR-equivalent SVM settings.
+    tfllr:
+        Apply the TFLLR kernel map (Eq. 5); disable only for ablation.
+    use_lda / mmi_iterations:
+        Backend composition (§3 g).  At the paper's dev-set scale (22k
+        conversations) the LDA whitening is benign; at this reproduction's
+        reduced dev size it amplifies scatter-estimation noise, so it
+        defaults off (see bench_ablation_backend for the measured effect).
+    workers:
+        Process-pool width for utterance-level fan-out (1 = serial).
+    """
+
+    orders: tuple[int, ...] = (1, 2)
+    top_k: int = 3
+    svm_C: float = 1.0
+    svm_loss: str = "l1"
+    svm_max_epochs: int = 40
+    svm_tol: float = 5e-3
+    tfllr: bool = True
+    min_prob: float = 1e-5
+    use_lda: bool = False
+    mmi_iterations: int = 40
+    workers: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.orders:
+            raise ValueError("at least one n-gram order required")
+        check_positive("top_k", self.top_k)
+        check_positive("svm_C", self.svm_C)
+        check_in("svm_loss", self.svm_loss, ["l1", "l2"])
+        check_positive("svm_max_epochs", self.svm_max_epochs)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A complete, reproducible experiment description."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    system: SystemConfig = field(default_factory=SystemConfig)
+    frontend_mode: str = "confusion"   # "confusion" | "acoustic"
+    vote_thresholds: tuple[int, ...] = (6, 5, 4, 3, 2, 1)
+
+    def __post_init__(self) -> None:
+        check_in("frontend_mode", self.frontend_mode, ["confusion", "acoustic"])
+        if not self.vote_thresholds or min(self.vote_thresholds) < 1:
+            raise ValueError("vote thresholds must be positive")
+
+
+def bench_scale(seed: int = 2009) -> ExperimentConfig:
+    """The default benchmark scale (minutes-level full table sweeps)."""
+    return ExperimentConfig(
+        corpus=CorpusConfig(seed=seed),
+        system=SystemConfig(),
+    )
+
+
+def smoke_scale(seed: int = 2009) -> ExperimentConfig:
+    """A seconds-level scale for tests and quick examples."""
+    return ExperimentConfig(
+        corpus=CorpusConfig(
+            n_languages=5,
+            n_families=2,
+            train_per_language=16,
+            dev_per_language=8,
+            test_per_language=20,
+            durations=(10.0, 3.0),
+            seed=seed,
+        ),
+        system=SystemConfig(orders=(1, 2), svm_max_epochs=20, mmi_iterations=15),
+    )
+
+
+def with_duration(
+    config: ExperimentConfig, durations: tuple[float, ...]
+) -> ExperimentConfig:
+    """A copy of ``config`` restricted to the given test durations."""
+    return replace(config, corpus=replace(config.corpus, durations=durations))

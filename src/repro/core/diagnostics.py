@@ -1,0 +1,120 @@
+"""Vote diagnostics: who votes, how well, and how redundantly (§5.1).
+
+The paper analyses its pseudo-label pool only in aggregate (Table 1).
+These diagnostics go one level deeper — per-subsystem vote precision and
+coverage, and the pairwise overlap structure between subsystems' votes —
+which is what you inspect when a DBA run underperforms: a frontend whose
+votes are plentiful but wrong poisons the pool; two frontends whose votes
+fully overlap add no evidence at higher thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.voting import subsystem_votes
+
+__all__ = ["VoteReport", "vote_report", "vote_overlap_matrix"]
+
+
+@dataclass(frozen=True)
+class VoteReport:
+    """Per-subsystem voting behaviour against ground truth.
+
+    Attributes
+    ----------
+    names:
+        Subsystem names, aligned with the arrays below.
+    n_votes:
+        How many test utterances each subsystem voted on (its M_n).
+    coverage:
+        ``n_votes / m`` — fraction of the test pool the subsystem is
+        confident about.
+    precision:
+        Fraction of the subsystem's votes that name the true language.
+    """
+
+    names: list[str]
+    n_votes: np.ndarray
+    coverage: np.ndarray
+    precision: np.ndarray
+
+    def to_text(self) -> str:
+        """Render as an aligned table."""
+        lines = [
+            f"{'subsystem':<10}{'votes':>7}{'coverage':>10}{'precision':>11}"
+        ]
+        for i, name in enumerate(self.names):
+            lines.append(
+                f"{name:<10}{int(self.n_votes[i]):>7d}"
+                f"{100 * self.coverage[i]:>9.1f}%"
+                f"{100 * self.precision[i]:>10.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def vote_report(
+    score_matrices: list[np.ndarray],
+    true_labels: np.ndarray,
+    names: list[str] | None = None,
+) -> VoteReport:
+    """Per-subsystem vote counts, coverage and precision."""
+    if not score_matrices:
+        raise ValueError("need at least one subsystem")
+    true_labels = np.asarray(true_labels, dtype=np.int64)
+    m = score_matrices[0].shape[0]
+    if true_labels.shape != (m,):
+        raise ValueError("labels must align with score rows")
+    names = names or [f"sub{q}" for q in range(len(score_matrices))]
+    if len(names) != len(score_matrices):
+        raise ValueError("one name per subsystem required")
+    n_votes = np.zeros(len(score_matrices))
+    precision = np.zeros(len(score_matrices))
+    for q, scores in enumerate(score_matrices):
+        votes = subsystem_votes(scores)
+        voted_rows = votes.any(axis=1)
+        n_votes[q] = int(voted_rows.sum())
+        if n_votes[q] > 0:
+            voted_labels = np.argmax(votes[voted_rows], axis=1)
+            precision[q] = float(
+                np.mean(voted_labels == true_labels[voted_rows])
+            )
+        else:
+            precision[q] = float("nan")
+    return VoteReport(
+        names=list(names),
+        n_votes=n_votes.astype(np.int64),
+        coverage=n_votes / m,
+        precision=precision,
+    )
+
+
+def vote_overlap_matrix(score_matrices: list[np.ndarray]) -> np.ndarray:
+    """Pairwise vote agreement between subsystems.
+
+    Entry (a, b) is the Jaccard-style fraction
+    ``|votes agree| / |either votes|`` where "agree" requires both
+    subsystems to vote *for the same language* on the same utterance.
+    Diagonal is 1 (where a subsystem votes at all).  High off-diagonal
+    values mean redundant evidence — the vote count c_jk saturates without
+    adding independent confirmation.
+    """
+    if not score_matrices:
+        raise ValueError("need at least one subsystem")
+    q = len(score_matrices)
+    votes = [subsystem_votes(s) for s in score_matrices]
+    winners = [np.argmax(v, axis=1) for v in votes]
+    voted = [v.any(axis=1) for v in votes]
+    out = np.zeros((q, q))
+    for a in range(q):
+        for b in range(q):
+            either = voted[a] | voted[b]
+            if not either.any():
+                out[a, b] = 0.0
+                continue
+            both = voted[a] & voted[b]
+            agree = both & (winners[a] == winners[b])
+            out[a, b] = float(agree.sum() / either.sum())
+    return out

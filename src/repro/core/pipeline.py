@@ -1,0 +1,431 @@
+"""End-to-end PPRVSM and DBA systems (paper Figs. 1–2).
+
+:class:`PhonotacticSystem` owns the full flow for one corpus bundle and
+one frontend battery:
+
+1. **decode** every corpus once per frontend (cached — both PPRVSM and all
+   DBA variants share the φ(x) work, the fact behind the paper's Eq. 18–19
+   cost claim);
+2. **extract** raw supervector matrices once per (frontend, corpus);
+3. **baseline** (:meth:`baseline`): per-frontend VSMs trained once on the
+   original training set, scored on dev and every test duration;
+4. **DBA** (:meth:`dba`): vote over the baseline test scores (Eq. 13)
+   pooled across *all* durations — the paper's Table 1 counts (up to
+   35 262 of the 41 793 total test segments) show the pseudo-label pool
+   spans the whole evaluation set, which is also why the paper's 3 s
+   systems gain the most: short-utterance scoring benefits from
+   pseudo-labels earned by long utterances under the same test
+   conditions — then retrain each subsystem per variant (M1/M2) and
+   rescore every duration;
+5. **calibration/fusion** (:func:`calibrate_scores`): LDA-MMI backend
+   fitted on dev scores, applied to test scores — used both per-frontend
+   (N = 1) and across frontends and DBA variants (Table 4's
+   "(DBA-M1)+(DBA-M2)" fusion).
+
+Every stage is timed under a :class:`~repro.utils.timing.StageTimer` with
+the stage names of Table 5 (decoding / sv_generation / svm_training /
+sv_product).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import partial
+
+import numpy as np
+
+from repro.backend.fusion import LdaMmiFusion, subsystem_weights
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.core.dba import PseudoLabels, build_dba_training_set, select_pseudo_labels
+from repro.core.voting import vote_count_matrix, vote_fit_counts
+from repro.corpus.generator import Corpus
+from repro.corpus.splits import CorpusBundle, make_corpus_bundle
+from repro.frontend.registry import build_frontends
+from repro.metrics.cavg import cavg
+from repro.metrics.eer import eer_from_matrix
+from repro.svm.vsm import VSM
+from repro.utils.parallel import pmap
+from repro.utils.rng import child_rng
+from repro.utils.sparse import SparseMatrix
+from repro.utils.timing import StageTimer
+
+__all__ = [
+    "SubsystemScores",
+    "SystemResult",
+    "BaselineResult",
+    "DBAResult",
+    "PhonotacticSystem",
+    "calibrate_scores",
+    "evaluate_scores",
+    "build_system",
+]
+
+
+@dataclass
+class SubsystemScores:
+    """Raw SVM score matrices of one subsystem (Eq. 9).
+
+    ``test`` maps each nominal duration to an ``(m_d, K)`` matrix.
+    """
+
+    name: str
+    dev: np.ndarray
+    test: dict[float, np.ndarray]
+
+
+@dataclass
+class SystemResult:
+    """Scores of a full multi-frontend system (baseline or DBA)."""
+
+    subsystems: list[SubsystemScores]
+    durations: tuple[float, ...]
+
+    @property
+    def names(self) -> list[str]:
+        return [s.name for s in self.subsystems]
+
+    @property
+    def dev_scores(self) -> list[np.ndarray]:
+        return [s.dev for s in self.subsystems]
+
+    def test_scores(self, duration: float) -> list[np.ndarray]:
+        """Per-subsystem raw test scores at one duration."""
+        return [s.test[duration] for s in self.subsystems]
+
+    def pooled_test_scores(self) -> list[np.ndarray]:
+        """Per-subsystem test scores stacked over all durations."""
+        return [
+            np.vstack([s.test[d] for d in self.durations])
+            for s in self.subsystems
+        ]
+
+
+@dataclass
+class BaselineResult(SystemResult):
+    """PPRVSM baseline scores."""
+
+
+@dataclass
+class DBAResult(SystemResult):
+    """One DBA pass (threshold + variant), scored at every duration."""
+
+    threshold: int = 0
+    variant: str = "M1"
+    pseudo: PseudoLabels | None = None
+    vote_counts: np.ndarray | None = None
+    fit_counts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+
+def _decode_utterance(frontend, seed: int, utterance):
+    """Top-level decode unit (picklable for the process-pool path)."""
+    return frontend.decode(
+        utterance, child_rng(seed, f"decode/{frontend.name}/{utterance.utt_id}")
+    )
+
+
+def evaluate_scores(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[float, float]:
+    """(EER %, C_avg %) of calibrated scores."""
+    return (
+        100.0 * eer_from_matrix(scores, labels),
+        100.0 * cavg(scores, labels),
+    )
+
+
+def calibrate_scores(
+    dev_scores: list[np.ndarray],
+    dev_labels: np.ndarray,
+    test_scores: list[np.ndarray],
+    *,
+    system: SystemConfig | None = None,
+    weights: np.ndarray | None = None,
+) -> np.ndarray:
+    """LDA-MMI-calibrate test scores using dev scores (§3 g).
+
+    Works for a single subsystem (lists of length 1 — per-frontend rows
+    of Tables 2–4) or any number of subsystems (fusion rows).
+    """
+    system = system or SystemConfig()
+    fusion = LdaMmiFusion(
+        use_lda=system.use_lda,
+        mmi_iterations=system.mmi_iterations,
+    )
+    return fusion.fit_transform(
+        dev_scores, dev_labels, test_scores, weights=weights
+    )
+
+
+class PhonotacticSystem:
+    """The full PPRVSM + DBA pipeline over one corpus bundle."""
+
+    def __init__(
+        self,
+        bundle: CorpusBundle,
+        frontends: list,
+        system: SystemConfig | None = None,
+        *,
+        timer: StageTimer | None = None,
+        matrix_cache=None,
+    ) -> None:
+        if not frontends:
+            raise ValueError("need at least one frontend")
+        self.bundle = bundle
+        self.frontends = list(frontends)
+        self.system = system or SystemConfig()
+        self.timer = timer or StageTimer()
+        names = [fe.name for fe in self.frontends]
+        if len(set(names)) != len(names):
+            raise ValueError("frontend names must be unique")
+        self.n_classes = len(bundle.registry)
+        self.durations: tuple[float, ...] = tuple(bundle.config.durations)
+        self._labels: dict[str, np.ndarray] = {}
+        self._matrices: dict[tuple[str, str], SparseMatrix] = {}
+        #: optional repro.utils.io.MatrixCache persisting supervectors
+        #: across processes (the φ(x) work of Eqs. 16-19)
+        self.matrix_cache = matrix_cache
+
+    # ------------------------------------------------------------------
+    # labels and corpora
+    # ------------------------------------------------------------------
+    def corpus_for(self, tag: str) -> Corpus:
+        """Resolve a corpus tag: ``train``, ``dev`` or ``test@<duration>``."""
+        if tag == "train":
+            return self.bundle.train
+        if tag == "dev":
+            return self.bundle.dev
+        if tag.startswith("test@"):
+            duration = float(tag.split("@", 1)[1])
+            try:
+                return self.bundle.test[duration]
+            except KeyError:
+                raise KeyError(
+                    f"no test corpus at duration {duration}; have "
+                    f"{sorted(self.bundle.test)}"
+                ) from None
+        raise KeyError(f"unknown corpus tag {tag!r}")
+
+    def labels_for(self, tag: str) -> np.ndarray:
+        """Integer language labels of a corpus tag (cached)."""
+        if tag not in self._labels:
+            self._labels[tag] = self.corpus_for(tag).label_indices(
+                self.bundle.language_names
+            )
+        return self._labels[tag]
+
+    def pooled_test_labels(self) -> np.ndarray:
+        """True labels of the all-durations test pool, in duration order."""
+        return np.concatenate(
+            [self.labels_for(f"test@{d}") for d in self.durations]
+        )
+
+    # ------------------------------------------------------------------
+    # decode + supervector extraction (cached)
+    # ------------------------------------------------------------------
+    def raw_matrix(self, frontend, tag: str) -> SparseMatrix:
+        """Decode + extract the raw supervector matrix (cached).
+
+        With a ``matrix_cache`` configured, matrices also persist to disk
+        and are reloaded on subsequent runs.
+        """
+        key = (frontend.name, tag)
+        if key in self._matrices:
+            return self._matrices[key]
+        if self.matrix_cache is not None and self.matrix_cache.has(
+            frontend.name, tag
+        ):
+            matrix = self.matrix_cache.get(frontend.name, tag)
+            self._matrices[key] = matrix
+            return matrix
+        corpus = self.corpus_for(tag)
+        seed = self.system.seed
+        audio = corpus.total_audio_seconds()
+        decode = partial(_decode_utterance, frontend, seed)
+        with self.timer.stage("decoding", audio_seconds=audio):
+            sausages = pmap(
+                decode, corpus.utterances, workers=self.system.workers
+            )
+        extractor = VSM(
+            len(frontend.phone_set),
+            self.n_classes,
+            orders=self.system.orders,
+        )
+        with self.timer.stage("sv_generation", audio_seconds=audio):
+            matrix = extractor.extract(sausages)
+        self._matrices[key] = matrix
+        if self.matrix_cache is not None:
+            self.matrix_cache.put(frontend.name, tag, matrix)
+        return matrix
+
+    def pooled_test_matrix(self, frontend) -> SparseMatrix:
+        """All-durations test supervectors of one frontend, stacked."""
+        matrices = [
+            self.raw_matrix(frontend, f"test@{d}") for d in self.durations
+        ]
+        pooled = matrices[0]
+        for extra in matrices[1:]:
+            pooled = pooled.vstack(extra)
+        return pooled
+
+    def _make_vsm(self, frontend, seed_offset: int) -> VSM:
+        return VSM(
+            len(frontend.phone_set),
+            self.n_classes,
+            orders=self.system.orders,
+            C=self.system.svm_C,
+            loss=self.system.svm_loss,
+            max_epochs=self.system.svm_max_epochs,
+            tfllr=self.system.tfllr,
+            min_prob=self.system.min_prob,
+            seed=self.system.seed + seed_offset,
+        )
+
+    def _score_subsystem(
+        self, frontend, vsm: VSM
+    ) -> SubsystemScores:
+        """Score dev + every test duration with a fitted VSM."""
+        dev_scores = vsm.score_matrix(self.raw_matrix(frontend, "dev"))
+        test: dict[float, np.ndarray] = {}
+        for duration in self.durations:
+            tag = f"test@{duration}"
+            audio = self.corpus_for(tag).total_audio_seconds()
+            with self.timer.stage("sv_product", audio_seconds=audio):
+                test[duration] = vsm.score_matrix(
+                    self.raw_matrix(frontend, tag)
+                )
+        return SubsystemScores(frontend.name, dev_scores, test)
+
+    # ------------------------------------------------------------------
+    # baseline (PPRVSM)
+    # ------------------------------------------------------------------
+    def baseline(self) -> BaselineResult:
+        """Train per-frontend VSMs on ``Tr`` and score dev + all tests."""
+        y_train = self.labels_for("train")
+        subsystems: list[SubsystemScores] = []
+        for q, frontend in enumerate(self.frontends):
+            x_train = self.raw_matrix(frontend, "train")
+            vsm = self._make_vsm(frontend, q)
+            with self.timer.stage("svm_training"):
+                vsm.fit_matrix(x_train, y_train)
+            subsystems.append(self._score_subsystem(frontend, vsm))
+        return BaselineResult(subsystems=subsystems, durations=self.durations)
+
+    # ------------------------------------------------------------------
+    # DBA
+    # ------------------------------------------------------------------
+    def dba(
+        self,
+        threshold: int,
+        variant: str = "M1",
+        baseline: BaselineResult | None = None,
+    ) -> DBAResult:
+        """One boosting pass at vote threshold ``threshold`` (§3 a–f).
+
+        Pseudo-labels are selected from the pooled (all-durations) test
+        set; each subsystem retrains once and rescores every duration.
+        """
+        baseline = baseline or self.baseline()
+        y_train = self.labels_for("train")
+        pooled_scores = baseline.pooled_test_scores()
+        vote_counts = vote_count_matrix(pooled_scores)
+        fit_counts = vote_fit_counts(pooled_scores)
+        pseudo = select_pseudo_labels(vote_counts, threshold)
+        subsystems: list[SubsystemScores] = []
+        for q, frontend in enumerate(self.frontends):
+            x_train = self.raw_matrix(frontend, "train")
+            x_test_pool = self.pooled_test_matrix(frontend)
+            x_dba, y_dba = build_dba_training_set(
+                variant, x_train, y_train, x_test_pool, pseudo
+            )
+            vsm = self._make_vsm(frontend, 100 + q)
+            with self.timer.stage("svm_training"):
+                vsm.fit_matrix(x_dba, y_dba)
+            subsystems.append(self._score_subsystem(frontend, vsm))
+        return DBAResult(
+            subsystems=subsystems,
+            durations=self.durations,
+            threshold=threshold,
+            variant=variant,
+            pseudo=pseudo,
+            vote_counts=vote_counts,
+            fit_counts=fit_counts,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation conveniences
+    # ------------------------------------------------------------------
+    def frontend_metrics(
+        self, result: SystemResult, duration: float
+    ) -> dict[str, tuple[float, float]]:
+        """Per-frontend calibrated (EER %, C_avg %) — Tables 2–4 cells."""
+        dev_labels = self.labels_for("dev")
+        test_labels = self.labels_for(f"test@{duration}")
+        out: dict[str, tuple[float, float]] = {}
+        for sub in result.subsystems:
+            calibrated = calibrate_scores(
+                [sub.dev], dev_labels, [sub.test[duration]], system=self.system
+            )
+            out[sub.name] = evaluate_scores(calibrated, test_labels)
+        return out
+
+    def fused_metrics(
+        self,
+        results: list[SystemResult],
+        duration: float,
+        *,
+        use_fit_count_weights: bool = True,
+    ) -> tuple[float, float]:
+        """Calibrated fusion of all subsystems of all ``results``.
+
+        For the paper's (DBA-M1)+(DBA-M2) row, pass both variants' results;
+        weights follow w_n = M_n/ΣM_m when fit counts are available.
+        """
+        fused = self.fused_scores(
+            results, duration, use_fit_count_weights=use_fit_count_weights
+        )
+        return evaluate_scores(fused, self.labels_for(f"test@{duration}"))
+
+    def fused_scores(
+        self,
+        results: list[SystemResult],
+        duration: float,
+        *,
+        use_fit_count_weights: bool = True,
+    ) -> np.ndarray:
+        """Calibrated fused test scores (for DET curves, Fig. 3)."""
+        dev_labels = self.labels_for("dev")
+        dev_list: list[np.ndarray] = []
+        test_list: list[np.ndarray] = []
+        counts: list[float] = []
+        for result in results:
+            for sub in result.subsystems:
+                dev_list.append(sub.dev)
+                test_list.append(sub.test[duration])
+            if isinstance(result, DBAResult) and result.fit_counts.size:
+                counts.extend(result.fit_counts.tolist())
+            else:
+                counts.extend([0.0] * len(result.subsystems))
+        weights = (
+            subsystem_weights(np.asarray(counts))
+            if use_fit_count_weights and any(c > 0 for c in counts)
+            else None
+        )
+        return calibrate_scores(
+            dev_list, dev_labels, test_list, system=self.system, weights=weights
+        )
+
+
+def build_system(
+    config: ExperimentConfig | None = None,
+    *,
+    timer: StageTimer | None = None,
+) -> PhonotacticSystem:
+    """Construct bundle + frontends + system from an experiment config."""
+    config = config or ExperimentConfig()
+    bundle = make_corpus_bundle(config.corpus)
+    frontends = build_frontends(
+        bundle, mode=config.frontend_mode, top_k=config.system.top_k
+    )
+    return PhonotacticSystem(
+        bundle, frontends, config.system, timer=timer
+    )

@@ -1,0 +1,132 @@
+"""Multi-seed replication of the headline result.
+
+A single synthetic corpus is one draw from the generator; any claim worth
+publishing should survive re-drawing the world.  :func:`replicate_headline`
+re-runs baseline-vs-DBA over several corpus seeds and summarises the
+per-duration EERs with mean ± standard deviation, plus the count of seeds
+where DBA won — the reproduction's error bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.config import ExperimentConfig, smoke_scale
+from repro.core.pipeline import build_system
+
+__all__ = ["ReplicationSummary", "replicate_headline"]
+
+
+@dataclass
+class ReplicationSummary:
+    """Per-seed and aggregated baseline-vs-DBA results.
+
+    ``per_seed[seed][duration]`` is ``(baseline_mean_eer, dba_mean_eer)``
+    in percent (mean over frontends).
+    """
+
+    threshold: int
+    variant: str
+    per_seed: dict[int, dict[float, tuple[float, float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def seeds(self) -> list[int]:
+        """Seeds replicated, in run order."""
+        return list(self.per_seed)
+
+    @property
+    def durations(self) -> list[float]:
+        """Durations covered (from the first seed)."""
+        first = next(iter(self.per_seed.values()))
+        return list(first)
+
+    def aggregate(self, duration: float) -> dict[str, float]:
+        """Mean/std of baseline and DBA EER plus DBA win count."""
+        base = np.array([self.per_seed[s][duration][0] for s in self.seeds])
+        dba = np.array([self.per_seed[s][duration][1] for s in self.seeds])
+        return {
+            "baseline_mean": float(base.mean()),
+            "baseline_std": float(base.std()),
+            "dba_mean": float(dba.mean()),
+            "dba_std": float(dba.std()),
+            "dba_wins": int(np.sum(dba < base)),
+            "n_seeds": int(base.size),
+        }
+
+    def to_text(self) -> str:
+        """Render the replication table."""
+        lines = [
+            f"DBA-{self.variant} V={self.threshold}, "
+            f"{len(self.seeds)} seeds ({', '.join(map(str, self.seeds))})",
+            f"{'dur':<6}{'baseline EER':>16}{'DBA EER':>16}{'DBA wins':>10}",
+        ]
+        for duration in self.durations:
+            agg = self.aggregate(duration)
+            lines.append(
+                f"{int(duration):>4}s "
+                f"{agg['baseline_mean']:>8.2f} ±{agg['baseline_std']:<5.2f} "
+                f"{agg['dba_mean']:>8.2f} ±{agg['dba_std']:<5.2f} "
+                f"{agg['dba_wins']:>5d}/{agg['n_seeds']}"
+            )
+        return "\n".join(lines)
+
+
+def replicate_headline(
+    seeds: tuple[int, ...] = (2009, 2010, 2011),
+    *,
+    config_factory: Callable[[int], ExperimentConfig] = smoke_scale,
+    threshold: int = 3,
+    variant: str = "M2",
+    progress: Callable[[str], None] | None = None,
+) -> ReplicationSummary:
+    """Baseline vs DBA mean-frontend EER across corpus seeds.
+
+    Parameters
+    ----------
+    seeds:
+        Corpus seeds; each builds an independent synthetic world.
+    config_factory:
+        Maps a seed to an :class:`ExperimentConfig`
+        (:func:`~repro.core.config.smoke_scale` by default).
+    threshold / variant:
+        The DBA operating point to replicate.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    say = progress or (lambda msg: None)
+    summary = ReplicationSummary(threshold=threshold, variant=variant)
+    for seed in seeds:
+        say(f"seed {seed}")
+        system = build_system(config_factory(seed))
+        baseline = system.baseline()
+        boosted = system.dba(threshold, variant, baseline)
+        per_duration: dict[float, tuple[float, float]] = {}
+        for duration in system.durations:
+            base_mean = float(
+                np.mean(
+                    [
+                        eer
+                        for eer, _ in system.frontend_metrics(
+                            baseline, duration
+                        ).values()
+                    ]
+                )
+            )
+            dba_mean = float(
+                np.mean(
+                    [
+                        eer
+                        for eer, _ in system.frontend_metrics(
+                            boosted, duration
+                        ).values()
+                    ]
+                )
+            )
+            per_duration[duration] = (base_mean, dba_mean)
+        summary.per_seed[seed] = per_duration
+    return summary

@@ -1,0 +1,116 @@
+"""Paper-layout report rendering.
+
+Formats experiment outputs in the row/column layouts of the paper's
+tables so results can be compared side by side: Table 2/3 (per-frontend
+V-sweeps), Table 4 (baseline vs DBA + fusion), and sweep-shape helpers.
+Table 1 rendering lives next to its analysis in
+:mod:`repro.core.analysis`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "AM_FAMILY",
+    "format_duration",
+    "format_dba_table",
+    "format_table4",
+    "has_interior_minimum",
+]
+
+#: Acoustic-model family of each paper frontend (Tables 2-4 row labels).
+AM_FAMILY = {
+    "HU": "ANN-HMM",
+    "RU": "ANN-HMM",
+    "CZ": "ANN-HMM",
+    "EN_DNN": "DNN-HMM",
+    "MA": "GMM-HMM",
+    "EN_GMM": "GMM-HMM",
+}
+
+
+def format_duration(duration: float) -> str:
+    """``30.0 -> "30s"``."""
+    return f"{int(duration)}s"
+
+
+def format_dba_table(
+    frontends: list[str],
+    durations: tuple[float, ...],
+    thresholds: tuple[int, ...],
+    baseline_cells: dict[tuple[str, float], tuple[float, float]],
+    dba_cells: dict[tuple[str, float, int], tuple[float, float]],
+) -> str:
+    """Render the paper's Table 2/3 layout.
+
+    ``baseline_cells`` maps (frontend, duration) and ``dba_cells`` maps
+    (frontend, duration, threshold) to (EER %, C_avg %).  The row minimum
+    is marked with ``*`` in place of the paper's bold face.
+    """
+    header = (
+        f"{'Front-end':<10}{'Dur':<6}{'':6}{'Baseline':>9}"
+        + "".join(f"{'V=' + str(v):>8}" for v in thresholds)
+    )
+    lines = [header, "-" * len(header)]
+    for name in frontends:
+        family = AM_FAMILY.get(name, "")
+        for duration in durations:
+            base = baseline_cells[(name, duration)]
+            sweep = [dba_cells[(name, duration, v)] for v in thresholds]
+            for row_idx, metric in enumerate(("EER", "Cavg")):
+                values = [base[row_idx]] + [cell[row_idx] for cell in sweep]
+                best = min(values)
+                rendered = "".join(
+                    f"{value:>7.2f}{'*' if value == best else ' '}"
+                    for value in values
+                )
+                label = f"{family} {name}" if row_idx == 0 else ""
+                lines.append(
+                    f"{label:<16}"
+                    f"{format_duration(duration) if row_idx == 0 else '':<6}"
+                    f"{metric:<5}" + rendered
+                )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_table4(
+    frontends: list[str],
+    durations: tuple[float, ...],
+    baseline_cells: dict[tuple[str, float], tuple[float, float]],
+    baseline_fused: dict[float, tuple[float, float]],
+    dba_cells: dict[tuple[str, float], tuple[float, float]],
+    dba_fused: dict[float, tuple[float, float]],
+) -> str:
+    """Render the paper's Table 4 layout (EER/C_avg in %)."""
+    header = f"{'System':<22}" + "".join(
+        f"{format_duration(d):>14}" for d in durations
+    )
+    lines = [header, "-" * len(header)]
+
+    def block(tag, cells, fused):
+        for name in frontends:
+            row = f"{tag + ' ' + AM_FAMILY.get(name, '') + ' ' + name:<22}"
+            for duration in durations:
+                eer, c_avg = cells[(name, duration)]
+                row += f"{eer:>6.2f}/{c_avg:<6.2f} "
+            lines.append(row)
+        row = f"{tag + ' fusion':<22}"
+        for duration in durations:
+            eer, c_avg = fused[duration]
+            row += f"{eer:>6.2f}/{c_avg:<6.2f} "
+        lines.append(row + "   <= fusion")
+        lines.append("")
+
+    block("base", baseline_cells, baseline_fused)
+    block("DBA ", dba_cells, dba_fused)
+    return "\n".join(lines)
+
+
+def has_interior_minimum(values: list[float]) -> bool:
+    """True if a V-sweep (ordered V = 6 … 1) attains its minimum strictly
+    inside the range — the paper's U-shape signature."""
+    values = list(values)
+    arg = int(np.argmin(values))
+    return 0 < arg < len(values) - 1

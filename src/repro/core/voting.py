@@ -1,0 +1,67 @@
+"""Subsystem voting on test utterances (paper Eqs. 10–13).
+
+A subsystem casts a vote for language k on test utterance j iff its SVM
+score for k is positive *and* every other language's score is negative
+(Eq. 13) — i.e. the utterance lies on the target side of exactly one
+one-vs-rest hyperplane, a high-confidence decision.  Vote counts over the
+Q subsystems form the matrix :math:`C_v` (Eqs. 10–12) from which DBA
+selects its pseudo-labelled training data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["subsystem_votes", "vote_count_matrix", "vote_fit_counts"]
+
+
+def subsystem_votes(scores: np.ndarray) -> np.ndarray:
+    """Vote matrix ``v_jk`` of one subsystem (Eq. 13), shape ``(m, K)`` bool.
+
+    ``v[j, k]`` is True iff ``scores[j, k] > 0`` and every other language's
+    score is ``< 0``; at most one vote per row by construction.
+    """
+    scores = check_matrix("scores", scores)
+    m, k = scores.shape
+    if k < 2:
+        raise ValueError("voting needs at least 2 languages")
+    top = np.argmax(scores, axis=1)
+    top_val = scores[np.arange(m), top]
+    # Second-best value: max after masking the winner out.
+    masked = scores.copy()
+    masked[np.arange(m), top] = -np.inf
+    second_val = masked.max(axis=1)
+    confident = (top_val > 0.0) & (second_val < 0.0)
+    votes = np.zeros((m, k), dtype=bool)
+    votes[np.arange(m)[confident], top[confident]] = True
+    return votes
+
+
+def vote_count_matrix(score_matrices: list[np.ndarray]) -> np.ndarray:
+    """Vote counts ``c_jk`` summed over subsystems (Eqs. 10–12).
+
+    Input: Q score matrices, each ``(m, K)``.  Output: integer ``(m, K)``.
+    """
+    if not score_matrices:
+        raise ValueError("need at least one subsystem's scores")
+    shape = score_matrices[0].shape
+    counts = np.zeros(shape, dtype=np.int64)
+    for scores in score_matrices:
+        if scores.shape != shape:
+            raise ValueError("all subsystems must score the same trials")
+        counts += subsystem_votes(scores)
+    return counts
+
+
+def vote_fit_counts(score_matrices: list[np.ndarray]) -> np.ndarray:
+    """Per-subsystem count ``M_n`` of test utterances that met Eq. 13.
+
+    Used for the fusion weights :math:`w_n = M_n / Σ_m M_m` (below
+    Eq. 15).
+    """
+    return np.array(
+        [int(subsystem_votes(s).any(axis=1).sum()) for s in score_matrices],
+        dtype=np.int64,
+    )

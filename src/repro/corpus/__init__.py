@@ -1,0 +1,38 @@
+"""Synthetic multilingual corpus substrate (NIST LRE 2009 substitute)."""
+
+from repro.corpus.acoustics import AcousticSpace
+from repro.corpus.features import FeaturePipeline, add_deltas, cmvn, delta
+from repro.corpus.generator import Corpus, Utterance, UtteranceGenerator
+from repro.corpus.language import (
+    LanguageRegistry,
+    LanguageSpec,
+    make_language,
+    make_language_family,
+)
+from repro.corpus.phoneset import PhoneSet, universal_phone_set
+from repro.corpus.speaker import Channel, Session, SessionSampler, Speaker
+from repro.corpus.splits import CorpusBundle, CorpusConfig, make_corpus_bundle
+
+__all__ = [
+    "AcousticSpace",
+    "Corpus",
+    "FeaturePipeline",
+    "add_deltas",
+    "cmvn",
+    "delta",
+    "Utterance",
+    "UtteranceGenerator",
+    "LanguageRegistry",
+    "LanguageSpec",
+    "make_language",
+    "make_language_family",
+    "PhoneSet",
+    "universal_phone_set",
+    "Channel",
+    "Session",
+    "SessionSampler",
+    "Speaker",
+    "CorpusBundle",
+    "CorpusConfig",
+    "make_corpus_bundle",
+]

@@ -1,0 +1,110 @@
+"""Synthetic acoustic feature space.
+
+The acoustic decoding path needs frame-level feature vectors.  Real systems
+extract PLP/MFCC frames from audio; the synthetic substitute places every
+*universal phone* at a fixed mean in a ``D``-dimensional feature space
+(analogous to a 13-dim PLP + deltas layout, default ``D = 13``) and emits
+frames as that mean plus within-phone AR(1)-correlated deviation, then
+applies the session transform (speaker offset, channel tilt/gain, additive
+noise).
+
+Because phone means are shared across languages, a recognizer trained on
+language A's data can decode language B's utterances — exactly the
+"language-independent acoustic model, language-specific phonotactics"
+premise of PPRVSM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.generator import Utterance
+from repro.corpus.phoneset import PhoneSet
+from repro.utils.rng import child_rng, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["AcousticSpace"]
+
+
+class AcousticSpace:
+    """Maps phones to synthetic feature-frame distributions.
+
+    Parameters
+    ----------
+    phone_set:
+        Universal phone inventory; one mean vector is created per phone.
+    feature_dim:
+        Dimensionality of the feature frames.
+    separation:
+        Scale of phone means; relative to the within-phone deviation
+        (fixed at 1.0) this sets intrinsic phone confusability.
+    ar_coeff:
+        AR(1) coefficient of the within-phone deviation process, giving
+        frames realistic temporal correlation.
+    seed:
+        Seed fixing the phone means (a corpus-level constant).
+    """
+
+    def __init__(
+        self,
+        phone_set: PhoneSet,
+        *,
+        feature_dim: int = 13,
+        separation: float = 2.2,
+        ar_coeff: float = 0.55,
+        seed: int = 0,
+    ) -> None:
+        check_positive("feature_dim", feature_dim)
+        check_positive("separation", separation)
+        if not 0.0 <= ar_coeff < 1.0:
+            raise ValueError("ar_coeff must be in [0, 1)")
+        self.phone_set = phone_set
+        self.feature_dim = int(feature_dim)
+        self.separation = separation
+        self.ar_coeff = ar_coeff
+        rng = child_rng(seed, "acoustics/means")
+        self.phone_means = rng.normal(
+            0.0, separation / np.sqrt(feature_dim), size=(len(phone_set), feature_dim)
+        ) * np.sqrt(feature_dim)
+        # Mild per-phone anisotropy: each phone has its own diagonal std.
+        self.phone_stds = 1.0 + 0.2 * rng.random((len(phone_set), feature_dim))
+
+    def n_phones(self) -> int:
+        """Number of phones with emission models."""
+        return len(self.phone_set)
+
+    def frame_means(self, utterance: Utterance) -> np.ndarray:
+        """Clean per-frame means, shape ``(n_frames, D)`` (no session/noise)."""
+        reps = utterance.phone_frames
+        return np.repeat(self.phone_means[utterance.phones], reps, axis=0)
+
+    def frame_labels(self, utterance: Utterance) -> np.ndarray:
+        """True universal phone id of every frame, shape ``(n_frames,)``."""
+        return np.repeat(utterance.phones, utterance.phone_frames)
+
+    def emit(
+        self, utterance: Utterance, rng: np.random.Generator | int | None
+    ) -> np.ndarray:
+        """Render an utterance to feature frames, shape ``(n_frames, D)``.
+
+        Deviation within each phone follows an AR(1) process so adjacent
+        frames are correlated, as in real speech features; the session's
+        speaker/channel/noise transform is applied last.
+        """
+        rng = ensure_rng(rng)
+        means = self.frame_means(utterance)
+        stds = np.repeat(
+            self.phone_stds[utterance.phones], utterance.phone_frames, axis=0
+        )
+        t = means.shape[0]
+        innov_scale = np.sqrt(1.0 - self.ar_coeff**2)
+        innovations = rng.normal(0.0, 1.0, size=(t, self.feature_dim))
+        deviation = np.empty_like(innovations)
+        if t > 0:
+            deviation[0] = innovations[0]
+            for i in range(1, t):
+                deviation[i] = (
+                    self.ar_coeff * deviation[i - 1] + innov_scale * innovations[i]
+                )
+        frames = means + stds * deviation
+        return utterance.session.transform_frames(frames, rng)

@@ -1,0 +1,102 @@
+"""Frame-level feature post-processing: deltas and CMVN.
+
+The paper's acoustic models consume "13-dimensional PLP features plus
+their first order and second order derivatives", normalised "to have zero
+mean and unit variance based on conversation-side information" (§4.1 b)
+and apply "cepstral mean subtraction and variance normalization" (§4.1 c).
+These transforms are implemented here for the synthetic feature frames:
+
+- :func:`delta` — regression-based time derivatives (the standard HTK
+  delta formula over a ±width window);
+- :func:`add_deltas` — stack the statics with Δ and ΔΔ;
+- :func:`cmvn` — per-utterance (= conversation-side, in this corpus) mean
+  and variance normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["delta", "add_deltas", "cmvn", "FeaturePipeline"]
+
+
+def delta(features: np.ndarray, width: int = 2) -> np.ndarray:
+    """HTK-style regression deltas over a ±``width`` frame window.
+
+    .. math:: d_t = \\frac{\\sum_{k=1}^{W} k (x_{t+k} - x_{t-k})}
+                         {2 \\sum_{k=1}^{W} k^2}
+
+    Edges are handled by repeating the first/last frame (HTK behaviour).
+    """
+    check_positive("width", width)
+    x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    t = x.shape[0]
+    if t == 0:
+        return x.copy()
+    denom = 2.0 * sum(k * k for k in range(1, width + 1))
+    out = np.zeros_like(x)
+    for k in range(1, width + 1):
+        plus = x[np.minimum(np.arange(t) + k, t - 1)]
+        minus = x[np.maximum(np.arange(t) - k, 0)]
+        out += k * (plus - minus)
+    return out / denom
+
+
+def add_deltas(features: np.ndarray, order: int = 2, width: int = 2) -> np.ndarray:
+    """Stack static features with their first ``order`` derivatives.
+
+    ``order=2`` reproduces the paper's 13 → 39-dimensional layout.
+    """
+    if order < 0:
+        raise ValueError("order must be non-negative")
+    blocks = [np.atleast_2d(np.asarray(features, dtype=np.float64))]
+    for _ in range(order):
+        blocks.append(delta(blocks[-1], width=width))
+    return np.hstack(blocks)
+
+
+def cmvn(
+    features: np.ndarray, *, variance: bool = True, eps: float = 1e-8
+) -> np.ndarray:
+    """Per-utterance cepstral mean (and variance) normalisation."""
+    x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    if x.shape[0] == 0:
+        return x.copy()
+    out = x - x.mean(axis=0, keepdims=True)
+    if variance:
+        out = out / np.sqrt(x.var(axis=0, keepdims=True) + eps)
+    return out
+
+
+class FeaturePipeline:
+    """A named composition of the standard transforms.
+
+    Modes: ``"none"``, ``"cmvn"``, ``"deltas"``, ``"cmvn+deltas"`` (CMVN on
+    statics, then Δ/ΔΔ stacking — the paper's §4.1 b recipe).
+    """
+
+    MODES = ("none", "cmvn", "deltas", "cmvn+deltas")
+
+    def __init__(self, mode: str = "none", *, delta_order: int = 2) -> None:
+        check_in("mode", mode, self.MODES)
+        self.mode = mode
+        self.delta_order = int(delta_order)
+
+    def output_dim(self, input_dim: int) -> int:
+        """Feature dimensionality after the pipeline."""
+        if "deltas" in self.mode:
+            return input_dim * (1 + self.delta_order)
+        return input_dim
+
+    def __call__(self, features: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        if self.mode in ("cmvn", "cmvn+deltas"):
+            x = cmvn(x)
+        if self.mode in ("deltas", "cmvn+deltas"):
+            x = add_deltas(x, order=self.delta_order)
+        return x
+
+    def __repr__(self) -> str:
+        return f"FeaturePipeline(mode={self.mode!r}, delta_order={self.delta_order})"

@@ -1,0 +1,142 @@
+"""Phone inventories.
+
+The reproduction uses a single *universal* phone inventory — a synthetic
+analogue of a cross-language IPA subset — from which every synthetic
+language draws its own phonology, and onto which every phone recognizer
+projects its own (smaller, language-specific) decoding inventory.  The
+paper's recognizers have inventories of 43 (Czech), 59 (Hungarian),
+50 (Russian), 47 (English) and 64 (Mandarin) phones; those sizes are kept
+verbatim in :mod:`repro.frontend.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["PhoneSet", "universal_phone_set", "UNIVERSAL_SIZE"]
+
+# A compact synthetic-IPA base inventory: plosives, fricatives, nasals,
+# liquids/glides, and a vowel grid.  Together with the numbered extensions
+# below this yields the 80-phone universal set.
+_BASE_SYMBOLS = [
+    # plosives
+    "p", "b", "t", "d", "k", "g", "q", "c",
+    # affricates
+    "ts", "dz", "tS", "dZ",
+    # fricatives
+    "f", "v", "s", "z", "S", "Z", "x", "G", "h", "T", "D",
+    # nasals
+    "m", "n", "N", "J",
+    # liquids / glides
+    "l", "r", "R", "j", "w", "L",
+    # front vowels
+    "i", "I", "e", "E", "y", "2",
+    # central vowels
+    "@", "3", "a", "A",
+    # back vowels
+    "u", "U", "o", "O", "V", "Q",
+    # diphthong-ish units
+    "aI", "aU", "eI", "oU", "OI",
+    # tones / length-marked vowels (Mandarin-style analogues)
+    "a1", "a2", "a3", "a4", "i1", "i2", "u1", "u2",
+    # syllabics & rare consonants
+    "r=", "l=", "n=", "B", "P", "K",
+]
+
+#: Size of the universal inventory every language/recognizer derives from.
+UNIVERSAL_SIZE = 80
+
+
+@dataclass(frozen=True)
+class PhoneSet:
+    """An ordered, immutable collection of phone symbols.
+
+    Phones are addressed by integer id (their index) throughout the hot
+    paths; symbols exist for debuggability and pretty-printing.
+    """
+
+    name: str
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError(f"phone set {self.name!r} has duplicate symbols")
+        if not self.symbols:
+            raise ValueError(f"phone set {self.name!r} is empty")
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self.symbols
+
+    def index(self, symbol: str) -> int:
+        """Integer id of ``symbol`` (raises ``ValueError`` if absent)."""
+        try:
+            return self.symbols.index(symbol)
+        except ValueError:
+            raise ValueError(
+                f"phone {symbol!r} not in phone set {self.name!r}"
+            ) from None
+
+    def symbol(self, phone_id: int) -> str:
+        """Symbol of phone ``phone_id``."""
+        return self.symbols[phone_id]
+
+    def subset(self, name: str, ids: np.ndarray) -> "PhoneSet":
+        """A new phone set containing the given universal ids, in order."""
+        return PhoneSet(name, tuple(self.symbols[int(i)] for i in ids))
+
+
+def universal_phone_set(size: int = UNIVERSAL_SIZE) -> PhoneSet:
+    """Return the universal inventory of ``size`` phones.
+
+    Sizes beyond the named base symbols are filled with numbered
+    placeholders so experiments can scale the inventory if desired.
+    """
+    if size < 2:
+        raise ValueError(f"universal inventory needs >= 2 phones, got {size}")
+    symbols = list(_BASE_SYMBOLS[:size])
+    next_id = 0
+    while len(symbols) < size:
+        candidate = f"x{next_id}"
+        if candidate not in symbols:
+            symbols.append(candidate)
+        next_id += 1
+    return PhoneSet("universal", tuple(symbols))
+
+
+def sample_inventory(
+    universal: PhoneSet,
+    size: int,
+    rng: np.random.Generator | int | None,
+    *,
+    core_fraction: float = 0.5,
+) -> np.ndarray:
+    """Sample a language inventory (universal phone ids) of ``size`` phones.
+
+    The first ``core_fraction`` of the universal set is treated as
+    cross-linguistically common (all languages share most of it), mirroring
+    the fact that real languages overlap heavily in their core consonants
+    and vowels; the remainder is sampled uniformly.  Returns a sorted id
+    array.
+    """
+    rng = ensure_rng(rng)
+    n_universal = len(universal)
+    if not 1 <= size <= n_universal:
+        raise ValueError(
+            f"inventory size must be in [1, {n_universal}], got {size}"
+        )
+    n_core = int(round(core_fraction * n_universal))
+    core = np.arange(n_core)
+    if size <= n_core:
+        chosen = rng.choice(core, size=size, replace=False)
+    else:
+        periphery = np.arange(n_core, n_universal)
+        extra = rng.choice(periphery, size=size - n_core, replace=False)
+        chosen = np.concatenate([core, extra])
+    return np.sort(chosen.astype(np.int64))

@@ -1,0 +1,32 @@
+"""Acoustic models: diagonal GMMs, numpy MLPs, phone HMM sets."""
+
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.frontend.am.hmm import (
+    EmissionModel,
+    GMMEmission,
+    NeuralEmission,
+    PhoneHMMSet,
+    uniform_state_alignment,
+)
+from repro.frontend.am.mlp import MLPClassifier, MLPConfig
+from repro.frontend.am.train import (
+    chain_states,
+    force_align,
+    occupation_posteriors,
+    realign_emissions,
+)
+
+__all__ = [
+    "DiagonalGMM",
+    "EmissionModel",
+    "GMMEmission",
+    "NeuralEmission",
+    "PhoneHMMSet",
+    "uniform_state_alignment",
+    "MLPClassifier",
+    "MLPConfig",
+    "chain_states",
+    "force_align",
+    "occupation_posteriors",
+    "realign_emissions",
+]

@@ -1,0 +1,194 @@
+"""Feed-forward neural acoustic models ("ANN" and "DNN") in pure numpy.
+
+The paper's diversified frontends include ANN-HMM recognizers (BUT TRAPs,
+one hidden layer) and a DNN-HMM recognizer (Tsinghua, multiple sigmoid
+layers, frame-classification training with a halving learning-rate
+schedule — §4.1b).  This module implements the shared machinery: a
+fully-connected network with sigmoid/tanh/ReLU hidden units and a softmax
+output over HMM states, trained by mini-batch SGD with momentum on
+frame-level state targets, with the paper's "halve the learning rate when
+dev frame accuracy drops" schedule.
+
+In the hybrid HMM decoder the network's state posteriors are converted to
+scaled likelihoods by dividing by state priors (Dahl et al. 2012).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["MLPClassifier", "MLPConfig"]
+
+
+def _activation(name: str):
+    if name == "sigmoid":
+        return (
+            lambda z: 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60))),
+            lambda a: a * (1.0 - a),
+        )
+    if name == "tanh":
+        return (np.tanh, lambda a: 1.0 - a * a)
+    if name == "relu":
+        return (lambda z: np.maximum(z, 0.0), lambda a: (a > 0).astype(a.dtype))
+    raise ValueError(f"unknown activation {name!r}")
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Hyper-parameters of the frame classifier.
+
+    ``hidden_sizes`` of length 1 gives the "ANN" family; length >= 2 gives
+    the "DNN" family.  ``learning_rate`` defaults to the paper's 0.2
+    fine-tuning rate.
+    """
+
+    hidden_sizes: tuple[int, ...] = (64,)
+    activation: str = "sigmoid"
+    learning_rate: float = 0.2
+    momentum: float = 0.5
+    batch_size: int = 128
+    n_epochs: int = 8
+    l2: float = 1e-5
+    lr_halving: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.hidden_sizes or any(h <= 0 for h in self.hidden_sizes):
+            raise ValueError("hidden_sizes must be positive and non-empty")
+        check_in("activation", self.activation, ["sigmoid", "tanh", "relu"])
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("batch_size", self.batch_size)
+        check_positive("n_epochs", self.n_epochs)
+
+
+class MLPClassifier:
+    """Softmax frame classifier trained with backprop SGD."""
+
+    def __init__(self, config: MLPConfig | None = None) -> None:
+        self.config = config or MLPConfig()
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        self.n_classes: int | None = None
+        self._act, self._dact = _activation(self.config.activation)
+
+    # ------------------------------------------------------------------
+    # forward
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if not self.weights:
+            raise RuntimeError("MLP is not fitted")
+
+    def _forward(self, x: np.ndarray) -> list[np.ndarray]:
+        """Layer activations, input first, softmax probabilities last."""
+        acts = [x]
+        h = x
+        for w, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = self._act(h @ w + b)
+            acts.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        logits -= logits.max(axis=1, keepdims=True)
+        probs = np.exp(logits)
+        probs /= probs.sum(axis=1, keepdims=True)
+        acts.append(probs)
+        return acts
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class posteriors, shape ``(T, K)``."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return self._forward(x)[-1]
+
+    def predict_log_proba(self, x: np.ndarray) -> np.ndarray:
+        """Log class posteriors, floored away from ``-inf``."""
+        return np.log(np.maximum(self.predict_proba(x), 1e-30))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class decisions."""
+        return np.argmax(self.predict_proba(x), axis=1)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _init_weights(
+        self, n_in: int, n_out: int, rng: np.random.Generator
+    ) -> None:
+        sizes = [n_in, *self.config.hidden_sizes, n_out]
+        self.weights = []
+        self.biases = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            # Glorot-scaled init keeps sigmoid nets trainable without
+            # layer-wise pretraining at these depths.
+            scale = np.sqrt(6.0 / (a + b))
+            self.weights.append(rng.uniform(-scale, scale, size=(a, b)))
+            self.biases.append(np.zeros(b))
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        rng: np.random.Generator | int | None = 0,
+        dev: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> "MLPClassifier":
+        """Train on frames ``x`` with integer state targets ``y``.
+
+        If a ``dev`` (frames, targets) pair is given and ``lr_halving`` is
+        enabled, the learning rate is halved whenever dev frame accuracy
+        fails to improve after an epoch — the schedule described in §4.1b.
+        """
+        rng = ensure_rng(rng)
+        cfg = self.config
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (x.shape[0],):
+            raise ValueError("y must be 1-D with one target per frame")
+        if y.min() < 0:
+            raise ValueError("targets must be non-negative")
+        self.n_classes = int(y.max()) + 1
+        self._init_weights(x.shape[1], self.n_classes, rng)
+        velocity_w = [np.zeros_like(w) for w in self.weights]
+        velocity_b = [np.zeros_like(b) for b in self.biases]
+        lr = cfg.learning_rate
+        best_dev_acc = -1.0
+        n = x.shape[0]
+        for _epoch in range(cfg.n_epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, cfg.batch_size):
+                batch = order[lo : lo + cfg.batch_size]
+                xb, yb = x[batch], y[batch]
+                acts = self._forward(xb)
+                # Softmax cross-entropy gradient at the output.
+                delta = acts[-1].copy()
+                delta[np.arange(len(batch)), yb] -= 1.0
+                delta /= len(batch)
+                for layer in range(len(self.weights) - 1, -1, -1):
+                    grad_w = acts[layer].T @ delta + cfg.l2 * self.weights[layer]
+                    grad_b = delta.sum(axis=0)
+                    if layer > 0:
+                        # Propagate through the PRE-update weights.
+                        delta = (delta @ self.weights[layer].T) * self._dact(
+                            acts[layer]
+                        )
+                    velocity_w[layer] = (
+                        cfg.momentum * velocity_w[layer] - lr * grad_w
+                    )
+                    velocity_b[layer] = (
+                        cfg.momentum * velocity_b[layer] - lr * grad_b
+                    )
+                    self.weights[layer] += velocity_w[layer]
+                    self.biases[layer] += velocity_b[layer]
+            if dev is not None and cfg.lr_halving:
+                acc = float(np.mean(self.predict(dev[0]) == dev[1]))
+                if acc <= best_dev_acc:
+                    lr *= 0.5
+                else:
+                    best_dev_acc = acc
+        return self
+
+    def frame_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Fraction of frames classified correctly."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))

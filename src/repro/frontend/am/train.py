@@ -1,0 +1,233 @@
+"""HMM training machinery: forced alignment, Baum–Welch statistics,
+embedded realignment.
+
+The synthetic corpus provides exact phone segmentations, so flat-start
+supervised training works out of the box — but the paper's acoustic
+models are trained the real way: maximum-likelihood HMM training with
+alignments *estimated by the model itself* ("the ML-trained model is used
+to generate state-aligned transcriptions", §4.1 b).  This module supplies
+that layer:
+
+- :func:`force_align` — Viterbi alignment of frames against a *known*
+  phone sequence (the HVite -a mode): returns per-frame composite-state
+  labels;
+- :func:`occupation_posteriors` — full forward–backward over the
+  constrained chain, returning per-frame state occupation γ for weighted
+  (Baum–Welch) emission updates;
+- :func:`realign_emissions` — embedded Viterbi training: iterate
+  (align → refit emissions) from any starting emission model.
+
+All DP loops are vectorized over the linear state chain so a 600-frame
+utterance aligns in a few hundred microseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.frontend.am.hmm import EmissionModel, GMMEmission
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = [
+    "chain_states",
+    "force_align",
+    "occupation_posteriors",
+    "realign_emissions",
+]
+
+_NEG_INF = -np.inf
+
+
+def chain_states(
+    local_phones: np.ndarray, states_per_phone: int
+) -> np.ndarray:
+    """Composite-state ids of the left-to-right chain for a phone string.
+
+    Phone sequence ``[p1, p2]`` with 2 states/phone yields
+    ``[2*p1, 2*p1+1, 2*p2, 2*p2+1]``.
+    """
+    check_positive("states_per_phone", states_per_phone)
+    phones = np.asarray(local_phones, dtype=np.int64)
+    return (
+        phones[:, None] * states_per_phone
+        + np.arange(states_per_phone)[None, :]
+    ).ravel()
+
+
+def _chain_log_likelihood(
+    log_likelihood: np.ndarray, chain: np.ndarray
+) -> np.ndarray:
+    """Gather the (T, N_chain) scores of the chain's states."""
+    return log_likelihood[:, chain]
+
+
+def force_align(
+    log_likelihood: np.ndarray,
+    local_phones: np.ndarray,
+    states_per_phone: int,
+    *,
+    self_loop: float = 0.55,
+) -> np.ndarray:
+    """Viterbi-align frames to a known phone sequence.
+
+    Parameters
+    ----------
+    log_likelihood:
+        Emission scores over *composite* states, shape ``(T, n_states)``
+        (from :meth:`EmissionModel.frame_log_likelihood`).
+    local_phones:
+        The utterance's known phone sequence (recognizer-local ids).
+    states_per_phone:
+        Left-to-right states per phone.
+    self_loop:
+        Within-state self-loop probability.
+
+    Returns
+    -------
+    Per-frame composite-state labels, shape ``(T,)``.
+
+    Raises
+    ------
+    ValueError
+        If the utterance is shorter than the chain (alignment infeasible).
+    """
+    check_probability("self_loop", self_loop)
+    chain = chain_states(local_phones, states_per_phone)
+    n = chain.size
+    t_total = log_likelihood.shape[0]
+    if n == 0:
+        raise ValueError("cannot align an empty phone sequence")
+    if t_total < n:
+        raise ValueError(
+            f"utterance of {t_total} frames cannot traverse a chain of "
+            f"{n} states"
+        )
+    scores = _chain_log_likelihood(log_likelihood, chain)
+    log_self = float(np.log(self_loop))
+    log_adv = float(np.log1p(-self_loop))
+    delta = np.full(n, _NEG_INF)
+    delta[0] = scores[0, 0]
+    advanced = np.zeros((t_total, n), dtype=bool)
+    for t in range(1, t_total):
+        stay = delta + log_self
+        adv = np.full(n, _NEG_INF)
+        adv[1:] = delta[:-1] + log_adv
+        take_adv = adv > stay
+        delta = np.where(take_adv, adv, stay) + scores[t]
+        advanced[t] = take_adv
+    if not np.isfinite(delta[n - 1]):
+        raise ValueError("alignment infeasible (no path reaches the end)")
+    # Backtrace from the final chain state.
+    path = np.empty(t_total, dtype=np.int64)
+    j = n - 1
+    for t in range(t_total - 1, -1, -1):
+        path[t] = j
+        if t > 0 and advanced[t, j]:
+            j -= 1
+    return chain[path]
+
+
+def occupation_posteriors(
+    log_likelihood: np.ndarray,
+    local_phones: np.ndarray,
+    states_per_phone: int,
+    *,
+    self_loop: float = 0.55,
+) -> np.ndarray:
+    """Forward–backward state occupation γ over the constrained chain.
+
+    Returns a dense ``(T, n_states)`` matrix of posteriors over the
+    *composite* state space (zero outside the chain) — the Baum–Welch
+    E-step statistics for emission re-estimation.
+    """
+    check_probability("self_loop", self_loop)
+    chain = chain_states(local_phones, states_per_phone)
+    n = chain.size
+    t_total, n_states = log_likelihood.shape
+    if t_total < n:
+        raise ValueError("utterance shorter than the chain")
+    scores = _chain_log_likelihood(log_likelihood, chain)
+    log_self = float(np.log(self_loop))
+    log_adv = float(np.log1p(-self_loop))
+
+    alpha = np.full((t_total, n), _NEG_INF)
+    alpha[0, 0] = scores[0, 0]
+    for t in range(1, t_total):
+        stay = alpha[t - 1] + log_self
+        adv = np.full(n, _NEG_INF)
+        adv[1:] = alpha[t - 1, :-1] + log_adv
+        alpha[t] = np.logaddexp(stay, adv) + scores[t]
+    beta = np.full((t_total, n), _NEG_INF)
+    beta[t_total - 1, n - 1] = 0.0
+    for t in range(t_total - 2, -1, -1):
+        nxt = beta[t + 1] + scores[t + 1]
+        stay = nxt + log_self
+        adv = np.full(n, _NEG_INF)
+        adv[:-1] = nxt[1:] + log_adv
+        beta[t] = np.logaddexp(stay, adv)
+    log_gamma = alpha + beta
+    z = log_gamma[t_total - 1, n - 1]
+    if not np.isfinite(z):
+        raise ValueError("forward-backward infeasible for this chain")
+    with np.errstate(under="ignore"):
+        gamma_chain = np.exp(log_gamma - z)
+    # Normalise per frame (numerical safety) and scatter to full space.
+    gamma_chain /= np.maximum(gamma_chain.sum(axis=1, keepdims=True), 1e-300)
+    gamma = np.zeros((t_total, n_states))
+    np.add.at(gamma.T, chain, gamma_chain.T)
+    return gamma
+
+
+def realign_emissions(
+    frames_list: list[np.ndarray],
+    phone_seqs: list[np.ndarray],
+    emission: EmissionModel,
+    n_phones: int,
+    states_per_phone: int,
+    *,
+    n_iterations: int = 1,
+    self_loop: float = 0.55,
+    gmm_components: int = 4,
+    seed: int = 0,
+) -> tuple[GMMEmission, list[np.ndarray]]:
+    """Embedded Viterbi training: iterate (force-align → refit GMMs).
+
+    Parameters
+    ----------
+    frames_list / phone_seqs:
+        Per-utterance feature frames and known local phone sequences.
+    emission:
+        The starting emission model (e.g. a flat-start
+        :class:`~repro.frontend.am.hmm.GMMEmission`).
+
+    Returns
+    -------
+    (refitted GMM emission, final per-utterance state alignments).
+    """
+    if len(frames_list) != len(phone_seqs):
+        raise ValueError("frames and phone sequences must align")
+    check_positive("n_iterations", n_iterations)
+    n_states = n_phones * states_per_phone
+    current: EmissionModel = emission
+    alignments: list[np.ndarray] = []
+    for _ in range(n_iterations):
+        all_frames, all_labels = [], []
+        alignments = []
+        for frames, phones in zip(frames_list, phone_seqs):
+            loglik = current.frame_log_likelihood(frames)
+            labels = force_align(
+                loglik, phones, states_per_phone, self_loop=self_loop
+            )
+            alignments.append(labels)
+            all_frames.append(frames)
+            all_labels.append(labels)
+        current = GMMEmission.train(
+            np.vstack(all_frames),
+            np.concatenate(all_labels),
+            n_states,
+            n_components=gmm_components,
+            seed=seed,
+        )
+    assert isinstance(current, GMMEmission)
+    return current, alignments

@@ -1,0 +1,23 @@
+"""Evaluation metrics: EER, NIST LRE 2009 C_avg, DET curves."""
+
+from repro.metrics.cavg import cavg, min_cavg
+from repro.metrics.det import det_curve, det_points_probit, render_det_ascii
+from repro.metrics.eer import eer_from_matrix, equal_error_rate, split_trials
+from repro.metrics.per import EditCounts, levenshtein_alignment, phone_error_rate
+from repro.metrics.svg import det_curves_svg, save_det_svg
+
+__all__ = [
+    "cavg",
+    "min_cavg",
+    "det_curve",
+    "det_points_probit",
+    "render_det_ascii",
+    "eer_from_matrix",
+    "equal_error_rate",
+    "split_trials",
+    "EditCounts",
+    "levenshtein_alignment",
+    "phone_error_rate",
+    "det_curves_svg",
+    "save_det_svg",
+]

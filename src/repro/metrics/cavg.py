@@ -1,0 +1,112 @@
+r"""NIST LRE 2009 average detection cost (C_avg).
+
+Following the LRE 2009 evaluation plan (Martin & Greenberg 2010), the cost
+of a closed-set system is averaged over target languages:
+
+.. math::
+
+    C_{avg} = \frac1K \sum_{k}\Big[ C_{miss} P_{tar} P_{miss}(k)
+        + \sum_{j \ne k} \frac{C_{fa}(1 - P_{tar})}{K-1} P_{fa}(k, j) \Big]
+
+with :math:`C_{miss} = C_{fa} = 1` and :math:`P_{tar} = 0.5`.
+``P_miss(k)`` is the fraction of language-k utterances whose k-detector
+score falls below the decision threshold; ``P_fa(k, j)`` the fraction of
+language-j utterances accepted by the k-detector.  With well-calibrated
+scores the natural threshold is 0; :func:`min_cavg` additionally reports
+the threshold-optimised value (the calibration-free lower bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.eer import split_trials
+from repro.utils.validation import check_matrix
+
+__all__ = ["cavg", "min_cavg"]
+
+
+def _cavg_at_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    threshold: float,
+    p_target: float,
+    c_miss: float,
+    c_fa: float,
+) -> float:
+    m, k = scores.shape
+    decisions = scores >= threshold
+    total = 0.0
+    for tgt in range(k):
+        is_tgt = labels == tgt
+        n_tgt = int(is_tgt.sum())
+        p_miss = (
+            float((~decisions[is_tgt, tgt]).sum()) / n_tgt if n_tgt else 0.0
+        )
+        fa_sum = 0.0
+        for other in range(k):
+            if other == tgt:
+                continue
+            is_other = labels == other
+            n_other = int(is_other.sum())
+            p_fa = (
+                float(decisions[is_other, tgt].sum()) / n_other
+                if n_other
+                else 0.0
+            )
+            fa_sum += p_fa
+        total += c_miss * p_target * p_miss + (
+            c_fa * (1.0 - p_target) / (k - 1)
+        ) * fa_sum
+    return total / k
+
+
+def cavg(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    *,
+    threshold: float = 0.0,
+    p_target: float = 0.5,
+    c_miss: float = 1.0,
+    c_fa: float = 1.0,
+) -> float:
+    """C_avg of a ``(m, K)`` score matrix at a fixed decision threshold."""
+    scores = check_matrix("scores", scores)
+    labels = np.asarray(labels, dtype=np.int64)
+    if scores.shape[1] < 2:
+        raise ValueError("C_avg needs at least 2 languages")
+    if labels.shape != (scores.shape[0],):
+        raise ValueError("labels must align with score rows")
+    return _cavg_at_threshold(scores, labels, threshold, p_target, c_miss, c_fa)
+
+
+def min_cavg(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    *,
+    p_target: float = 0.5,
+    c_miss: float = 1.0,
+    c_fa: float = 1.0,
+    n_grid: int = 200,
+) -> float:
+    """Threshold-optimised C_avg (a calibration-independent summary).
+
+    The threshold grid spans the pooled score range; the reported value is
+    the minimum cost over the grid (plus the fixed-0 point).
+    """
+    scores = check_matrix("scores", scores)
+    labels = np.asarray(labels, dtype=np.int64)
+    tar, non = split_trials(scores, labels)
+    lo = float(min(tar.min(), non.min()))
+    hi = float(max(tar.max(), non.max()))
+    grid = np.linspace(lo, hi, max(2, n_grid))
+    grid = np.append(grid, 0.0)
+    best = np.inf
+    for threshold in grid:
+        best = min(
+            best,
+            _cavg_at_threshold(
+                scores, labels, float(threshold), p_target, c_miss, c_fa
+            ),
+        )
+    return float(best)

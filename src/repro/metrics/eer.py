@@ -1,0 +1,72 @@
+"""Equal error rate for language-detection score matrices.
+
+NIST LRE treats language recognition as K parallel detection tasks: every
+(utterance, language) pair is a *trial*, a target trial when the utterance
+truly is that language.  Pooling all trials' scores gives the detection
+score sets from which EER — the operating point where false-alarm and miss
+rates are equal — is interpolated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_matrix
+
+__all__ = ["split_trials", "equal_error_rate", "eer_from_matrix"]
+
+
+def split_trials(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split a ``(m, K)`` score matrix into target / non-target scores."""
+    scores = check_matrix("scores", scores)
+    labels = np.asarray(labels, dtype=np.int64)
+    m, k = scores.shape
+    if labels.shape != (m,):
+        raise ValueError("labels must have one entry per utterance")
+    if labels.size and (labels.min() < 0 or labels.max() >= k):
+        raise ValueError("label out of range for score matrix width")
+    mask = np.zeros((m, k), dtype=bool)
+    mask[np.arange(m), labels] = True
+    return scores[mask], scores[~mask]
+
+
+def equal_error_rate(
+    target_scores: np.ndarray, nontarget_scores: np.ndarray
+) -> float:
+    """EER of pooled detection scores, in [0, 1].
+
+    Sweeps the threshold over the pooled score set; between grid points the
+    crossing of miss and false-alarm rates is linearly interpolated.
+    """
+    tar = np.sort(np.asarray(target_scores, dtype=np.float64))
+    non = np.sort(np.asarray(nontarget_scores, dtype=np.float64))
+    if tar.size == 0 or non.size == 0:
+        raise ValueError("need both target and non-target scores")
+    # Candidate thresholds: all scores.  At threshold t (accept if
+    # score >= t): P_miss = frac(tar < t), P_fa = frac(non >= t).
+    thresholds = np.unique(np.concatenate([tar, non]))
+    p_miss = np.searchsorted(tar, thresholds, side="left") / tar.size
+    p_fa = 1.0 - np.searchsorted(non, thresholds, side="left") / non.size
+    diff = p_miss - p_fa
+    idx = int(np.searchsorted(diff > 0, True))  # first threshold with miss > fa
+    if idx == 0:
+        return float((p_miss[0] + p_fa[0]) / 2.0)
+    if idx >= thresholds.size:
+        return float((p_miss[-1] + p_fa[-1]) / 2.0)
+    # Linear interpolation of the crossing between idx-1 and idx.
+    d0, d1 = diff[idx - 1], diff[idx]
+    if d1 == d0:
+        frac = 0.5
+    else:
+        frac = -d0 / (d1 - d0)
+    miss = p_miss[idx - 1] + frac * (p_miss[idx] - p_miss[idx - 1])
+    fa = p_fa[idx - 1] + frac * (p_fa[idx] - p_fa[idx - 1])
+    return float((miss + fa) / 2.0)
+
+
+def eer_from_matrix(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Pooled EER of a ``(m, K)`` score matrix (fraction, not percent)."""
+    tar, non = split_trials(scores, labels)
+    return equal_error_rate(tar, non)

@@ -1,0 +1,20 @@
+"""Expected n-gram counting, supervectors, TFLLR scaling, n-gram LMs."""
+
+from repro.ngram.counts import (
+    decode_ngram,
+    encode_ngram,
+    expected_counts_lattice,
+    expected_counts_sausage,
+)
+from repro.ngram.lm import WittenBellLM
+from repro.ngram.supervector import SupervectorExtractor, TFLLRScaler
+
+__all__ = [
+    "decode_ngram",
+    "encode_ngram",
+    "expected_counts_lattice",
+    "expected_counts_sausage",
+    "WittenBellLM",
+    "SupervectorExtractor",
+    "TFLLRScaler",
+]

@@ -1,0 +1,159 @@
+"""Back-off n-gram language models with Witten–Bell smoothing.
+
+The reproduction's stand-in for SRILM (paper §4.1): phone-sequence n-gram
+models used for the decoder's phonotactic prior, for perplexity-based
+diagnostics, and for sampling.  Witten–Bell discounting is used because it
+is well-behaved on the small synthetic corpora (no count-of-count
+requirements, unlike Kneser–Ney).
+
+Contexts and n-grams are stored in hash maps keyed by integer-encoded
+phone tuples (:func:`repro.ngram.counts.encode_ngram`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ngram.counts import encode_ngram
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["WittenBellLM"]
+
+
+class WittenBellLM:
+    """A back-off n-gram LM over integer phone ids.
+
+    Parameters
+    ----------
+    n_phones:
+        Vocabulary size (phone inventory).
+    order:
+        Maximum n-gram order (>= 1); probabilities back off recursively to
+        the uniform distribution below the unigram.
+    """
+
+    def __init__(self, n_phones: int, order: int = 2) -> None:
+        check_positive("n_phones", n_phones)
+        check_positive("order", order)
+        self.n_phones = int(n_phones)
+        self.order = int(order)
+        # For each order o (1..order): counts[o][code(context+phone)] and
+        # context stats for Witten-Bell weights.
+        self._gram_counts: list[dict[int, float]] = [
+            {} for _ in range(self.order + 1)
+        ]
+        self._ctx_totals: list[dict[int, float]] = [
+            {} for _ in range(self.order + 1)
+        ]
+        self._ctx_types: list[dict[int, set[int]]] = [
+            {} for _ in range(self.order + 1)
+        ]
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, sequences: list[np.ndarray]) -> "WittenBellLM":
+        """Accumulate counts from phone-id sequences."""
+        for seq in sequences:
+            seq = np.asarray(seq, dtype=np.int64)
+            if seq.size and (seq.min() < 0 or seq.max() >= self.n_phones):
+                raise ValueError("phone id out of range")
+            for o in range(1, self.order + 1):
+                grams = self._gram_counts[o]
+                totals = self._ctx_totals[o]
+                types = self._ctx_types[o]
+                for i in range(seq.size - o + 1):
+                    window = seq[i : i + o]
+                    code = encode_ngram(window, self.n_phones)
+                    ctx = (
+                        encode_ngram(window[:-1], self.n_phones)
+                        if o > 1
+                        else 0
+                    )
+                    grams[code] = grams.get(code, 0.0) + 1.0
+                    totals[ctx] = totals.get(ctx, 0.0) + 1.0
+                    types.setdefault(ctx, set()).add(int(window[-1]))
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    # probabilities
+    # ------------------------------------------------------------------
+    def _prob(self, context: tuple[int, ...], phone: int) -> float:
+        """Witten–Bell interpolated P(phone | context)."""
+        o = len(context) + 1
+        if o == 0 or o > self.order:
+            raise ValueError("context too long for model order")
+        if o == 1:
+            total = self._ctx_totals[1].get(0, 0.0)
+            types = len(self._ctx_types[1].get(0, ()))
+            uniform = 1.0 / self.n_phones
+            if total <= 0:
+                return uniform
+            lam = total / (total + types)
+            count = self._gram_counts[1].get(phone, 0.0)
+            return lam * (count / total) + (1.0 - lam) * uniform
+        ctx_code = encode_ngram(context, self.n_phones)
+        total = self._ctx_totals[o].get(ctx_code, 0.0)
+        lower = self._prob(context[1:], phone)
+        if total <= 0:
+            return lower
+        types = len(self._ctx_types[o].get(ctx_code, ()))
+        lam = total / (total + types)
+        code = ctx_code * self.n_phones + phone
+        count = self._gram_counts[o].get(code, 0.0)
+        return lam * (count / total) + (1.0 - lam) * lower
+
+    def prob(self, context: tuple[int, ...] | np.ndarray, phone: int) -> float:
+        """P(phone | context), truncating the context to ``order - 1``."""
+        if not self._fitted:
+            raise RuntimeError("LM is not fitted")
+        context = tuple(int(p) for p in context)[-(self.order - 1) :] if self.order > 1 else ()
+        if not 0 <= phone < self.n_phones:
+            raise ValueError("phone id out of range")
+        return self._prob(context, int(phone))
+
+    def log_prob_sequence(self, seq: np.ndarray) -> float:
+        """Total log probability of a phone sequence."""
+        seq = np.asarray(seq, dtype=np.int64)
+        total = 0.0
+        for i in range(seq.size):
+            context = seq[max(0, i - self.order + 1) : i]
+            total += float(np.log(max(self.prob(context, int(seq[i])), 1e-300)))
+        return total
+
+    def perplexity(self, seq: np.ndarray) -> float:
+        """Per-phone perplexity of a sequence."""
+        seq = np.asarray(seq, dtype=np.int64)
+        if seq.size == 0:
+            raise ValueError("cannot compute perplexity of an empty sequence")
+        return float(np.exp(-self.log_prob_sequence(seq) / seq.size))
+
+    def log_bigram_matrix(self) -> np.ndarray:
+        """Dense ``(n_phones, n_phones)`` log P(next | prev) (order >= 2)."""
+        if self.order < 2:
+            raise ValueError("bigram matrix requires order >= 2")
+        out = np.empty((self.n_phones, self.n_phones))
+        for prev in range(self.n_phones):
+            for nxt in range(self.n_phones):
+                out[prev, nxt] = np.log(max(self._prob((prev,), nxt), 1e-300))
+        return out
+
+    def sample(
+        self, length: int, rng: np.random.Generator | int | None = None
+    ) -> np.ndarray:
+        """Sample a sequence of ``length`` phones from the model."""
+        rng = ensure_rng(rng)
+        if not self._fitted:
+            raise RuntimeError("LM is not fitted")
+        seq: list[int] = []
+        for _ in range(max(0, length)):
+            context = tuple(seq[-(self.order - 1) :]) if self.order > 1 else ()
+            probs = np.array(
+                [self._prob(context, p) for p in range(self.n_phones)]
+            )
+            probs /= probs.sum()
+            seq.append(int(rng.choice(self.n_phones, p=probs)))
+        return np.array(seq, dtype=np.int64)

@@ -1,0 +1,148 @@
+r"""Phonotactic feature supervectors and the TFLLR kernel map.
+
+Paper Eqs. 2–5: expected n-gram counts over an utterance's lattice are
+normalised to probabilities within each order block,
+
+.. math::  p(d_q\mid ℓ) = c_E(d_q\mid ℓ) / \sum_m c_E(d_m\mid ℓ),
+
+stacked into the supervector φ(x) (Eq. 3), and compared through the
+term-frequency log-likelihood-ratio kernel (Eq. 5), whose feature map
+divides each component by :math:`\sqrt{p(d_q\mid ℓ_{all})}` — the observed
+probability of the n-gram across *all* training lattices.  The scaled map
+is what the linear SVM consumes, making the kernel exactly linear.
+
+Layout: for orders ``(n_1 < n_2 < …)`` the supervector concatenates one
+block per order; the block for order ``n`` has size ``f^n`` (``f`` =
+recognizer inventory size) and is indexed by the base-``f`` n-gram code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frontend.lattice import Sausage
+from repro.ngram.counts import expected_counts_sausage
+from repro.utils.sparse import SparseMatrix, SparseVector
+from repro.utils.validation import check_positive
+
+__all__ = ["SupervectorExtractor", "TFLLRScaler"]
+
+
+@dataclass(frozen=True)
+class SupervectorLayout:
+    """Block layout of a multi-order supervector."""
+
+    n_phones: int
+    orders: tuple[int, ...]
+    offsets: tuple[int, ...]
+    dim: int
+
+    @classmethod
+    def build(cls, n_phones: int, orders: tuple[int, ...]) -> "SupervectorLayout":
+        """Validate orders and compute per-order block offsets."""
+        if not orders:
+            raise ValueError("at least one n-gram order is required")
+        if list(orders) != sorted(set(orders)):
+            raise ValueError("orders must be strictly increasing")
+        if min(orders) < 1:
+            raise ValueError("orders must be >= 1")
+        check_positive("n_phones", n_phones)
+        offsets = []
+        total = 0
+        for order in orders:
+            offsets.append(total)
+            total += n_phones**order
+        return cls(n_phones, tuple(orders), tuple(offsets), total)
+
+
+class SupervectorExtractor:
+    """Builds φ(x) supervectors from sausages for one recognizer.
+
+    Parameters
+    ----------
+    n_phones:
+        Recognizer inventory size ``f``.
+    orders:
+        N-gram orders to stack; the paper's system uses all orders up to
+        N (``d_i = h_i…h_{i+n-1}, n ≤ N`` under Eq. 3).  Default (1, 2, 3).
+    """
+
+    def __init__(
+        self, n_phones: int, orders: tuple[int, ...] = (1, 2, 3)
+    ) -> None:
+        self.layout = SupervectorLayout.build(n_phones, tuple(orders))
+
+    @property
+    def dim(self) -> int:
+        """Supervector dimensionality ``F = Σ f^n``."""
+        return self.layout.dim
+
+    @property
+    def orders(self) -> tuple[int, ...]:
+        return self.layout.orders
+
+    def extract(self, sausage: Sausage) -> SparseVector:
+        """Supervector of one utterance's sausage (Eqs. 2–3)."""
+        if len(sausage.phone_set) != self.layout.n_phones:
+            raise ValueError(
+                "sausage phone set does not match extractor inventory"
+            )
+        items: dict[int, float] = {}
+        for order, offset in zip(self.layout.orders, self.layout.offsets):
+            counts = expected_counts_sausage(sausage, order)
+            total = sum(counts.values())
+            if total <= 0.0:
+                continue
+            inv_total = 1.0 / total
+            for code, value in counts.items():
+                items[offset + code] = value * inv_total
+        return SparseVector.from_dict(self.layout.dim, items)
+
+    def extract_matrix(self, sausages: list[Sausage]) -> SparseMatrix:
+        """Stack supervectors for a batch of sausages."""
+        return SparseMatrix.from_rows(
+            [self.extract(s) for s in sausages], dim=self.layout.dim
+        )
+
+
+class TFLLRScaler:
+    r"""The TFLLR kernel feature map (Eq. 5).
+
+    :meth:`fit` estimates :math:`p(d_q\mid ℓ_{all})` as the average of the
+    training supervectors' probability components within each order block;
+    :meth:`transform` divides every component by
+    :math:`\sqrt{\max(p_{all}, p_{min})}`, with the floor guarding unseen
+    n-grams (which would otherwise get unbounded weight — the standard
+    LIBLINEAR-era practice of clipping rare-term scaling).
+    """
+
+    def __init__(self, min_prob: float = 1e-5) -> None:
+        check_positive("min_prob", min_prob)
+        self.min_prob = float(min_prob)
+        self.scale_: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.scale_ is not None
+
+    def fit(self, train: SparseMatrix) -> "TFLLRScaler":
+        """Estimate the per-component scaling from training supervectors."""
+        if train.n_rows == 0:
+            raise ValueError("cannot fit TFLLR scaling on an empty matrix")
+        p_all = train.column_sums() / train.n_rows
+        self.scale_ = 1.0 / np.sqrt(np.maximum(p_all, self.min_prob))
+        return self
+
+    def transform(self, x: SparseMatrix) -> SparseMatrix:
+        """Apply the fitted scaling to a batch of supervectors."""
+        if self.scale_ is None:
+            raise RuntimeError("TFLLRScaler is not fitted")
+        if x.dim != self.scale_.shape[0]:
+            raise ValueError("dimension mismatch with fitted scaling")
+        return x.scale_columns(self.scale_)
+
+    def fit_transform(self, train: SparseMatrix) -> SparseMatrix:
+        """Fit on ``train`` and return it scaled."""
+        return self.fit(train).transform(train)

@@ -1,0 +1,7 @@
+"""Linear SVM stack: dual-coordinate-descent trainer, OvR, VSM."""
+
+from repro.svm.linear import LinearSVC
+from repro.svm.ovr import OneVsRestSVM
+from repro.svm.vsm import VSM
+
+__all__ = ["LinearSVC", "OneVsRestSVM", "VSM"]

@@ -1,0 +1,175 @@
+r"""L2-regularized linear SVM trained by dual coordinate descent.
+
+This is the algorithm inside LIBLINEAR (Hsieh et al., *A Dual Coordinate
+Descent Method for Large-scale Linear SVM*, ICML 2008), which the paper
+uses as its VSM classifier (§4.1).  The primal problem
+
+.. math::  \min_w \tfrac12 w^T w + C \sum_i \xi(w; x_i, y_i)
+
+with hinge (L1) or squared-hinge (L2) loss is solved in the dual by
+coordinate-wise Newton steps over the α's, maintaining
+``w = Σ α_i y_i x_i`` incrementally.  Rows are sparse supervectors; every
+update touches only the row's nonzeros, so an epoch costs O(nnz).
+
+A bias is handled LIBLINEAR-style by augmenting each example with a
+constant component ``bias_scale``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.sparse import SparseMatrix
+from repro.utils.validation import check_in, check_positive
+
+__all__ = ["LinearSVC"]
+
+
+class LinearSVC:
+    """Binary linear SVM (dual coordinate descent).
+
+    Parameters
+    ----------
+    C:
+        Inverse regularisation strength.
+    loss:
+        ``"l1"`` (hinge, the paper's setting) or ``"l2"`` (squared hinge).
+    max_epochs:
+        Maximum passes over the training set.
+    tol:
+        Stop when the maximal projected-gradient violation in an epoch
+        falls below this.
+    bias_scale:
+        Value of the augmented bias component; 0 disables the bias.
+    """
+
+    def __init__(
+        self,
+        C: float = 1.0,
+        *,
+        loss: str = "l1",
+        max_epochs: int = 60,
+        tol: float = 1e-3,
+        bias_scale: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        check_positive("C", C)
+        check_in("loss", loss, ["l1", "l2"])
+        check_positive("max_epochs", max_epochs)
+        check_positive("tol", tol)
+        self.C = float(C)
+        self.loss = loss
+        self.max_epochs = int(max_epochs)
+        self.tol = float(tol)
+        self.bias_scale = float(bias_scale)
+        self.seed = seed
+        self.weight_: np.ndarray | None = None
+        self.bias_: float = 0.0
+        self.alpha_: np.ndarray | None = None
+        self.n_epochs_: int = 0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, x: SparseMatrix, y: np.ndarray) -> "LinearSVC":
+        """Fit on sparse rows ``x`` with labels ``y`` in {-1, +1}."""
+        y = np.asarray(y, dtype=np.float64)
+        n = x.n_rows
+        if y.shape != (n,):
+            raise ValueError("y must have one label per row")
+        if not np.all(np.isin(y, (-1.0, 1.0))):
+            raise ValueError("labels must be -1 or +1")
+        if n == 0:
+            raise ValueError("cannot fit on an empty training set")
+        rng = ensure_rng(self.seed)
+        # L2 loss turns the box constraint into [0, inf) with a diagonal
+        # D_ii = 1/(2C) added to Q.
+        if self.loss == "l1":
+            upper = self.C
+            diag_add = 0.0
+        else:
+            upper = np.inf
+            diag_add = 1.0 / (2.0 * self.C)
+
+        # Per-row squared norms (Q_ii), including the bias component.
+        q_diag = x.row_norms() ** 2 + self.bias_scale**2 + diag_add
+        # Guard all-zero rows (empty supervectors).
+        q_diag = np.maximum(q_diag, 1e-12)
+
+        alpha = np.zeros(n)
+        w = np.zeros(x.dim)
+        b = 0.0
+        rows = [x.row(i) for i in range(n)]
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            max_violation = 0.0
+            for i in order:
+                row = rows[i]
+                margin = row.dot_dense(w) + self.bias_scale * b
+                grad = y[i] * margin - 1.0 + diag_add * alpha[i]
+                # Projected gradient for the box constraint.
+                if alpha[i] <= 0.0:
+                    pg = min(grad, 0.0)
+                elif alpha[i] >= upper:
+                    pg = max(grad, 0.0)
+                else:
+                    pg = grad
+                if pg != 0.0:
+                    max_violation = max(max_violation, abs(pg))
+                    new_alpha = min(
+                        max(alpha[i] - grad / q_diag[i], 0.0), upper
+                    )
+                    delta = (new_alpha - alpha[i]) * y[i]
+                    if delta != 0.0:
+                        w[row.indices] += delta * row.values
+                        b += delta * self.bias_scale
+                        alpha[i] = new_alpha
+            self.n_epochs_ = epoch + 1
+            if max_violation < self.tol:
+                break
+        self.weight_ = w
+        self.bias_ = b * self.bias_scale
+        self.alpha_ = alpha
+        return self
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def decision_function(self, x: SparseMatrix) -> np.ndarray:
+        """Signed distances ``w·x + b`` for every row (paper Eq. 4)."""
+        if self.weight_ is None:
+            raise RuntimeError("SVM is not fitted")
+        if x.dim != self.weight_.shape[0]:
+            raise ValueError("dimension mismatch with fitted model")
+        return x.matvec_dense(self.weight_) + self.bias_
+
+    def predict(self, x: SparseMatrix) -> np.ndarray:
+        """Hard ±1 decisions."""
+        return np.where(self.decision_function(x) >= 0.0, 1, -1)
+
+    def dual_objective(self, x: SparseMatrix, y: np.ndarray) -> float:
+        """Dual objective value (for optimisation tests)."""
+        if self.alpha_ is None or self.weight_ is None:
+            raise RuntimeError("SVM is not fitted")
+        w_norm_sq = float(self.weight_ @ self.weight_) + (
+            (self.bias_ / self.bias_scale) ** 2 if self.bias_scale else 0.0
+        )
+        diag_add = 0.0 if self.loss == "l1" else 1.0 / (2.0 * self.C)
+        return (
+            0.5 * w_norm_sq
+            + 0.5 * diag_add * float(self.alpha_ @ self.alpha_)
+            - float(self.alpha_.sum())
+        )
+
+    def primal_objective(self, x: SparseMatrix, y: np.ndarray) -> float:
+        """Primal objective value (for duality-gap tests)."""
+        if self.weight_ is None:
+            raise RuntimeError("SVM is not fitted")
+        margins = 1.0 - np.asarray(y) * self.decision_function(x)
+        hinge = np.maximum(margins, 0.0)
+        loss = hinge.sum() if self.loss == "l1" else float(hinge @ hinge)
+        w_norm_sq = float(self.weight_ @ self.weight_) + (
+            (self.bias_ / self.bias_scale) ** 2 if self.bias_scale else 0.0
+        )
+        return 0.5 * w_norm_sq + self.C * float(loss)

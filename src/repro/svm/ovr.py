@@ -1,0 +1,88 @@
+"""One-versus-rest multiclass wrapper (paper Eq. 6–7).
+
+The paper trains the VSM "with a one-versus-rest strategy": for target
+language k every training utterance gets label +1 if it belongs to k and
+-1 otherwise (Eq. 6), producing one SVM — one column of the language-model
+matrix **M** (Eq. 7) — per language.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.svm.linear import LinearSVC
+from repro.utils.sparse import SparseMatrix
+from repro.utils.validation import check_positive
+
+__all__ = ["OneVsRestSVM"]
+
+
+class OneVsRestSVM:
+    """K binary SVMs, one per language.
+
+    Parameters are forwarded to each :class:`~repro.svm.linear.LinearSVC`;
+    per-class models get distinct RNG seeds for their coordinate orders.
+    """
+
+    def __init__(
+        self,
+        n_classes: int,
+        *,
+        C: float = 1.0,
+        loss: str = "l1",
+        max_epochs: int = 60,
+        tol: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        check_positive("n_classes", n_classes)
+        if n_classes < 2:
+            raise ValueError("need at least 2 classes")
+        self.n_classes = int(n_classes)
+        self._svm_kwargs = dict(C=C, loss=loss, max_epochs=max_epochs, tol=tol)
+        self.seed = seed
+        self.models_: list[LinearSVC] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.models_)
+
+    def fit(self, x: SparseMatrix, labels: np.ndarray) -> "OneVsRestSVM":
+        """Train all K binary models.
+
+        ``labels`` are integer class ids in ``[0, n_classes)``; classes
+        absent from the training set still get a model (trained against
+        everything, i.e. all -1 plus no positives is degenerate, so such a
+        class yields a constant negative scorer — flagged by a warning-free
+        fallback of an untrained weight of zeros with bias -1).
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != (x.n_rows,):
+            raise ValueError("labels must align with rows")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise ValueError("label out of range")
+        self.models_ = []
+        for k in range(self.n_classes):
+            y = np.where(labels == k, 1.0, -1.0)
+            model = LinearSVC(seed=self.seed + k, **self._svm_kwargs)
+            if np.all(y == -1.0) or np.all(y == 1.0):
+                # Degenerate one-vs-rest split: constant scorer.
+                model.weight_ = np.zeros(x.dim)
+                model.bias_ = -1.0 if np.all(y == -1.0) else 1.0
+                model.alpha_ = np.zeros(x.n_rows)
+            else:
+                model.fit(x, y)
+            self.models_.append(model)
+        return self
+
+    def decision_matrix(self, x: SparseMatrix) -> np.ndarray:
+        """Score matrix ``(n_rows, n_classes)`` — one subsystem's F_q (Eq. 9)."""
+        if not self.is_fitted:
+            raise RuntimeError("OneVsRestSVM is not fitted")
+        out = np.empty((x.n_rows, self.n_classes))
+        for k, model in enumerate(self.models_):
+            out[:, k] = model.decision_function(x)
+        return out
+
+    def predict(self, x: SparseMatrix) -> np.ndarray:
+        """Arg-max language decisions."""
+        return np.argmax(self.decision_matrix(x), axis=1)

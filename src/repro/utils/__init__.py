@@ -1,0 +1,45 @@
+"""Shared infrastructure: RNG streams, sparse containers, timing, parallel map."""
+
+from repro.utils.io import (
+    MatrixCache,
+    load_scores,
+    load_sparse,
+    save_scores,
+    save_sparse,
+)
+from repro.utils.parallel import chunked, effective_workers, pmap
+from repro.utils.rng import child_rng, ensure_rng, spawn_many
+from repro.utils.sparse import SparseMatrix, SparseVector
+from repro.utils.timing import CostLedger, StageTimer
+from repro.utils.validation import (
+    check_in,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_prob_vector,
+    check_probability,
+)
+
+__all__ = [
+    "MatrixCache",
+    "load_scores",
+    "load_sparse",
+    "save_scores",
+    "save_sparse",
+    "child_rng",
+    "ensure_rng",
+    "spawn_many",
+    "SparseMatrix",
+    "SparseVector",
+    "CostLedger",
+    "StageTimer",
+    "pmap",
+    "chunked",
+    "effective_workers",
+    "check_in",
+    "check_matrix",
+    "check_non_negative",
+    "check_positive",
+    "check_prob_vector",
+    "check_probability",
+]

@@ -1,0 +1,117 @@
+"""Persistence for experiment artifacts.
+
+Long campaigns decode and extract supervectors once (the expensive φ(x)
+work of Eqs. 16–19); these helpers let a run checkpoint that work to disk
+and resume later, and let score matrices / results be exchanged between
+processes:
+
+- :func:`save_sparse` / :func:`load_sparse` — :class:`SparseMatrix` ↔ NPZ;
+- :func:`save_scores` / :func:`load_scores` — named dense score matrices;
+- :class:`MatrixCache` — a directory-backed memo for (frontend, corpus)
+  supervector matrices, drop-in for
+  :meth:`repro.core.pipeline.PhonotacticSystem.raw_matrix` workflows.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.sparse import SparseMatrix
+
+__all__ = [
+    "save_sparse",
+    "load_sparse",
+    "save_scores",
+    "load_scores",
+    "MatrixCache",
+]
+
+
+def save_sparse(path: str | Path, matrix: SparseMatrix) -> None:
+    """Write a :class:`SparseMatrix` to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        dim=np.int64(matrix.dim),
+        indptr=matrix.indptr,
+        indices=matrix.indices,
+        values=matrix.values,
+    )
+
+
+def load_sparse(path: str | Path) -> SparseMatrix:
+    """Read a :class:`SparseMatrix` written by :func:`save_sparse`."""
+    with np.load(Path(path)) as data:
+        return SparseMatrix(
+            int(data["dim"]),
+            data["indptr"],
+            data["indices"],
+            data["values"],
+        )
+
+
+def save_scores(path: str | Path, scores: dict[str, np.ndarray]) -> None:
+    """Write named dense score matrices to an ``.npz`` file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {}
+    for name, matrix in scores.items():
+        arr = np.asarray(matrix, dtype=np.float64)
+        if arr.ndim != 2:
+            raise ValueError(f"score matrix {name!r} must be 2-D")
+        arrays[name] = arr
+    np.savez_compressed(path, **arrays)
+
+
+def load_scores(path: str | Path) -> dict[str, np.ndarray]:
+    """Read named score matrices written by :func:`save_scores`."""
+    with np.load(Path(path)) as data:
+        return {name: data[name].copy() for name in data.files}
+
+
+class MatrixCache:
+    """Directory-backed cache of supervector matrices.
+
+    Keys are ``(frontend_name, corpus_tag)``; values are sparse matrices.
+    :meth:`get_or_compute` is the primary entry: it loads from disk when
+    present, otherwise calls the supplied thunk and persists the result —
+    so re-running an experiment skips the decode/extract stages entirely.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, frontend_name: str, tag: str) -> Path:
+        safe_tag = tag.replace("@", "_at_").replace("/", "_")
+        return self.directory / f"{frontend_name}__{safe_tag}.npz"
+
+    def has(self, frontend_name: str, tag: str) -> bool:
+        """Whether a cached matrix exists for the key."""
+        return self._path(frontend_name, tag).exists()
+
+    def put(
+        self, frontend_name: str, tag: str, matrix: SparseMatrix
+    ) -> None:
+        """Persist a matrix under the key."""
+        save_sparse(self._path(frontend_name, tag), matrix)
+
+    def get(self, frontend_name: str, tag: str) -> SparseMatrix:
+        """Load the matrix for the key (raises if absent)."""
+        path = self._path(frontend_name, tag)
+        if not path.exists():
+            raise KeyError(f"no cached matrix for {(frontend_name, tag)!r}")
+        return load_sparse(path)
+
+    def get_or_compute(
+        self, frontend_name: str, tag: str, compute
+    ) -> SparseMatrix:
+        """Load if cached, else compute, persist and return."""
+        if self.has(frontend_name, tag):
+            return self.get(frontend_name, tag)
+        matrix = compute()
+        self.put(frontend_name, tag, matrix)
+        return matrix

@@ -1,0 +1,116 @@
+"""Stage timing and real-time-factor accounting (paper §5.4–5.5, Table 5).
+
+The paper reports per-stage *real-time factors* — wall-clock seconds of
+compute per second of processed speech — for decoding, supervector
+generation and supervector product, and argues analytically (Eqs. 16–19)
+that DBA's extra modeling/test passes are negligible against decoding.
+:class:`StageTimer` collects the per-stage wall-clock totals and audio
+totals needed to print that table, and :class:`CostLedger` mirrors the
+symbolic cost model of Eq. 16/18 so the analytic ratio can be checked
+against measured time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["StageTimer", "CostLedger"]
+
+
+class StageTimer:
+    """Accumulate wall-clock time per named pipeline stage.
+
+    Use :meth:`stage` as a context manager around each unit of work and
+    :meth:`add_audio` to record how many seconds of (synthetic) speech the
+    work covered; :meth:`real_time_factor` then reports seconds-of-compute
+    per second-of-speech, the unit of Table 5.
+    """
+
+    def __init__(self) -> None:
+        self._elapsed: Dict[str, float] = {}
+        self._audio: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str, audio_seconds: float = 0.0) -> Iterator[None]:
+        """Time one unit of work under ``name``.
+
+        ``audio_seconds`` is the amount of speech the unit processed, used
+        as the denominator of the real-time factor.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - start
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+            self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
+            self._calls[name] = self._calls.get(name, 0) + 1
+
+    def add_audio(self, name: str, audio_seconds: float) -> None:
+        """Attribute additional processed audio to stage ``name``."""
+        self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
+
+    def elapsed(self, name: str) -> float:
+        """Total wall-clock seconds spent in ``name``."""
+        return self._elapsed.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of :meth:`stage` entries recorded for ``name``."""
+        return self._calls.get(name, 0)
+
+    def real_time_factor(self, name: str) -> float:
+        """Seconds of compute per second of speech for stage ``name``.
+
+        Returns ``nan`` when no audio has been attributed to the stage.
+        """
+        audio = self._audio.get(name, 0.0)
+        if audio <= 0.0:
+            return float("nan")
+        return self._elapsed.get(name, 0.0) / audio
+
+    def stages(self) -> list[str]:
+        """Names of all recorded stages, in first-seen order."""
+        return list(self._elapsed.keys())
+
+    def merge(self, other: "StageTimer") -> None:
+        """Fold another timer's accumulators into this one."""
+        for name, dt in other._elapsed.items():
+            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+        for name, au in other._audio.items():
+            self._audio[name] = self._audio.get(name, 0.0) + au
+        for name, c in other._calls.items():
+            self._calls[name] = self._calls.get(name, 0) + c
+
+
+@dataclass
+class CostLedger:
+    """Symbolic cost accounting mirroring paper Eqs. 16–19.
+
+    Components (all in wall-clock seconds, measured):
+
+    - ``phi``: the φ-map cost :math:`C'_φ` — pre-processing, feature
+      extraction, decoding and expected counting — for train + test data.
+    - ``modeling``: VSM training passes :math:`C'_{modeling}` (one for the
+      baseline, two for DBA).
+    - ``test``: scoring passes :math:`M_{test} C'_{test}`.
+    """
+
+    phi: float = 0.0
+    modeling: float = 0.0
+    test: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def total(self) -> float:
+        """Total accounted cost."""
+        return self.phi + self.modeling + self.test + sum(self.extra.values())
+
+    def ratio_to(self, baseline: "CostLedger") -> float:
+        """``self.total() / baseline.total()`` — the Eq. 18 ratio."""
+        denom = baseline.total()
+        if denom <= 0.0:
+            return float("nan")
+        return self.total() / denom

@@ -1,0 +1,77 @@
+"""Argument-validation helpers shared across the package.
+
+Centralising the checks keeps error messages uniform ("<name> must be ...")
+and the call sites one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_prob_vector",
+    "check_in",
+    "check_matrix",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``; return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``; return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``0 <= value <= 1``; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_prob_vector(name: str, p: np.ndarray, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is a probability vector (non-negative, sums to 1)."""
+    p = np.asarray(p, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if p.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if np.any(p < -atol):
+        raise ValueError(f"{name} has negative entries")
+    total = float(p.sum())
+    if abs(total - 1.0) > max(atol, 1e-6 * p.size):
+        raise ValueError(f"{name} must sum to 1, sums to {total!r}")
+    return p
+
+
+def check_in(name: str, value: object, allowed: Sequence[object]) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {list(allowed)!r}, got {value!r}")
+    return value
+
+
+def check_matrix(
+    name: str, x: np.ndarray, n_rows: int | None = None, n_cols: int | None = None
+) -> np.ndarray:
+    """Validate a 2-D float array, optionally with fixed shape."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {x.shape}")
+    if n_rows is not None and x.shape[0] != n_rows:
+        raise ValueError(f"{name} must have {n_rows} rows, got {x.shape[0]}")
+    if n_cols is not None and x.shape[1] != n_cols:
+        raise ValueError(f"{name} must have {n_cols} columns, got {x.shape[1]}")
+    return x

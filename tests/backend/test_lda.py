@@ -1,0 +1,72 @@
+"""Tests for Fisher LDA."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.lda import LDA
+
+
+def blobs(rng, k=3, dim=6, n_per=80, sep=5.0):
+    centers = rng.normal(0, sep, size=(k, dim))
+    x = np.vstack([rng.normal(c, 1.0, size=(n_per, dim)) for c in centers])
+    labels = np.repeat(np.arange(k), n_per)
+    return x, labels
+
+
+class TestLDA:
+    def test_output_dim_default(self, rng):
+        x, labels = blobs(rng, k=3)
+        z = LDA().fit_transform(x, labels)
+        assert z.shape == (x.shape[0], 2)  # K - 1
+
+    def test_explicit_components(self, rng):
+        x, labels = blobs(rng, k=4)
+        z = LDA(n_components=2).fit_transform(x, labels)
+        assert z.shape[1] == 2
+
+    def test_projection_separates_classes(self, rng):
+        x, labels = blobs(rng, k=3, sep=8.0)
+        z = LDA().fit_transform(x, labels)
+        # Between-class distance dwarfs within-class spread on z.
+        means = np.array([z[labels == c].mean(axis=0) for c in range(3)])
+        within = np.mean([z[labels == c].std(axis=0).mean() for c in range(3)])
+        between = np.linalg.norm(means[0] - means[1])
+        assert between > 3 * within
+
+    def test_discriminative_direction_found(self, rng):
+        # Only dim 0 separates classes; the projection must weight it.
+        n = 200
+        x = rng.normal(size=(n, 5))
+        labels = (x[:, 0] > 0).astype(int)
+        x[:, 0] += labels * 6.0
+        lda = LDA(n_components=1).fit(x, labels)
+        w = np.abs(lda.projection_[:, 0])
+        assert w[0] > 2 * w[1:].max()
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LDA().transform(rng.normal(size=(3, 4)))
+
+    def test_single_class_rejected(self, rng):
+        x = rng.normal(size=(10, 3))
+        with pytest.raises(ValueError):
+            LDA().fit(x, np.zeros(10, dtype=int))
+
+    def test_dim_mismatch_on_transform(self, rng):
+        x, labels = blobs(rng)
+        lda = LDA().fit(x, labels)
+        with pytest.raises(ValueError):
+            lda.transform(rng.normal(size=(4, 2)))
+
+    def test_shrinkage_validated(self):
+        with pytest.raises(ValueError):
+            LDA(shrinkage=0.0)
+
+    def test_handles_more_dims_than_samples(self, rng):
+        # Regularisation must keep the eigenproblem solvable.
+        x = rng.normal(size=(20, 50))
+        labels = np.arange(20) % 2
+        z = LDA(shrinkage=0.5).fit_transform(x, labels)
+        assert np.all(np.isfinite(z))

@@ -1,0 +1,89 @@
+"""Tests for the logistic-regression fusion backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.logistic import LogisticFusion
+from repro.metrics.eer import eer_from_matrix
+
+
+def shifted_scores(rng, n=240, k=4, quality=2.0):
+    labels = rng.integers(0, k, size=n)
+    scores = rng.normal(-1.0, 1.0, size=(n, k))
+    scores[np.arange(n), labels] += quality
+    return scores, labels
+
+
+class TestFit:
+    def test_objective_monotone(self, rng):
+        x, y = shifted_scores(rng)
+        lf = LogisticFusion(n_iter=100).fit(x, y)
+        path = lf.objective_path_
+        assert len(path) > 2
+        assert all(b >= a - 1e-12 for a, b in zip(path, path[1:]))
+
+    def test_classification_quality(self, rng):
+        x, y = shifted_scores(rng, quality=2.5)
+        lf = LogisticFusion().fit(x, y)
+        pred = np.argmax(lf.class_log_posteriors(x), axis=1)
+        assert np.mean(pred == y) > 0.85
+
+    def test_posteriors_normalised(self, rng):
+        x, y = shifted_scores(rng)
+        lf = LogisticFusion().fit(x, y)
+        post = np.exp(lf.class_log_posteriors(x[:10]))
+        np.testing.assert_allclose(post.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = shifted_scores(rng)
+        loose = LogisticFusion(l2=1e-4).fit(x, y)
+        tight = LogisticFusion(l2=10.0).fit(x, y)
+        assert np.linalg.norm(tight.weights_) < np.linalg.norm(loose.weights_)
+
+    def test_explicit_n_classes(self, rng):
+        x, y = shifted_scores(rng, k=3)
+        lf = LogisticFusion().fit(x, y, n_classes=5)
+        assert lf.weights_.shape[1] == 5
+
+    def test_validation(self, rng):
+        x, y = shifted_scores(rng)
+        with pytest.raises(ValueError):
+            LogisticFusion().fit(x, y[:-1])
+        with pytest.raises(ValueError):
+            LogisticFusion().fit(x, y, n_classes=2)
+        with pytest.raises(ValueError):
+            LogisticFusion(l2=0.0)
+
+
+class TestScoring:
+    def test_detection_scores_calibrated(self, rng):
+        x, y = shifted_scores(rng, quality=3.0)
+        xt, yt = shifted_scores(rng, quality=3.0)
+        lf = LogisticFusion().fit(x, y)
+        det = lf.detection_scores(xt)
+        # Target trials mostly above 0, EER low.
+        target = det[np.arange(len(yt)), yt]
+        assert np.mean(target > 0) > 0.8
+        assert eer_from_matrix(det, yt) < 0.15
+
+    def test_fusion_beats_single_noisy_views(self, rng):
+        ydev = rng.integers(0, 4, 300)
+        ytest = rng.integers(0, 4, 300)
+
+        def view(labels, quality):
+            s = rng.normal(-1, 1, size=(labels.size, 4))
+            s[np.arange(labels.size), labels] += quality
+            return s
+
+        dev = np.hstack([view(ydev, 1.2) for _ in range(3)])
+        test = np.hstack([view(ytest, 1.2) for _ in range(3)])
+        lf = LogisticFusion().fit(dev, ydev, n_classes=4)
+        fused_eer = eer_from_matrix(lf.detection_scores(test), ytest)
+        single_eer = eer_from_matrix(test[:, :4], ytest)
+        assert fused_eer < single_eer
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            LogisticFusion().class_log_posteriors(rng.normal(size=(2, 3)))

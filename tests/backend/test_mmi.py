@@ -1,0 +1,69 @@
+"""Tests for MMI refinement (Eq. 14) with I-smoothing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.gaussian import GaussianBackend
+from repro.backend.mmi import MMITrainer
+
+
+def overlapping_blobs(rng, k=3, dim=3, n_per=80, sep=2.0):
+    centers = rng.normal(0, sep, size=(k, dim))
+    x = np.vstack([rng.normal(c, 1.0, size=(n_per, dim)) for c in centers])
+    labels = np.repeat(np.arange(k), n_per)
+    return x, labels
+
+
+class TestMMITrainer:
+    def test_objective_monotone_nondecreasing(self, rng):
+        x, labels = overlapping_blobs(rng)
+        gb = GaussianBackend().fit(x, labels)
+        trainer = MMITrainer(n_iter=30)
+        trainer.refine(gb, x, labels)
+        path = trainer.objective_path_
+        assert len(path) >= 2
+        assert all(b >= a - 1e-12 for a, b in zip(path, path[1:]))
+
+    def test_improves_on_ml_for_overlapping_classes(self, rng):
+        x, labels = overlapping_blobs(rng, sep=1.5)
+        gb = GaussianBackend().fit(x, labels)
+        ml_obj = MMITrainer.objective(gb, x, labels)
+        MMITrainer(n_iter=40).refine(gb, x, labels)
+        assert MMITrainer.objective(gb, x, labels) > ml_obj
+
+    def test_i_smoothing_bounds_mean_movement(self, rng):
+        x, labels = overlapping_blobs(rng, sep=1.0)
+        loose = GaussianBackend().fit(x, labels)
+        tight = GaussianBackend().fit(x, labels)
+        ml_means = loose.means_.copy()
+        MMITrainer(n_iter=30, i_smoothing=1.0).refine(loose, x, labels)
+        MMITrainer(n_iter=30, i_smoothing=500.0).refine(tight, x, labels)
+        move_loose = np.linalg.norm(loose.means_ - ml_means)
+        move_tight = np.linalg.norm(tight.means_ - ml_means)
+        assert move_tight < move_loose
+
+    def test_requires_fitted_backend(self, rng):
+        x, labels = overlapping_blobs(rng)
+        with pytest.raises(RuntimeError):
+            MMITrainer().refine(GaussianBackend(), x, labels)
+
+    def test_variance_update_keeps_floor(self, rng):
+        x, labels = overlapping_blobs(rng)
+        gb = GaussianBackend(var_floor=1e-3).fit(x, labels)
+        MMITrainer(n_iter=10, update_variance=True).refine(gb, x, labels)
+        assert np.all(gb.variance_ >= 1e-3)
+
+    def test_label_smoothing_validated(self):
+        with pytest.raises(ValueError):
+            MMITrainer(label_smoothing=1.0)
+        with pytest.raises(ValueError):
+            MMITrainer(i_smoothing=-1.0)
+
+    def test_objective_with_smoothing_lower(self, rng):
+        x, labels = overlapping_blobs(rng)
+        gb = GaussianBackend().fit(x, labels)
+        plain = MMITrainer.objective(gb, x, labels)
+        smoothed = MMITrainer.objective(gb, x, labels, label_smoothing=0.3)
+        assert smoothed <= plain  # smoothing mixes in worse classes

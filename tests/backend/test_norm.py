@@ -1,0 +1,95 @@
+"""Tests for score normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend.norm import ZNorm
+from repro.metrics.eer import eer_from_matrix
+
+
+class TestZNorm:
+    def test_cohort_normalised(self, rng):
+        cohort = rng.normal(3.0, 2.0, size=(200, 4))
+        out = ZNorm().fit_transform(cohort)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_per_detector_vs_global(self, rng):
+        cohort = rng.normal(size=(100, 3))
+        cohort[:, 2] *= 10.0
+        per = ZNorm(per_detector=True).fit(cohort)
+        glob = ZNorm(per_detector=False).fit(cohort)
+        assert per.std_[2] > 5 * per.std_[0]
+        assert np.allclose(glob.std_, glob.std_[0])
+
+    def test_transform_preserves_ranking(self, rng):
+        # Per-detector affine maps preserve within-column order, hence EER.
+        scores = rng.normal(size=(150, 4))
+        labels = rng.integers(0, 4, 150)
+        scores[np.arange(150), labels] += 2.0
+        norm = ZNorm(per_detector=False).fit(scores)
+        assert eer_from_matrix(scores, labels) == pytest.approx(
+            eer_from_matrix(norm.transform(scores), labels), abs=1e-9
+        )
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            ZNorm().transform(rng.normal(size=(2, 3)))
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            ZNorm().fit(np.ones((1, 3)))
+
+    def test_constant_column_safe(self):
+        cohort = np.ones((10, 2))
+        out = ZNorm().fit_transform(cohort)
+        assert np.all(np.isfinite(out))
+
+
+class TestSausagePruning:
+    def test_prune_and_metrics(self):
+        from repro.corpus.phoneset import PhoneSet
+        from repro.frontend.lattice import Sausage, SausageSlot
+
+        ps = PhoneSet("p", tuple("abcd"))
+        sausage = Sausage(
+            [
+                SausageSlot(
+                    np.array([0, 1, 2, 3]),
+                    np.array([0.55, 0.25, 0.15, 0.05]),
+                ),
+                SausageSlot(np.array([2]), np.array([1.0])),
+            ],
+            ps,
+        )
+        assert sausage.expected_density() == pytest.approx(2.5)
+        assert sausage.entropy() > 0.0
+
+        pruned = sausage.prune(top_k=2)
+        assert pruned.expected_density() == pytest.approx(1.5)
+        slot = pruned.slots[0]
+        np.testing.assert_array_equal(slot.phones, [0, 1])
+        assert slot.probs.sum() == pytest.approx(1.0)
+
+    def test_min_prob_keeps_winner(self):
+        from repro.corpus.phoneset import PhoneSet
+        from repro.frontend.lattice import Sausage, SausageSlot
+
+        ps = PhoneSet("p", tuple("ab"))
+        sausage = Sausage(
+            [SausageSlot(np.array([0, 1]), np.array([0.4, 0.6]))], ps
+        )
+        pruned = sausage.prune(min_prob=0.99)
+        np.testing.assert_array_equal(pruned.slots[0].phones, [1])
+
+    def test_invalid_args(self):
+        from repro.corpus.phoneset import PhoneSet
+        from repro.frontend.lattice import Sausage
+
+        sausage = Sausage([], PhoneSet("p", tuple("ab")))
+        with pytest.raises(ValueError):
+            sausage.prune(top_k=0)
+        with pytest.raises(ValueError):
+            sausage.prune(min_prob=1.0)

@@ -1,0 +1,61 @@
+"""Shared fixtures: tiny corpora and frontends reused across test modules.
+
+Session-scoped so the (seconds-level) corpus generation and decoding cost
+is paid once per pytest run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusConfig, make_corpus_bundle
+from repro.frontend import build_frontends
+from repro.utils.rng import child_rng
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> CorpusConfig:
+    """A 4-language, seconds-scale corpus configuration."""
+    return CorpusConfig(
+        n_languages=4,
+        n_families=2,
+        train_per_language=8,
+        dev_per_language=4,
+        test_per_language=6,
+        durations=(10.0, 3.0),
+        seed=1234,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_bundle(tiny_config):
+    """Corpus bundle for the tiny configuration."""
+    return make_corpus_bundle(tiny_config)
+
+
+@pytest.fixture(scope="session")
+def tiny_frontends(tiny_bundle):
+    """Two confusion-channel frontends over the tiny bundle."""
+    from repro.frontend import FrontendSpec
+
+    specs = (
+        FrontendSpec("FE_A", "dnn", 24, tau=0.5, base_error=0.10),
+        FrontendSpec("FE_B", "gmm", 30, tau=0.55, base_error=0.12),
+    )
+    return build_frontends(tiny_bundle, specs=specs, top_k=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_sausages(tiny_bundle, tiny_frontends):
+    """Decoded train-corpus sausages of the first tiny frontend."""
+    fe = tiny_frontends[0]
+    return [
+        fe.decode(u, child_rng(5, u.utt_id)) for u in tiny_bundle.train
+    ]
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(99)

@@ -1,0 +1,119 @@
+"""Tests for the one-call campaign runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignResult, run_campaign
+from repro.core.config import SystemConfig
+from repro.core.pipeline import PhonotacticSystem
+
+
+@pytest.fixture(scope="module")
+def campaign(tiny_bundle, tiny_frontends, tiny_config):
+    """A tiny full campaign (2 frontends, 2 durations, V in (2, 1))."""
+    from dataclasses import replace
+
+    from repro.core.config import ExperimentConfig
+
+    system = PhonotacticSystem(
+        tiny_bundle,
+        tiny_frontends,
+        SystemConfig(orders=(1, 2), svm_max_epochs=12, mmi_iterations=8),
+    )
+    config = replace(
+        ExperimentConfig(corpus=tiny_config), vote_thresholds=(2, 1)
+    )
+    messages: list[str] = []
+    result = run_campaign(
+        config,
+        system=system,
+        variants=("M1", "M2"),
+        fusion_threshold=1,
+        progress=messages.append,
+    )
+    return result, messages
+
+
+class TestRunCampaign:
+    def test_grid_populated(self, campaign, tiny_bundle):
+        result, _ = campaign
+        names = result.frontends
+        assert names == ["FE_A", "FE_B"]
+        for duration in result.durations:
+            for name in names:
+                assert (name, duration) in result.baseline_cells
+                assert (name, duration) in result.dba_cells
+                for threshold in result.thresholds:
+                    for variant in ("M1", "M2"):
+                        assert (
+                            name,
+                            duration,
+                            threshold,
+                        ) in result.sweep_cells[variant]
+            assert duration in result.baseline_fused
+            assert duration in result.dba_fused
+
+    def test_table1_rows(self, campaign):
+        result, _ = campaign
+        assert [r.threshold for r in result.table1] == [2, 1]
+
+    def test_progress_reported(self, campaign):
+        _, messages = campaign
+        assert any("baseline" in m for m in messages)
+        assert any("DBA-M1" in m for m in messages)
+
+    def test_cells_are_percentages(self, campaign):
+        result, _ = campaign
+        for cell in result.baseline_cells.values():
+            assert 0.0 <= cell[0] <= 100.0
+            assert 0.0 <= cell[1] <= 100.0
+
+
+class TestRendering:
+    def test_to_text_contains_all_tables(self, campaign):
+        result, _ = campaign
+        text = result.to_text()
+        assert "Table 1" in text
+        assert "DBA-M1 sweep" in text and "DBA-M2 sweep" in text
+        assert "Table 4" in text
+        assert "fusion" in text
+
+    def test_sweep_unknown_variant(self, campaign):
+        result, _ = campaign
+        with pytest.raises(KeyError):
+            result.sweep_text("M7")
+
+    def test_save(self, campaign, tmp_path):
+        result, _ = campaign
+        out = result.save(tmp_path / "campaign")
+        assert (out / "table1.txt").exists()
+        assert (out / "sweep_M1.txt").exists()
+        assert (out / "sweep_M2.txt").exists()
+        assert (out / "table4.txt").exists()
+        assert (out / "campaign.txt").read_text().count("Table") >= 3
+
+
+class TestSingleVariantCampaign:
+    def test_m1_only(self, tiny_bundle, tiny_frontends, tiny_config):
+        from dataclasses import replace
+
+        from repro.core.config import ExperimentConfig
+
+        system = PhonotacticSystem(
+            tiny_bundle,
+            tiny_frontends,
+            SystemConfig(orders=(1, 2), svm_max_epochs=10, mmi_iterations=5),
+        )
+        config = replace(
+            ExperimentConfig(corpus=tiny_config), vote_thresholds=(1,)
+        )
+        result = run_campaign(
+            config, system=system, variants=("M1",), fusion_threshold=1
+        )
+        assert set(result.sweep_cells) == {"M1"}
+        text = result.to_text()
+        assert "DBA-M1 sweep" in text and "DBA-M2" not in text
+        for duration in result.durations:
+            assert duration in result.dba_fused

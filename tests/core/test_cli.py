@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["dba"])
+        assert args.scale == "smoke"
+        assert args.threshold == 3
+        assert args.variant == "M2"
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--scale", "galactic"])
+
+    def test_rejects_bad_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dba", "--variant", "M9"])
+
+    def test_threshold_short_flag(self):
+        args = build_parser().parse_args(["dba", "-V", "5"])
+        assert args.threshold == 5
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("info", "baseline", "dba", "table1", "sweep", "table4"):
+            args = parser.parse_args([cmd])
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "languages: 5" in out
+        assert "EN_DNN" in out
+
+    @pytest.mark.slow
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "V = 6" in out and "error rate" in out
+
+    @pytest.mark.slow
+    def test_dba_command(self, capsys):
+        assert main(["dba", "--scale", "smoke", "-V", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PPRVSM" in out and "DBA-M2" in out and "pool:" in out

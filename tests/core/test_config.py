@@ -1,0 +1,70 @@
+"""Tests for experiment configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    SystemConfig,
+    bench_scale,
+    smoke_scale,
+    with_duration,
+)
+
+
+class TestSystemConfig:
+    def test_defaults_valid(self):
+        SystemConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"orders": ()},
+            {"top_k": 0},
+            {"svm_C": 0.0},
+            {"svm_loss": "l3"},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SystemConfig(**kwargs)
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        cfg = ExperimentConfig()
+        assert cfg.frontend_mode == "confusion"
+        assert cfg.vote_thresholds == (6, 5, 4, 3, 2, 1)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(frontend_mode="hybrid")
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(vote_thresholds=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(vote_thresholds=(0,))
+
+
+class TestScales:
+    def test_bench_scale(self):
+        cfg = bench_scale()
+        assert cfg.corpus.n_languages == 10
+        assert cfg.corpus.durations == (30.0, 10.0, 3.0)
+
+    def test_smoke_scale_smaller(self):
+        smoke, bench = smoke_scale(), bench_scale()
+        assert smoke.corpus.n_languages < bench.corpus.n_languages
+        assert (
+            smoke.corpus.train_per_language < bench.corpus.train_per_language
+        )
+
+    def test_seed_propagates(self):
+        assert bench_scale(seed=7).corpus.seed == 7
+
+    def test_with_duration(self):
+        cfg = with_duration(bench_scale(), (10.0,))
+        assert cfg.corpus.durations == (10.0,)
+        assert cfg.corpus.n_languages == bench_scale().corpus.n_languages

@@ -1,0 +1,134 @@
+"""Tests for DBA pseudo-label selection and training-set assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import format_table1, trdba_composition
+from repro.core.dba import (
+    PseudoLabels,
+    build_dba_training_set,
+    select_pseudo_labels,
+)
+from repro.utils.sparse import SparseMatrix, SparseVector
+
+
+def sparse_eye(n: int, dim: int | None = None) -> SparseMatrix:
+    dim = dim or n
+    rows = [
+        SparseVector.from_dict(dim, {i % dim: float(i + 1)}) for i in range(n)
+    ]
+    return SparseMatrix.from_rows(rows, dim=dim)
+
+
+class TestSelectPseudoLabels:
+    def test_threshold_selects_winners(self):
+        counts = np.array(
+            [
+                [3, 0, 0],
+                [1, 1, 0],
+                [0, 0, 5],
+                [0, 2, 0],
+            ]
+        )
+        pseudo = select_pseudo_labels(counts, 2)
+        np.testing.assert_array_equal(pseudo.indices, [0, 2, 3])
+        np.testing.assert_array_equal(pseudo.labels, [0, 2, 1])
+        np.testing.assert_array_equal(pseudo.votes, [3, 5, 2])
+
+    def test_threshold_is_inclusive(self):
+        counts = np.array([[3, 0]])
+        assert len(select_pseudo_labels(counts, 3)) == 1
+        assert len(select_pseudo_labels(counts, 4)) == 0
+
+    def test_monotone_in_threshold(self, rng):
+        counts = rng.integers(0, 7, size=(60, 5))
+        sizes = [
+            len(select_pseudo_labels(counts, v)) for v in range(1, 7)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_error_rate(self):
+        counts = np.array([[4, 0], [0, 4]])
+        pseudo = select_pseudo_labels(counts, 3)
+        assert pseudo.error_rate(np.array([0, 0])) == pytest.approx(0.5)
+        assert pseudo.error_rate(np.array([0, 1])) == pytest.approx(0.0)
+
+    def test_empty_selection_error_nan(self):
+        pseudo = select_pseudo_labels(np.zeros((3, 2), dtype=int), 1)
+        assert len(pseudo) == 0
+        assert np.isnan(pseudo.error_rate(np.zeros(3, dtype=int)))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            select_pseudo_labels(np.zeros((2, 2)), 0)
+
+
+class TestBuildTrainingSet:
+    def _setup(self):
+        train = sparse_eye(4, dim=6)
+        y_train = np.array([0, 1, 0, 1])
+        test = sparse_eye(5, dim=6)
+        pseudo = PseudoLabels(
+            indices=np.array([1, 3]),
+            labels=np.array([1, 0]),
+            votes=np.array([4, 5]),
+        )
+        return train, y_train, test, pseudo
+
+    def test_m1_only_pseudo(self):
+        train, y_train, test, pseudo = self._setup()
+        x, y = build_dba_training_set("M1", train, y_train, test, pseudo)
+        assert x.n_rows == 2
+        np.testing.assert_array_equal(y, [1, 0])
+        np.testing.assert_allclose(x.row(0).to_dense(), test.row(1).to_dense())
+
+    def test_m2_pseudo_plus_train(self):
+        train, y_train, test, pseudo = self._setup()
+        x, y = build_dba_training_set("M2", train, y_train, test, pseudo)
+        assert x.n_rows == 6
+        np.testing.assert_array_equal(y, [1, 0, 0, 1, 0, 1])
+
+    def test_empty_pseudo_falls_back_to_train(self):
+        train, y_train, test, _ = self._setup()
+        empty = PseudoLabels(
+            indices=np.empty(0, np.int64),
+            labels=np.empty(0, np.int64),
+            votes=np.empty(0, np.int64),
+        )
+        x, y = build_dba_training_set("M1", train, y_train, test, empty)
+        assert x is train
+        np.testing.assert_array_equal(y, y_train)
+
+    def test_invalid_variant(self):
+        train, y_train, test, pseudo = self._setup()
+        with pytest.raises(ValueError):
+            build_dba_training_set("M3", train, y_train, test, pseudo)
+
+    def test_index_out_of_range(self):
+        train, y_train, test, _ = self._setup()
+        bad = PseudoLabels(
+            indices=np.array([99]),
+            labels=np.array([0]),
+            votes=np.array([6]),
+        )
+        with pytest.raises(ValueError):
+            build_dba_training_set("M1", train, y_train, test, bad)
+
+
+class TestTable1Analysis:
+    def test_composition_rows(self, rng):
+        counts = rng.integers(0, 7, size=(100, 4))
+        truth = rng.integers(0, 4, size=100)
+        rows = trdba_composition(counts, truth)
+        assert [r.threshold for r in rows] == [6, 5, 4, 3, 2, 1]
+        sizes = [r.n_selected for r in rows]
+        assert sizes == sorted(sizes)  # grows as V decreases
+
+    def test_format_table1(self, rng):
+        counts = rng.integers(0, 7, size=(50, 3))
+        truth = rng.integers(0, 3, size=50)
+        text = format_table1(trdba_composition(counts, truth))
+        assert "V = 6" in text and "V = 1" in text
+        assert "number" in text and "error rate" in text

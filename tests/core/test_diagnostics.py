@@ -1,0 +1,124 @@
+"""Tests for vote diagnostics and the SVG DET renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import VoteReport, vote_overlap_matrix, vote_report
+from repro.metrics.svg import det_curves_svg, save_det_svg
+
+
+def confident_scores(labels: np.ndarray, k: int, subset=None) -> np.ndarray:
+    """Scores voting correctly on `subset` rows (default: all)."""
+    m = labels.size
+    scores = -np.ones((m, k))
+    rows = np.arange(m) if subset is None else np.asarray(subset)
+    scores[rows, labels[rows]] = 2.0
+    return scores
+
+
+class TestVoteReport:
+    def test_perfect_subsystem(self):
+        labels = np.array([0, 1, 2, 0])
+        report = vote_report([confident_scores(labels, 3)], labels, ["A"])
+        assert report.n_votes[0] == 4
+        assert report.coverage[0] == pytest.approx(1.0)
+        assert report.precision[0] == pytest.approx(1.0)
+
+    def test_partial_coverage(self):
+        labels = np.array([0, 1, 2, 0])
+        scores = confident_scores(labels, 3, subset=[0, 2])
+        report = vote_report([scores], labels)
+        assert report.n_votes[0] == 2
+        assert report.coverage[0] == pytest.approx(0.5)
+
+    def test_wrong_votes_lower_precision(self):
+        labels = np.array([0, 0, 0, 0])
+        wrong = np.array([1, 1, 0, 0])
+        scores = confident_scores(wrong, 2)
+        report = vote_report([scores], labels)
+        assert report.precision[0] == pytest.approx(0.5)
+
+    def test_silent_subsystem_nan_precision(self):
+        labels = np.array([0, 1])
+        silent = -np.ones((2, 2))
+        report = vote_report([silent], labels)
+        assert report.n_votes[0] == 0
+        assert np.isnan(report.precision[0])
+
+    def test_to_text(self):
+        labels = np.array([0, 1])
+        report = vote_report(
+            [confident_scores(labels, 2)], labels, ["HU"]
+        )
+        text = report.to_text()
+        assert "HU" in text and "precision" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vote_report([], np.array([0]))
+        with pytest.raises(ValueError):
+            vote_report([np.zeros((3, 2))], np.array([0]))
+        with pytest.raises(ValueError):
+            vote_report(
+                [np.zeros((2, 2))], np.array([0, 1]), names=["a", "b"]
+            )
+
+
+class TestVoteOverlap:
+    def test_identical_subsystems_full_overlap(self):
+        labels = np.array([0, 1, 2])
+        s = confident_scores(labels, 3)
+        overlap = vote_overlap_matrix([s, s.copy()])
+        np.testing.assert_allclose(overlap, 1.0)
+
+    def test_disjoint_votes_zero_overlap(self):
+        labels = np.array([0, 1, 2, 0])
+        a = confident_scores(labels, 3, subset=[0, 1])
+        b = confident_scores(labels, 3, subset=[2, 3])
+        overlap = vote_overlap_matrix([a, b])
+        assert overlap[0, 1] == pytest.approx(0.0)
+        assert overlap[0, 0] == pytest.approx(1.0)
+
+    def test_conflicting_votes_not_agreement(self):
+        labels_a = np.array([0, 0])
+        labels_b = np.array([1, 1])
+        a = confident_scores(labels_a, 2)
+        b = confident_scores(labels_b, 2)
+        overlap = vote_overlap_matrix([a, b])
+        assert overlap[0, 1] == pytest.approx(0.0)  # vote different langs
+
+    def test_symmetry(self, rng):
+        mats = [rng.normal(size=(40, 4)) for _ in range(3)]
+        overlap = vote_overlap_matrix(mats)
+        np.testing.assert_allclose(overlap, overlap.T)
+
+
+class TestDetSvg:
+    def _curves(self, rng):
+        from repro.metrics.det import det_curve
+
+        tar = rng.normal(1.5, 1.0, 300)
+        non = rng.normal(0.0, 1.0, 300)
+        return {
+            "PPRVSM": det_curve(tar, non),
+            "DBA": det_curve(tar + 0.4, non),
+        }
+
+    def test_valid_svg_with_curves(self, rng):
+        svg = det_curves_svg(self._curves(rng))
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<polyline") == 2
+        assert "PPRVSM" in svg and "DBA" in svg
+        assert "Miss probability" in svg
+
+    def test_save(self, rng, tmp_path):
+        path = save_det_svg(tmp_path / "fig" / "det.svg", self._curves(rng))
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            det_curves_svg({})

@@ -1,0 +1,73 @@
+"""Tests for multi-seed replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.replication import ReplicationSummary, replicate_headline
+from repro.corpus import CorpusConfig
+
+
+def tiny_factory(seed: int) -> ExperimentConfig:
+    from repro.core.config import SystemConfig
+
+    return ExperimentConfig(
+        corpus=CorpusConfig(
+            n_languages=4,
+            n_families=2,
+            train_per_language=10,
+            dev_per_language=4,
+            test_per_language=10,
+            durations=(10.0,),
+            seed=seed,
+        ),
+        system=SystemConfig(orders=(1, 2), svm_max_epochs=12, mmi_iterations=8),
+    )
+
+
+class TestReplicationSummary:
+    def _summary(self) -> ReplicationSummary:
+        s = ReplicationSummary(threshold=3, variant="M2")
+        s.per_seed[1] = {10.0: (20.0, 15.0)}
+        s.per_seed[2] = {10.0: (22.0, 18.0)}
+        s.per_seed[3] = {10.0: (18.0, 19.0)}  # one loss
+        return s
+
+    def test_aggregate(self):
+        agg = self._summary().aggregate(10.0)
+        assert agg["baseline_mean"] == pytest.approx(20.0)
+        assert agg["dba_mean"] == pytest.approx((15 + 18 + 19) / 3)
+        assert agg["dba_wins"] == 2
+        assert agg["n_seeds"] == 3
+
+    def test_to_text(self):
+        text = self._summary().to_text()
+        assert "3 seeds" in text
+        assert "2/3" in text
+        assert "10s" in text
+
+
+class TestReplicateHeadline:
+    @pytest.mark.slow
+    def test_two_seed_replication(self):
+        messages: list[str] = []
+        summary = replicate_headline(
+            seeds=(501, 502),
+            config_factory=tiny_factory,
+            threshold=1,
+            variant="M2",
+            progress=messages.append,
+        )
+        assert summary.seeds == [501, 502]
+        assert summary.durations == [10.0]
+        agg = summary.aggregate(10.0)
+        assert agg["n_seeds"] == 2
+        assert 0.0 <= agg["baseline_mean"] <= 100.0
+        assert 0.0 <= agg["dba_mean"] <= 100.0
+        assert len(messages) == 2
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate_headline(seeds=())

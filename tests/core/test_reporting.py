@@ -1,0 +1,92 @@
+"""Tests for paper-layout report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporting import (
+    AM_FAMILY,
+    format_dba_table,
+    format_duration,
+    format_table4,
+    has_interior_minimum,
+)
+
+
+class TestFormatHelpers:
+    def test_format_duration(self):
+        assert format_duration(30.0) == "30s"
+        assert format_duration(3.0) == "3s"
+
+    def test_am_family_covers_paper_frontends(self):
+        assert set(AM_FAMILY) == {"HU", "RU", "CZ", "EN_DNN", "MA", "EN_GMM"}
+
+
+class TestDbaTable:
+    def _cells(self):
+        frontends = ["HU", "EN_DNN"]
+        durations = (10.0, 3.0)
+        thresholds = (3, 2, 1)
+        baseline = {
+            (n, d): (10.0 + i, 11.0 + i)
+            for i, (n, d) in enumerate(
+                (n, d) for n in frontends for d in durations
+            )
+        }
+        dba = {
+            (n, d, v): (5.0 + v, 6.0 + v)
+            for n in frontends
+            for d in durations
+            for v in thresholds
+        }
+        return frontends, durations, thresholds, baseline, dba
+
+    def test_contains_all_cells(self):
+        frontends, durations, thresholds, baseline, dba = self._cells()
+        text = format_dba_table(frontends, durations, thresholds, baseline, dba)
+        assert "ANN-HMM HU" in text
+        assert "DNN-HMM EN_DNN" in text
+        assert "V=3" in text and "V=1" in text
+        assert "10s" in text and "3s" in text
+        assert "EER" in text and "Cavg" in text
+
+    def test_best_marked(self):
+        frontends, durations, thresholds, baseline, dba = self._cells()
+        text = format_dba_table(frontends, durations, thresholds, baseline, dba)
+        # Best value in every sweep is V=1 -> 6.00; it must carry the star.
+        assert "6.00*" in text
+
+    def test_missing_cell_raises(self):
+        frontends, durations, thresholds, baseline, dba = self._cells()
+        del dba[("HU", 10.0, 3)]
+        with pytest.raises(KeyError):
+            format_dba_table(frontends, durations, thresholds, baseline, dba)
+
+
+class TestTable4:
+    def test_layout(self):
+        frontends = ["HU"]
+        durations = (30.0,)
+        base_cells = {("HU", 30.0): (2.4, 2.3)}
+        base_fused = {30.0: (1.1, 1.2)}
+        dba_cells = {("HU", 30.0): (1.9, 1.8)}
+        dba_fused = {30.0: (1.0, 0.9)}
+        text = format_table4(
+            frontends, durations, base_cells, base_fused, dba_cells, dba_fused
+        )
+        assert "base ANN-HMM HU" in text
+        assert "DBA " in text
+        assert text.count("fusion") >= 2
+        assert "1.10/1.20" in text
+
+
+class TestInteriorMinimum:
+    def test_u_shape_detected(self):
+        assert has_interior_minimum([5.0, 3.0, 2.0, 3.5, 6.0])
+
+    def test_monotone_rejected(self):
+        assert not has_interior_minimum([5.0, 4.0, 3.0, 2.0])
+        assert not has_interior_minimum([2.0, 3.0, 4.0])
+
+    def test_edge_minimum_rejected(self):
+        assert not has_interior_minimum([1.0, 2.0, 3.0, 0.5][::-1])

@@ -1,0 +1,72 @@
+"""Tests for subsystem voting (Eqs. 10-13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.voting import subsystem_votes, vote_count_matrix, vote_fit_counts
+
+
+class TestSubsystemVotes:
+    def test_eq13_criterion(self):
+        scores = np.array(
+            [
+                [2.0, -1.0, -0.5],   # confident -> vote for 0
+                [1.0, 0.5, -1.0],    # two positive -> no vote
+                [-1.0, -2.0, -0.1],  # all negative -> no vote
+                [-0.5, 3.0, -0.2],   # confident -> vote for 1
+            ]
+        )
+        votes = subsystem_votes(scores)
+        expected = np.zeros((4, 3), dtype=bool)
+        expected[0, 0] = True
+        expected[3, 1] = True
+        np.testing.assert_array_equal(votes, expected)
+
+    def test_at_most_one_vote_per_row(self, rng):
+        votes = subsystem_votes(rng.normal(size=(50, 6)))
+        assert np.all(votes.sum(axis=1) <= 1)
+
+    def test_zero_score_blocks_vote(self):
+        # Winner positive but another language exactly at 0 (not < 0).
+        scores = np.array([[1.0, 0.0, -1.0]])
+        assert not subsystem_votes(scores).any()
+
+    def test_zero_winner_blocks_vote(self):
+        scores = np.array([[0.0, -1.0, -1.0]])
+        assert not subsystem_votes(scores).any()
+
+    def test_needs_two_languages(self):
+        with pytest.raises(ValueError):
+            subsystem_votes(np.ones((3, 1)))
+
+
+class TestVoteCounting:
+    def test_counts_sum_over_subsystems(self):
+        confident = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        unsure = np.array([[0.5, 0.2], [0.1, 0.6]])
+        counts = vote_count_matrix([confident, confident, unsure])
+        np.testing.assert_array_equal(counts, [[2, 0], [0, 2]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vote_count_matrix([np.ones((2, 2)), np.ones((3, 2))])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            vote_count_matrix([])
+
+    def test_max_count_is_subsystem_count(self, rng):
+        mats = [rng.normal(size=(30, 4)) for _ in range(5)]
+        counts = vote_count_matrix(mats)
+        assert counts.max() <= 5
+        assert counts.min() >= 0
+
+
+class TestFitCounts:
+    def test_counts_voting_rows(self):
+        confident = np.array([[2.0, -1.0], [-1.0, 2.0], [0.1, 0.2]])
+        silent = np.zeros((3, 2)) - 1.0
+        m = vote_fit_counts([confident, silent])
+        np.testing.assert_array_equal(m, [2, 0])

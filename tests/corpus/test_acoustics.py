@@ -1,0 +1,79 @@
+"""Tests for the synthetic acoustic space."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.acoustics import AcousticSpace
+from repro.corpus.generator import UtteranceGenerator
+from repro.corpus.language import make_language
+from repro.corpus.phoneset import universal_phone_set
+from repro.corpus.speaker import SessionSampler
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AcousticSpace(universal_phone_set(), feature_dim=13, seed=2)
+
+
+@pytest.fixture(scope="module")
+def utterance():
+    universal = universal_phone_set()
+    lang = make_language("l", universal, 0, inventory_size=20)
+    gen = UtteranceGenerator(SessionSampler(13, seed=1), frame_rate=20.0)
+    return gen.sample_utterance("u", lang, 10.0, 0)
+
+
+class TestAcousticSpace:
+    def test_phone_means_shape(self, space):
+        assert space.phone_means.shape == (space.n_phones(), 13)
+
+    def test_frame_means_repeat_phone_means(self, space, utterance):
+        means = space.frame_means(utterance)
+        assert means.shape == (utterance.n_frames, 13)
+        np.testing.assert_allclose(
+            means[0], space.phone_means[utterance.phones[0]]
+        )
+
+    def test_frame_labels_align(self, space, utterance):
+        labels = space.frame_labels(utterance)
+        assert labels.shape == (utterance.n_frames,)
+        assert labels[0] == utterance.phones[0]
+        assert labels[-1] == utterance.phones[-1]
+
+    def test_emit_shape_and_determinism(self, space, utterance):
+        a = space.emit(utterance, 7)
+        b = space.emit(utterance, 7)
+        assert a.shape == (utterance.n_frames, 13)
+        np.testing.assert_array_equal(a, b)
+
+    def test_emit_differs_across_rngs(self, space, utterance):
+        assert not np.allclose(space.emit(utterance, 1), space.emit(utterance, 2))
+
+    def test_frames_near_phone_means(self, space, utterance):
+        # Averaging frames of each phone should land near the (session-
+        # shifted) phone mean: correlation with clean means must be strong.
+        frames = space.emit(utterance, 0)
+        means = space.frame_means(utterance)
+        centered_f = frames - frames.mean(axis=0)
+        centered_m = means - means.mean(axis=0)
+        corr = np.sum(centered_f * centered_m) / (
+            np.linalg.norm(centered_f) * np.linalg.norm(centered_m)
+        )
+        assert corr > 0.5
+
+    def test_separation_controls_spread(self):
+        universal = universal_phone_set()
+        tight = AcousticSpace(universal, separation=0.5, seed=0)
+        wide = AcousticSpace(universal, separation=4.0, seed=0)
+        assert np.linalg.norm(wide.phone_means) > np.linalg.norm(
+            tight.phone_means
+        )
+
+    def test_invalid_args(self):
+        universal = universal_phone_set()
+        with pytest.raises(ValueError):
+            AcousticSpace(universal, feature_dim=0)
+        with pytest.raises(ValueError):
+            AcousticSpace(universal, ar_coeff=1.0)

@@ -1,0 +1,142 @@
+"""Tests for frame-level feature post-processing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.features import FeaturePipeline, add_deltas, cmvn, delta
+
+
+class TestDelta:
+    def test_constant_signal_zero_delta(self):
+        x = np.ones((10, 3)) * 4.2
+        np.testing.assert_allclose(delta(x), 0.0, atol=1e-12)
+
+    def test_linear_ramp_constant_delta(self):
+        # x_t = t: regression delta of a linear signal is its slope (1).
+        x = np.arange(20, dtype=float)[:, None]
+        d = delta(x, width=2)
+        np.testing.assert_allclose(d[3:-3], 1.0, atol=1e-12)
+
+    def test_edges_repeat_frames(self):
+        x = np.arange(6, dtype=float)[:, None]
+        d = delta(x, width=1)
+        # At t=0: (x1 - x0)/2 with repeated edge = 0.5.
+        assert d[0, 0] == pytest.approx(0.5)
+        assert d[-1, 0] == pytest.approx(0.5)
+
+    def test_empty_input(self):
+        out = delta(np.zeros((0, 4)))
+        assert out.shape == (0, 4)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            delta(np.zeros((3, 2)), width=0)
+
+    @given(st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_linearity(self, width):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(12, 2))
+        b = rng.normal(size=(12, 2))
+        np.testing.assert_allclose(
+            delta(a + b, width=width),
+            delta(a, width=width) + delta(b, width=width),
+            atol=1e-12,
+        )
+
+
+class TestAddDeltas:
+    def test_dimension_stacking(self):
+        x = np.random.default_rng(0).normal(size=(8, 13))
+        assert add_deltas(x, order=2).shape == (8, 39)
+        assert add_deltas(x, order=1).shape == (8, 26)
+        assert add_deltas(x, order=0).shape == (8, 13)
+
+    def test_first_block_is_statics(self):
+        x = np.random.default_rng(1).normal(size=(5, 4))
+        np.testing.assert_array_equal(add_deltas(x)[:, :4], x)
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            add_deltas(np.zeros((3, 2)), order=-1)
+
+
+class TestCmvn:
+    def test_zero_mean_unit_variance(self):
+        x = np.random.default_rng(2).normal(3.0, 2.5, size=(200, 5))
+        out = cmvn(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_mean_only(self):
+        x = np.random.default_rng(2).normal(3.0, 2.5, size=(50, 3))
+        out = cmvn(x, variance=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert out.std() > 1.5  # variance untouched
+
+    def test_constant_dim_no_blowup(self):
+        x = np.ones((10, 2))
+        out = cmvn(x)
+        assert np.all(np.isfinite(out))
+
+    def test_empty(self):
+        assert cmvn(np.zeros((0, 3))).shape == (0, 3)
+
+
+class TestFeaturePipeline:
+    def test_modes_and_dims(self):
+        x = np.random.default_rng(3).normal(size=(20, 13))
+        for mode, dim in [
+            ("none", 13),
+            ("cmvn", 13),
+            ("deltas", 39),
+            ("cmvn+deltas", 39),
+        ]:
+            pipe = FeaturePipeline(mode)
+            assert pipe.output_dim(13) == dim
+            assert pipe(x).shape == (20, dim)
+
+    def test_none_is_identity(self):
+        x = np.random.default_rng(3).normal(size=(6, 4))
+        np.testing.assert_array_equal(FeaturePipeline("none")(x), x)
+
+    def test_cmvn_deltas_statics_normalised(self):
+        x = np.random.default_rng(4).normal(5.0, 3.0, size=(100, 4))
+        out = FeaturePipeline("cmvn+deltas")(x)
+        np.testing.assert_allclose(out[:, :4].mean(axis=0), 0.0, atol=1e-9)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            FeaturePipeline("mfcc")
+
+    def test_repr(self):
+        assert "cmvn" in repr(FeaturePipeline("cmvn"))
+
+
+class TestRecognizerIntegration:
+    def test_acoustic_recognizer_with_deltas(self, tiny_bundle):
+        from repro.corpus import Corpus, SessionSampler, UtteranceGenerator, make_language
+        from repro.frontend import AcousticPhoneRecognizer
+
+        lang = make_language("dl", tiny_bundle.universal, 3, inventory_size=10)
+        gen = UtteranceGenerator(
+            SessionSampler(tiny_bundle.config.feature_dim, seed=4),
+            frame_rate=tiny_bundle.config.frame_rate,
+        )
+        corpus = Corpus(
+            [gen.sample_utterance(f"d{i}", lang, 15.0, i) for i in range(4)]
+        )
+        rec = AcousticPhoneRecognizer(
+            "DELTA",
+            tiny_bundle.acoustics,
+            lang,
+            features="cmvn+deltas",
+            seed=1,
+        )
+        rec.train(corpus)
+        sausage = rec.decode(corpus[0], 0)
+        assert len(sausage) > 0

@@ -1,0 +1,127 @@
+"""Tests for utterance and corpus generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import Corpus, Utterance, UtteranceGenerator
+from repro.corpus.language import LanguageRegistry, make_language_family
+from repro.corpus.phoneset import universal_phone_set
+from repro.corpus.speaker import SessionSampler
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return UtteranceGenerator(
+        SessionSampler(13, seed=3), frame_rate=20.0, duration_jitter=0.1
+    )
+
+
+@pytest.fixture(scope="module")
+def languages():
+    return make_language_family(3, 17, universal=universal_phone_set())
+
+
+class TestSampleUtterance:
+    def test_duration_close_to_nominal(self, generator, languages):
+        for i in range(5):
+            utt = generator.sample_utterance("u", languages[0], 10.0, i)
+            assert 10.0 * 0.85 <= utt.duration <= 10.0 * 1.2
+
+    def test_frames_consistent(self, generator, languages):
+        utt = generator.sample_utterance("u", languages[0], 5.0, 0)
+        assert utt.n_frames == utt.phone_frames.sum()
+        assert utt.phone_frames.min() >= 1
+        assert utt.n_phones == utt.phones.size
+
+    def test_phones_from_language_inventory(self, generator, languages):
+        lang = languages[1]
+        utt = generator.sample_utterance("u", lang, 10.0, 1)
+        assert set(utt.phones.tolist()) <= set(lang.inventory.tolist())
+
+    def test_deterministic(self, generator, languages):
+        a = generator.sample_utterance("u", languages[0], 5.0, 42)
+        b = generator.sample_utterance("u", languages[0], 5.0, 42)
+        np.testing.assert_array_equal(a.phones, b.phones)
+        np.testing.assert_array_equal(a.phone_frames, b.phone_frames)
+
+    def test_shorter_duration_fewer_phones(self, generator, languages):
+        short = generator.sample_utterance("s", languages[0], 3.0, 0)
+        long = generator.sample_utterance("l", languages[0], 30.0, 0)
+        assert short.n_phones < long.n_phones
+
+    def test_invalid_duration(self, generator, languages):
+        with pytest.raises(ValueError):
+            generator.sample_utterance("u", languages[0], 0.0, 0)
+
+
+class TestUtteranceValidation:
+    def test_frames_must_be_positive(self, generator, languages):
+        utt = generator.sample_utterance("u", languages[0], 3.0, 0)
+        with pytest.raises(ValueError):
+            Utterance(
+                utt_id="bad",
+                language=utt.language,
+                nominal_duration=3.0,
+                phones=utt.phones,
+                phone_frames=np.zeros_like(utt.phone_frames),
+                session=utt.session,
+                frame_rate=20.0,
+            )
+
+    def test_shape_mismatch_rejected(self, generator, languages):
+        utt = generator.sample_utterance("u", languages[0], 3.0, 0)
+        with pytest.raises(ValueError):
+            Utterance(
+                utt_id="bad",
+                language=utt.language,
+                nominal_duration=3.0,
+                phones=utt.phones,
+                phone_frames=utt.phone_frames[:-1],
+                session=utt.session,
+                frame_rate=20.0,
+            )
+
+
+class TestCorpus:
+    def test_sample_corpus_balanced(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 4, 5.0, seed=1)
+        assert len(corpus) == 12
+        by_lang = corpus.by_language()
+        assert all(len(v) == 4 for v in by_lang.values())
+
+    def test_label_indices(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 2, 5.0, seed=1)
+        labels = corpus.label_indices(registry.names)
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1, 2, 2])
+
+    def test_label_indices_unknown_language(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 1, 5.0, seed=1)
+        with pytest.raises(KeyError):
+            corpus.label_indices(["other"])
+
+    def test_subset_and_extend(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 2, 5.0, seed=1)
+        sub = corpus.subset([0, 3])
+        assert len(sub) == 2
+        assert sub[0].utt_id == corpus[0].utt_id
+        combined = sub.extend(corpus)
+        assert len(combined) == 2 + len(corpus)
+
+    def test_unique_ids(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 3, 5.0, seed=1)
+        ids = [u.utt_id for u in corpus]
+        assert len(set(ids)) == len(ids)
+
+    def test_total_audio_seconds(self, generator, languages):
+        registry = LanguageRegistry(list(languages))
+        corpus = generator.sample_corpus(registry, 2, 5.0, seed=1)
+        assert corpus.total_audio_seconds() == pytest.approx(
+            sum(u.duration for u in corpus)
+        )

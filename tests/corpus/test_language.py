@@ -1,0 +1,142 @@
+"""Tests for synthetic language models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.language import (
+    LanguageRegistry,
+    LanguageSpec,
+    make_language,
+    make_language_family,
+)
+from repro.corpus.phoneset import universal_phone_set
+
+
+@pytest.fixture(scope="module")
+def universal():
+    return universal_phone_set()
+
+
+class TestMakeLanguage:
+    def test_valid_distributions(self, universal):
+        lang = make_language("l0", universal, 0, inventory_size=20)
+        assert lang.n_phones == 20
+        np.testing.assert_allclose(lang.initial.sum(), 1.0)
+        np.testing.assert_allclose(lang.transition.sum(axis=1), 1.0)
+
+    def test_deterministic_by_seed(self, universal):
+        a = make_language("l", universal, 5, inventory_size=15)
+        b = make_language("l", universal, 5, inventory_size=15)
+        np.testing.assert_array_equal(a.inventory, b.inventory)
+        np.testing.assert_allclose(a.transition, b.transition)
+
+    def test_prototype_interpolation(self, universal):
+        rng = np.random.default_rng(0)
+        proto = rng.gamma(1.0, size=(len(universal), len(universal)))
+        proto /= proto.sum(axis=1, keepdims=True)
+        blended = make_language(
+            "l", universal, 1, inventory_size=20,
+            prototype=proto, prototype_weight=0.9,
+        )
+        own = make_language("l", universal, 1, inventory_size=20)
+        proto_sub = proto[np.ix_(blended.inventory, blended.inventory)]
+        proto_sub /= proto_sub.sum(axis=1, keepdims=True)
+        # Heavy prototype weight pulls transitions toward the prototype.
+        d_blend = np.abs(blended.transition - proto_sub).mean()
+        d_own = np.abs(own.transition - proto_sub).mean()
+        assert d_blend < d_own
+
+    def test_prototype_shape_checked(self, universal):
+        with pytest.raises(ValueError, match="universal"):
+            make_language(
+                "l", universal, 0, prototype=np.ones((3, 3)) / 3,
+                prototype_weight=0.5,
+            )
+
+
+class TestLanguageSpec:
+    def test_validation(self, universal):
+        with pytest.raises(ValueError):
+            LanguageSpec(
+                "bad",
+                inventory=np.array([0, 1]),
+                initial=np.array([0.5, 0.6]),  # not a distribution
+                transition=np.eye(2),
+            )
+
+    def test_sample_phones_in_inventory(self, universal):
+        lang = make_language("l", universal, 3, inventory_size=12)
+        phones = lang.sample_phones(500, 0)
+        assert set(phones.tolist()) <= set(lang.inventory.tolist())
+
+    def test_sample_phones_empty(self, universal):
+        lang = make_language("l", universal, 3, inventory_size=12)
+        assert lang.sample_phones(0, 0).size == 0
+
+    def test_sample_follows_transitions(self, universal):
+        # A 2-phone deterministic cycle must alternate.
+        lang = LanguageSpec(
+            "cycle",
+            inventory=np.array([0, 1]),
+            initial=np.array([1.0, 0.0]),
+            transition=np.array([[0.0, 1.0], [1.0, 0.0]]),
+        )
+        phones = lang.sample_phones(10, 0)
+        np.testing.assert_array_equal(phones % 2, np.arange(10) % 2)
+
+    def test_stationary_distribution(self, universal):
+        lang = make_language("l", universal, 9, inventory_size=10)
+        pi = lang.stationary_distribution()
+        np.testing.assert_allclose(pi.sum(), 1.0)
+        np.testing.assert_allclose(pi @ lang.transition, pi, atol=1e-8)
+
+
+class TestLanguageFamily:
+    def test_count_and_names(self):
+        langs = make_language_family(7, 11)
+        assert len(langs) == 7
+        assert len({lang.name for lang in langs}) == 7
+
+    def test_same_family_more_similar(self):
+        langs = make_language_family(
+            8, 3, n_families=2, family_weight=0.7, inventory_size=30
+        )
+
+        def chain_distance(a, b):
+            shared = np.intersect1d(a.inventory, b.inventory)
+            ia = np.searchsorted(a.inventory, shared)
+            ib = np.searchsorted(b.inventory, shared)
+            ta = a.transition[np.ix_(ia, ia)]
+            tb = b.transition[np.ix_(ib, ib)]
+            return np.abs(ta - tb).mean()
+
+        # Round-robin assignment: 0, 2, 4, 6 share family 0; 1, 3, ... family 1.
+        same = chain_distance(langs[0], langs[2])
+        cross = chain_distance(langs[0], langs[1])
+        assert same < cross
+
+    def test_needs_two_languages(self):
+        with pytest.raises(ValueError):
+            make_language_family(1, 0)
+
+
+class TestLanguageRegistry:
+    def test_lookup(self):
+        langs = make_language_family(4, 2)
+        reg = LanguageRegistry(langs)
+        assert len(reg) == 4
+        assert reg.index_of(langs[2].name) == 2
+        assert reg[1] is langs[1]
+        assert reg.names == [lang.name for lang in langs]
+
+    def test_unknown_name(self):
+        reg = LanguageRegistry(make_language_family(3, 2))
+        with pytest.raises(KeyError):
+            reg.index_of("nope")
+
+    def test_duplicate_names_rejected(self):
+        langs = make_language_family(3, 2)
+        with pytest.raises(ValueError):
+            LanguageRegistry([langs[0], langs[0], langs[1]])

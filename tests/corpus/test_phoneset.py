@@ -1,0 +1,90 @@
+"""Tests for phone inventories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.phoneset import (
+    UNIVERSAL_SIZE,
+    PhoneSet,
+    sample_inventory,
+    universal_phone_set,
+)
+
+
+class TestPhoneSet:
+    def test_universal_size(self):
+        u = universal_phone_set()
+        assert len(u) == UNIVERSAL_SIZE
+        assert len(set(u.symbols)) == UNIVERSAL_SIZE
+
+    def test_index_symbol_roundtrip(self):
+        u = universal_phone_set()
+        for i in (0, 10, len(u) - 1):
+            assert u.index(u.symbol(i)) == i
+
+    def test_unknown_symbol_raises(self):
+        u = universal_phone_set()
+        with pytest.raises(ValueError, match="not in phone set"):
+            u.index("totally-not-a-phone")
+
+    def test_contains(self):
+        u = universal_phone_set()
+        assert u.symbols[0] in u
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PhoneSet("bad", ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            PhoneSet("bad", ())
+
+    def test_subset_preserves_order(self):
+        u = universal_phone_set()
+        sub = u.subset("sub", np.array([5, 2, 9]))
+        assert sub.symbols == (u.symbol(5), u.symbol(2), u.symbol(9))
+
+    def test_custom_size_padding(self):
+        big = universal_phone_set(100)
+        assert len(big) == 100
+        small = universal_phone_set(10)
+        assert len(small) == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            universal_phone_set(1)
+
+
+class TestSampleInventory:
+    @given(st.integers(2, UNIVERSAL_SIZE), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_size_sorted_unique_in_range(self, size, seed):
+        u = universal_phone_set()
+        inv = sample_inventory(u, size, seed)
+        assert inv.size == size
+        assert np.all(np.diff(inv) > 0)
+        assert inv.min() >= 0 and inv.max() < len(u)
+
+    def test_core_shared_across_samples(self):
+        # Small inventories draw purely from the shared core block.
+        u = universal_phone_set()
+        n_core = int(0.5 * len(u))
+        inv = sample_inventory(u, 10, 0)
+        assert inv.max() < n_core
+
+    def test_deterministic(self):
+        u = universal_phone_set()
+        np.testing.assert_array_equal(
+            sample_inventory(u, 20, 7), sample_inventory(u, 20, 7)
+        )
+
+    def test_invalid_sizes(self):
+        u = universal_phone_set()
+        with pytest.raises(ValueError):
+            sample_inventory(u, 0, 0)
+        with pytest.raises(ValueError):
+            sample_inventory(u, len(u) + 1, 0)

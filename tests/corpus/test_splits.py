@@ -1,0 +1,63 @@
+"""Tests for LRE-shaped corpus bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.splits import CorpusConfig, make_corpus_bundle
+
+
+class TestCorpusConfig:
+    def test_defaults_valid(self):
+        CorpusConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_languages": 1},
+            {"train_per_language": 0},
+            {"durations": ()},
+            {"durations": (30.0, -1.0)},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            CorpusConfig(**kwargs)
+
+
+class TestMakeCorpusBundle:
+    def test_bundle_shapes(self, tiny_bundle, tiny_config):
+        cfg = tiny_config
+        assert len(tiny_bundle.registry) == cfg.n_languages
+        assert len(tiny_bundle.train) == cfg.n_languages * cfg.train_per_language
+        assert len(tiny_bundle.dev) == cfg.n_languages * cfg.dev_per_language
+        assert set(tiny_bundle.test) == set(cfg.durations)
+        for d in cfg.durations:
+            assert (
+                len(tiny_bundle.test[d])
+                == cfg.n_languages * cfg.test_per_language
+            )
+
+    def test_deterministic(self, tiny_config):
+        a = make_corpus_bundle(tiny_config)
+        b = make_corpus_bundle(tiny_config)
+        np.testing.assert_array_equal(a.train[0].phones, b.train[0].phones)
+        assert a.language_names == b.language_names
+
+    def test_train_test_conditions_differ(self, tiny_bundle):
+        d_train = np.mean([u.session.distortion() for u in tiny_bundle.train])
+        pool = [
+            u.session.distortion()
+            for corpus in tiny_bundle.test.values()
+            for u in corpus
+        ]
+        assert np.mean(pool) > d_train
+
+    def test_test_durations_respected(self, tiny_bundle):
+        for nominal, corpus in tiny_bundle.test.items():
+            mean_dur = np.mean([u.duration for u in corpus])
+            assert nominal * 0.8 <= mean_dur <= nominal * 1.2
+
+    def test_language_names_order_stable(self, tiny_bundle):
+        assert tiny_bundle.language_names == tiny_bundle.registry.names

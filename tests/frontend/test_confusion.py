@@ -1,0 +1,123 @@
+"""Tests for the confusion-channel recognizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.acoustics import AcousticSpace
+from repro.corpus.generator import UtteranceGenerator
+from repro.corpus.language import make_language
+from repro.corpus.phoneset import universal_phone_set
+from repro.corpus.speaker import SessionSampler
+from repro.frontend.confusion import ConfusionChannelRecognizer, ConfusionModel
+
+
+@pytest.fixture(scope="module")
+def space():
+    return AcousticSpace(universal_phone_set(), seed=4)
+
+
+@pytest.fixture(scope="module")
+def utterance(space):
+    lang = make_language("l", space.phone_set, 0, inventory_size=24)
+    gen = UtteranceGenerator(SessionSampler(13, seed=2), frame_rate=20.0)
+    return gen.sample_utterance("u", lang, 10.0, 3)
+
+
+class TestProjection:
+    def test_rows_are_distributions(self, space):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        proj = fe.projection
+        assert proj.shape == (len(space.phone_set), 30)
+        np.testing.assert_allclose(proj.sum(axis=1), 1.0, atol=1e-9)
+        assert np.all(proj >= 0)
+
+    def test_prototype_phones_map_to_themselves(self, space):
+        fe = ConfusionChannelRecognizer(
+            "X", space, 30, ConfusionModel(tau=0.3), seed=1
+        )
+        # A universal phone that IS a prototype should peak on its own
+        # local id.
+        for local, universal in enumerate(fe._local_universal_ids[:10]):
+            assert int(np.argmax(fe.projection[universal])) == local
+
+    def test_sharper_tau_more_peaked(self, space):
+        sharp = ConfusionChannelRecognizer(
+            "A", space, 30, ConfusionModel(tau=0.2), seed=1
+        )
+        flat = ConfusionChannelRecognizer(
+            "A", space, 30, ConfusionModel(tau=1.5), seed=1
+        )
+        assert sharp.projection.max(axis=1).mean() > flat.projection.max(
+            axis=1
+        ).mean()
+
+    def test_different_seeds_different_inventories(self, space):
+        a = ConfusionChannelRecognizer("A", space, 30, seed=1)
+        b = ConfusionChannelRecognizer("B", space, 30, seed=2)
+        assert not np.array_equal(
+            a._local_universal_ids, b._local_universal_ids
+        )
+
+    def test_session_projection_differs_from_clean(self, space, utterance):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        shifted = fe.session_projection(utterance.session)
+        assert shifted.shape == fe.projection.shape
+        assert not np.allclose(shifted, fe.projection)
+        np.testing.assert_allclose(shifted.sum(axis=1), 1.0, atol=1e-9)
+
+
+class TestDecode:
+    def test_output_structure(self, space, utterance):
+        fe = ConfusionChannelRecognizer(
+            "X", space, 30, ConfusionModel(top_k=4), seed=1
+        )
+        sausage = fe.decode(utterance, 0)
+        assert len(sausage) > 0
+        for slot in sausage.slots:
+            assert 1 <= slot.phones.size <= 4
+            assert slot.probs.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_rng(self, space, utterance):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        a = fe.decode(utterance, 9)
+        b = fe.decode(utterance, 9)
+        np.testing.assert_array_equal(a.best_phones(), b.best_phones())
+
+    def test_slot_count_tracks_utterance_length(self, space, utterance):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        n_slots = len(fe.decode(utterance, 0))
+        # Deletions/insertions keep the count within a sane band.
+        assert 0.6 * utterance.n_phones <= n_slots <= 1.4 * utterance.n_phones
+
+    def test_better_model_more_accurate(self, space, utterance):
+        good = ConfusionChannelRecognizer(
+            "G", space, 40, ConfusionModel(tau=0.25, base_error=0.02,
+                                           insertion_rate=0.0,
+                                           deletion_rate=0.0),
+            seed=1,
+        )
+        bad = ConfusionChannelRecognizer(
+            "B", space, 40, ConfusionModel(tau=1.2, base_error=0.5,
+                                           insertion_rate=0.0,
+                                           deletion_rate=0.0),
+            seed=1,
+        )
+
+        def top1_match(fe):
+            sausage = fe.decode(utterance, 0)
+            # Compare decoded local phones to the projected truth.
+            proj_truth = np.argmax(fe.projection[utterance.phones], axis=1)
+            decoded = sausage.best_phones()
+            n = min(decoded.size, proj_truth.size)
+            return np.mean(decoded[:n] == proj_truth[:n])
+
+        assert top1_match(good) > top1_match(bad)
+
+    def test_decode_empty_phones_is_safe(self, space, utterance):
+        fe = ConfusionChannelRecognizer(
+            "X", space, 30, ConfusionModel(deletion_rate=0.0), seed=1
+        )
+        sausage = fe.decode(utterance, 0)
+        assert len(sausage) >= utterance.n_phones  # only insertions

@@ -1,0 +1,183 @@
+"""Tests for the Viterbi phone-loop decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.phoneset import PhoneSet
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.frontend.am.hmm import GMMEmission, PhoneHMMSet
+from repro.frontend.decoder import (
+    DecoderConfig,
+    ViterbiDecoder,
+    estimate_phone_bigram,
+)
+
+PS3 = PhoneSet("t3", ("a", "b", "c"))
+
+
+def separated_decoder(
+    states_per_phone=2, self_loop=0.5, **cfg_kwargs
+) -> tuple[ViterbiDecoder, np.ndarray]:
+    """Three phones at well-separated means in 2-D; returns (decoder, means)."""
+    means = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    gmms = []
+    for p in range(3):
+        for _ in range(states_per_phone):
+            gmms.append(
+                DiagonalGMM.from_parameters(
+                    means=means[p : p + 1],
+                    variances=np.ones((1, 2)),
+                    weights=np.array([1.0]),
+                )
+            )
+    hmms = PhoneHMMSet(
+        3, states_per_phone, GMMEmission(gmms), self_loop=self_loop
+    )
+    return ViterbiDecoder(hmms, PS3, DecoderConfig(**cfg_kwargs)), means
+
+
+def render(means, phone_seq, frames_per_phone, rng, noise=0.3):
+    obs = []
+    for p in phone_seq:
+        obs.append(
+            means[p] + rng.normal(0, noise, size=(frames_per_phone, 2))
+        )
+    return np.vstack(obs)
+
+
+class TestEstimatePhoneBigram:
+    def test_row_stochastic(self):
+        lb = estimate_phone_bigram([np.array([0, 1, 2, 0])], 3)
+        np.testing.assert_allclose(np.exp(lb).sum(axis=1), 1.0, atol=1e-12)
+
+    def test_counts_dominate(self):
+        seqs = [np.array([0, 1] * 50)]
+        lb = estimate_phone_bigram(seqs, 3, smoothing=0.1)
+        assert lb[0, 1] > lb[0, 0]
+        assert lb[0, 1] > lb[0, 2]
+
+    def test_empty_sequences_uniform(self):
+        lb = estimate_phone_bigram([], 4)
+        np.testing.assert_allclose(lb, np.log(0.25), atol=1e-12)
+
+
+class TestViterbi:
+    def test_recovers_clean_sequence(self, rng):
+        decoder, means = separated_decoder()
+        truth = [0, 1, 2, 1, 0]
+        frames = render(means, truth, 5, rng)
+        sausage = decoder.decode(frames)
+        np.testing.assert_array_equal(sausage.best_phones(), truth)
+
+    def test_repeated_phone_collapsed_sequence_correct(self, rng):
+        # Two adjacent instances of the same phone are acoustically
+        # indistinguishable from one long instance; the decoder may emit
+        # either.  The collapsed phone sequence must still be right.
+        decoder, means = separated_decoder()
+        frames = render(means, [1, 1, 2], 6, rng, noise=0.2)
+        decoded = decoder.decode(frames).best_phones()
+        collapsed = decoded[np.insert(np.diff(decoded) != 0, 0, True)]
+        np.testing.assert_array_equal(collapsed, [1, 2])
+
+    def test_empty_input(self):
+        decoder, _ = separated_decoder()
+        assert len(decoder.decode(np.zeros((0, 2)))) == 0
+
+    def test_path_and_posterior_shapes(self, rng):
+        decoder, means = separated_decoder()
+        frames = render(means, [0, 2], 4, rng)
+        loglik = decoder.config.acoustic_scale * (
+            decoder.hmms.emission.frame_log_likelihood(frames)
+        )
+        path, crossed = decoder.viterbi(loglik)
+        assert path.shape == (8,)
+        assert crossed[0]
+        post = decoder.state_posteriors(loglik)
+        np.testing.assert_allclose(post.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_softmax_mode_also_decodes(self, rng):
+        decoder, means = separated_decoder(posterior_mode="softmax")
+        truth = [2, 0, 1]
+        frames = render(means, truth, 5, rng)
+        np.testing.assert_array_equal(
+            decoder.decode(frames).best_phones(), truth
+        )
+
+    def test_slot_probs_valid(self, rng):
+        decoder, means = separated_decoder(top_k=3)
+        frames = render(means, [0, 1], 5, rng, noise=1.5)
+        for slot in decoder.decode(frames).slots:
+            assert slot.probs.sum() == pytest.approx(1.0)
+            assert slot.phones.size <= 3
+
+    def test_single_state_phones(self, rng):
+        decoder, means = separated_decoder(states_per_phone=1)
+        truth = [0, 1, 2]
+        frames = render(means, truth, 4, rng)
+        np.testing.assert_array_equal(
+            decoder.decode(frames).best_phones(), truth
+        )
+
+    def test_fb_posteriors_sum_to_one(self, rng):
+        decoder, means = separated_decoder()
+        frames = render(means, [0, 1, 2], 3, rng)
+        loglik = decoder.hmms.emission.frame_log_likelihood(frames)
+        gamma = decoder.state_posteriors(loglik)
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0, atol=1e-8)
+
+    def test_mismatched_width_rejected(self, rng):
+        decoder, _ = separated_decoder()
+        with pytest.raises(ValueError):
+            decoder.viterbi(np.zeros((5, 99)))
+
+    def test_phone_set_size_checked(self, rng):
+        decoder, _ = separated_decoder()
+        with pytest.raises(ValueError):
+            ViterbiDecoder(decoder.hmms, PhoneSet("bad", ("x",)))
+
+    def test_noisier_frames_give_flatter_slots(self, rng):
+        decoder, means = separated_decoder(top_k=3)
+        clean = render(means, [0, 1, 2], 5, rng, noise=0.1)
+        noisy = render(means, [0, 1, 2], 5, rng, noise=3.0)
+
+        def mean_top_prob(sausage):
+            return np.mean([slot.probs.max() for slot in sausage.slots])
+
+        assert mean_top_prob(decoder.decode(noisy)) < mean_top_prob(
+            decoder.decode(clean)
+        )
+
+
+class TestDecoderKnobs:
+    def test_acoustic_scale_flattens_posteriors(self, rng):
+        sharp, means = separated_decoder(acoustic_scale=1.0, top_k=3)
+        flat, _ = separated_decoder(acoustic_scale=0.05, top_k=3)
+        frames = render(means, [0, 1, 2], 5, rng, noise=1.0)
+
+        def mean_top(decoder):
+            return np.mean(
+                [s.probs.max() for s in decoder.decode(frames).slots]
+            )
+
+        assert mean_top(flat) < mean_top(sharp)
+
+    def test_insertion_penalty_reduces_segments(self, rng):
+        from repro.frontend.am.hmm import PhoneHMMSet
+        from repro.frontend.decoder import DecoderConfig, ViterbiDecoder
+
+        base, means = separated_decoder(states_per_phone=1, self_loop=0.5)
+        # Rebuild with a strong insertion penalty on cross-phone arcs.
+        penalised_hmms = PhoneHMMSet(
+            3,
+            1,
+            base.hmms.emission,
+            self_loop=0.5,
+            insertion_log_penalty=-8.0,
+        )
+        penalised = ViterbiDecoder(penalised_hmms, PS3, DecoderConfig())
+        frames = render(means, [0, 1, 2, 1, 0], 3, rng, noise=1.2)
+        n_base = len(base.decode(frames))
+        n_penalised = len(penalised.decode(frames))
+        assert n_penalised <= n_base

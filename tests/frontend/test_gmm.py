@@ -1,0 +1,121 @@
+"""Tests for the diagonal GMM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import norm
+
+from repro.frontend.am.gmm import DiagonalGMM
+
+
+def two_cluster_data(rng, n=400, sep=6.0):
+    a = rng.normal(0.0, 1.0, size=(n // 2, 2))
+    b = rng.normal(sep, 1.0, size=(n // 2, 2))
+    return np.vstack([a, b])
+
+
+class TestScoring:
+    def test_single_gaussian_matches_scipy(self, rng):
+        gmm = DiagonalGMM.from_parameters(
+            means=np.array([[1.0, -2.0]]),
+            variances=np.array([[4.0, 0.25]]),
+            weights=np.array([1.0]),
+        )
+        x = rng.normal(size=(10, 2))
+        expected = norm.logpdf(x[:, 0], 1.0, 2.0) + norm.logpdf(
+            x[:, 1], -2.0, 0.5
+        )
+        np.testing.assert_allclose(gmm.log_likelihood(x), expected, atol=1e-9)
+
+    def test_mixture_is_logsumexp_of_components(self, rng):
+        gmm = DiagonalGMM.from_parameters(
+            means=np.array([[0.0], [5.0]]),
+            variances=np.array([[1.0], [1.0]]),
+            weights=np.array([0.3, 0.7]),
+        )
+        x = rng.normal(size=(20, 1))
+        comp = gmm.component_log_likelihood(x) + gmm.log_weights
+        expected = np.logaddexp(comp[:, 0], comp[:, 1])
+        np.testing.assert_allclose(gmm.log_likelihood(x), expected, atol=1e-9)
+
+    def test_responsibilities_sum_to_one(self, rng):
+        gmm = DiagonalGMM(3).fit(rng.normal(size=(100, 2)), rng=0)
+        post = gmm.responsibilities(rng.normal(size=(15, 2)))
+        np.testing.assert_allclose(post.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DiagonalGMM(2).log_likelihood(np.zeros((1, 2)))
+
+
+class TestFitting:
+    def test_em_finds_two_clusters(self, rng):
+        x = two_cluster_data(rng)
+        gmm = DiagonalGMM(2).fit(x, n_iter=25, rng=0)
+        means = np.sort(gmm.means[:, 0])
+        assert means[0] == pytest.approx(0.0, abs=0.5)
+        assert means[1] == pytest.approx(6.0, abs=0.5)
+        np.testing.assert_allclose(np.exp(gmm.log_weights).sum(), 1.0)
+
+    def test_em_monotone_likelihood(self, rng):
+        x = two_cluster_data(rng)
+        lls = []
+        for n_iter in (1, 5, 20):
+            gmm = DiagonalGMM(3).fit(x, n_iter=n_iter, rng=0)
+            lls.append(gmm.log_likelihood(x).mean())
+        assert lls[0] <= lls[1] + 1e-9
+        assert lls[1] <= lls[2] + 1e-9
+
+    def test_weighted_fit_respects_weights(self, rng):
+        x = two_cluster_data(rng)
+        # Zero out the second cluster: the model must collapse onto the first.
+        w = np.concatenate([np.ones(200), np.zeros(200)])
+        gmm = DiagonalGMM(1, var_floor=1e-3).fit(x, weights=w, rng=0)
+        assert gmm.means[0, 0] == pytest.approx(0.0, abs=0.3)
+
+    def test_variance_floor(self, rng):
+        x = np.zeros((50, 2))  # degenerate data
+        gmm = DiagonalGMM(1, var_floor=1e-2).fit(x, n_iter=3, rng=0)
+        assert np.all(gmm.variances >= 1e-2)
+
+    def test_too_few_frames_rejected(self, rng):
+        with pytest.raises(ValueError, match="frames"):
+            DiagonalGMM(8).fit(rng.normal(size=(4, 2)), rng=0)
+
+    def test_bad_weights_rejected(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            DiagonalGMM(2).fit(x, weights=-np.ones(10), rng=0)
+
+    def test_deterministic_given_seed(self, rng):
+        x = two_cluster_data(rng)
+        a = DiagonalGMM(2).fit(x, rng=3)
+        b = DiagonalGMM(2).fit(x, rng=3)
+        np.testing.assert_allclose(a.means, b.means)
+
+
+class TestFromParameters:
+    def test_roundtrip(self):
+        gmm = DiagonalGMM.from_parameters(
+            means=np.array([[0.0, 1.0]]),
+            variances=np.array([[1.0, 2.0]]),
+            weights=np.array([1.0]),
+        )
+        assert gmm.n_components == 1
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            DiagonalGMM.from_parameters(
+                means=np.zeros((2, 3)),
+                variances=np.zeros((1, 3)),
+                weights=np.array([0.5, 0.5]),
+            )
+
+    def test_bad_weights(self):
+        with pytest.raises(ValueError):
+            DiagonalGMM.from_parameters(
+                means=np.zeros((2, 2)),
+                variances=np.ones((2, 2)),
+                weights=np.array([0.5, 0.6]),
+            )

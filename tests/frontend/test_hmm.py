@@ -1,0 +1,137 @@
+"""Tests for phone HMM sets, alignments and emission models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.frontend.am.hmm import (
+    GMMEmission,
+    NeuralEmission,
+    PhoneHMMSet,
+    uniform_state_alignment,
+)
+from repro.frontend.am.mlp import MLPConfig
+
+
+class TestUniformStateAlignment:
+    def test_two_state_split(self):
+        labels = uniform_state_alignment(
+            np.array([0, 1]), np.array([4, 2]), states_per_phone=2
+        )
+        np.testing.assert_array_equal(labels, [0, 0, 1, 1, 2, 3])
+
+    def test_short_segment_uses_early_states(self):
+        labels = uniform_state_alignment(
+            np.array([1]), np.array([1]), states_per_phone=3
+        )
+        np.testing.assert_array_equal(labels, [3])  # phone 1, state 0
+
+    def test_three_state_balanced(self):
+        labels = uniform_state_alignment(
+            np.array([0]), np.array([9]), states_per_phone=3
+        )
+        counts = np.bincount(labels, minlength=3)
+        assert tuple(counts) == (3, 3, 3)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_state_alignment(np.array([0]), np.array([1, 2]), 2)
+
+
+def make_emission(n_states: int, rng) -> GMMEmission:
+    gmms = [
+        DiagonalGMM.from_parameters(
+            means=rng.normal(size=(1, 3)) * 3,
+            variances=np.ones((1, 3)),
+            weights=np.array([1.0]),
+        )
+        for _ in range(n_states)
+    ]
+    return GMMEmission(gmms)
+
+
+class TestEmissions:
+    def test_gmm_emission_shape(self, rng):
+        em = make_emission(6, rng)
+        out = em.frame_log_likelihood(rng.normal(size=(7, 3)))
+        assert out.shape == (7, 6)
+
+    def test_gmm_emission_train_separates_states(self, rng):
+        # Two states at distinct means.
+        frames = np.vstack(
+            [rng.normal(0, 1, (100, 2)), rng.normal(8, 1, (100, 2))]
+        )
+        labels = np.repeat([0, 1], 100)
+        em = GMMEmission.train(frames, labels, 2, n_components=2, seed=0)
+        ll = em.frame_log_likelihood(np.array([[0.0, 0.0], [8.0, 8.0]]))
+        assert ll[0, 0] > ll[0, 1]
+        assert ll[1, 1] > ll[1, 0]
+
+    def test_gmm_emission_handles_empty_state(self, rng):
+        frames = rng.normal(size=(50, 2))
+        labels = np.zeros(50, dtype=int)
+        em = GMMEmission.train(frames, labels, 3, seed=0)  # states 1,2 empty
+        out = em.frame_log_likelihood(frames[:5])
+        assert np.all(np.isfinite(out))
+
+    def test_neural_emission_train_and_score(self, rng):
+        frames = np.vstack(
+            [rng.normal(0, 1, (120, 3)), rng.normal(6, 1, (120, 3))]
+        )
+        labels = np.repeat([0, 1], 120)
+        em = NeuralEmission.train(
+            frames, labels, 2,
+            config=MLPConfig(hidden_sizes=(12,), n_epochs=4), seed=0,
+        )
+        ll = em.frame_log_likelihood(np.array([[0.0] * 3, [6.0] * 3]))
+        assert ll[0, 0] > ll[0, 1]
+        assert ll[1, 1] > ll[1, 0]
+
+    def test_neural_emission_covers_all_states(self, rng):
+        # The tail state never occurs in training data.
+        frames = rng.normal(size=(60, 3))
+        labels = np.zeros(60, dtype=int)
+        em = NeuralEmission.train(
+            frames, labels, 4,
+            config=MLPConfig(hidden_sizes=(8,), n_epochs=2), seed=0,
+        )
+        assert em.n_states == 4
+        assert em.frame_log_likelihood(frames[:3]).shape == (3, 4)
+
+
+class TestPhoneHMMSet:
+    def test_state_space_helpers(self, rng):
+        hmms = PhoneHMMSet(4, 2, make_emission(8, rng))
+        np.testing.assert_array_equal(hmms.entry_states(), [0, 2, 4, 6])
+        np.testing.assert_array_equal(hmms.exit_states(), [1, 3, 5, 7])
+        np.testing.assert_array_equal(
+            hmms.state_phone(), [0, 0, 1, 1, 2, 2, 3, 3]
+        )
+
+    def test_initial_log_probs(self, rng):
+        hmms = PhoneHMMSet(4, 2, make_emission(8, rng))
+        init = hmms.initial_log_probs()
+        probs = np.exp(init[np.isfinite(init)])
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(np.isneginf(init[1::2]))  # non-entry states
+
+    def test_transition_blocks_normalised(self, rng):
+        hmms = PhoneHMMSet(3, 2, make_emission(6, rng), self_loop=0.6)
+        log_self, log_leave, cross = hmms.transition_blocks()
+        assert np.exp(log_self) == pytest.approx(0.6)
+        # Leaving mass spread over the bigram must total 1 - self_loop.
+        total_leave = np.exp(cross).sum(axis=1)
+        np.testing.assert_allclose(total_leave, 0.4, atol=1e-9)
+
+    def test_emission_size_checked(self, rng):
+        with pytest.raises(ValueError, match="emission"):
+            PhoneHMMSet(4, 3, make_emission(8, rng))
+
+    def test_bigram_shape_checked(self, rng):
+        with pytest.raises(ValueError, match="bigram"):
+            PhoneHMMSet(
+                4, 2, make_emission(8, rng),
+                phone_log_bigram=np.zeros((3, 3)),
+            )

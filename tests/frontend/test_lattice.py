@@ -1,0 +1,264 @@
+"""Tests for lattices and posterior sausages."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.phoneset import PhoneSet
+from repro.frontend.lattice import Lattice, Sausage, SausageSlot
+
+PS = PhoneSet("test", tuple("abcdef"))
+
+
+def diamond_lattice() -> Lattice:
+    """start -0-> mid -..-> end with two parallel paths."""
+    # Nodes: 0 start, 1 mid, 2 end.
+    return Lattice(
+        n_nodes=3,
+        starts=np.array([0, 0, 1, 1]),
+        ends=np.array([1, 1, 2, 2]),
+        phones=np.array([0, 1, 2, 3]),
+        log_weights=np.log(np.array([0.7, 0.3, 0.4, 0.6])),
+        phone_set=PS,
+    )
+
+
+class TestLattice:
+    def test_forward_backward_consistent(self):
+        lat = diamond_lattice()
+        # Total weight: (0.7 + 0.3) * (0.4 + 0.6) = 1.0
+        assert lat.total_log_weight() == pytest.approx(0.0, abs=1e-9)
+        # alpha at end equals beta at start.
+        assert lat.forward()[-1] == pytest.approx(lat.backward()[0], abs=1e-9)
+
+    def test_edge_posteriors_sum_per_cut(self):
+        lat = diamond_lattice()
+        post = lat.edge_posteriors()
+        # Edges 0,1 form a cut; so do 2,3.
+        assert post[0] + post[1] == pytest.approx(1.0)
+        assert post[2] + post[3] == pytest.approx(1.0)
+        assert post[0] == pytest.approx(0.7)
+        assert post[3] == pytest.approx(0.6)
+
+    def test_best_path(self):
+        lat = diamond_lattice()
+        np.testing.assert_array_equal(lat.best_path(), [0, 3])
+
+    def test_unnormalised_weights(self):
+        lat = Lattice(
+            n_nodes=2,
+            starts=np.array([0, 0]),
+            ends=np.array([1, 1]),
+            phones=np.array([0, 1]),
+            log_weights=np.log(np.array([2.0, 6.0])),
+            phone_set=PS,
+        )
+        post = lat.edge_posteriors()
+        np.testing.assert_allclose(post, [0.25, 0.75])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="forward"):
+            Lattice(
+                n_nodes=2,
+                starts=np.array([1]),
+                ends=np.array([0]),
+                phones=np.array([0]),
+                log_weights=np.array([0.0]),
+                phone_set=PS,
+            )
+        with pytest.raises(ValueError, match="phone id"):
+            Lattice(
+                n_nodes=2,
+                starts=np.array([0]),
+                ends=np.array([1]),
+                phones=np.array([99]),
+                log_weights=np.array([0.0]),
+                phone_set=PS,
+            )
+
+    def test_unreachable_end_best_path_raises(self):
+        lat = Lattice(
+            n_nodes=3,
+            starts=np.array([0]),
+            ends=np.array([1]),
+            phones=np.array([0]),
+            log_weights=np.array([0.0]),
+            phone_set=PS,
+        )
+        with pytest.raises(ValueError, match="unreachable"):
+            lat.best_path()
+
+
+class TestSausageSlot:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SausageSlot(np.array([0, 0]), np.array([0.5, 0.5]))  # dup phones
+        with pytest.raises(ValueError):
+            SausageSlot(np.array([0, 1]), np.array([0.5, 0.6]))  # bad sum
+        with pytest.raises(ValueError):
+            SausageSlot(np.array([]), np.array([]))  # empty
+
+    def test_top_phone(self):
+        slot = SausageSlot(np.array([2, 4]), np.array([0.3, 0.7]))
+        assert slot.top_phone == 4
+
+
+@st.composite
+def random_sausages(draw):
+    n_slots = draw(st.integers(1, 6))
+    slots = []
+    for _ in range(n_slots):
+        k = draw(st.integers(1, 3))
+        phones = draw(
+            st.lists(st.integers(0, 5), min_size=k, max_size=k, unique=True)
+        )
+        raw = draw(
+            st.lists(
+                st.floats(0.05, 1.0, allow_nan=False),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        probs = np.array(raw) / np.sum(raw)
+        order = np.argsort(phones)
+        slots.append(
+            SausageSlot(np.array(sorted(phones)), probs[order])
+        )
+    return Sausage(slots, PS)
+
+
+class TestSausage:
+    def test_best_phones(self):
+        sausage = Sausage(
+            [
+                SausageSlot(np.array([0, 1]), np.array([0.9, 0.1])),
+                SausageSlot(np.array([2]), np.array([1.0])),
+            ],
+            PS,
+        )
+        np.testing.assert_array_equal(sausage.best_phones(), [0, 2])
+
+    def test_from_hard_sequence(self):
+        sausage = Sausage.from_hard_sequence(np.array([1, 3, 2]), PS)
+        assert len(sausage) == 3
+        np.testing.assert_array_equal(sausage.best_phones(), [1, 3, 2])
+
+    @given(random_sausages())
+    @settings(max_examples=40, deadline=None)
+    def test_to_lattice_preserves_posteriors(self, sausage: Sausage):
+        lat = sausage.to_lattice()
+        post = lat.edge_posteriors()
+        # Edge posteriors must reproduce the slot probabilities.
+        offset = 0
+        for slot in sausage.slots:
+            np.testing.assert_allclose(
+                post[offset : offset + slot.phones.size], slot.probs, atol=1e-9
+            )
+            offset += slot.phones.size
+
+    @given(random_sausages())
+    @settings(max_examples=40, deadline=None)
+    def test_lattice_best_path_matches_top_phones(self, sausage: Sausage):
+        # With independent slots, the best path picks each slot's argmax
+        # (ties may break either way; only check when argmax is unique).
+        unique_argmax = all(
+            np.sum(slot.probs == slot.probs.max()) == 1
+            for slot in sausage.slots
+        )
+        if unique_argmax:
+            np.testing.assert_array_equal(
+                sausage.to_lattice().best_path(), sausage.best_phones()
+            )
+
+    def test_out_of_range_phone_rejected(self):
+        with pytest.raises(ValueError):
+            Sausage(
+                [SausageSlot(np.array([len(PS)]), np.array([1.0]))], PS
+            )
+
+
+class TestPinchLattice:
+    def test_inverse_of_to_lattice(self):
+        from repro.frontend.lattice import pinch_lattice
+
+        sausage = Sausage(
+            [
+                SausageSlot(np.array([0, 2]), np.array([0.3, 0.7])),
+                SausageSlot(np.array([1]), np.array([1.0])),
+                SausageSlot(np.array([3, 4]), np.array([0.5, 0.5])),
+            ],
+            PS,
+        )
+        back = pinch_lattice(sausage.to_lattice())
+        assert len(back) == len(sausage)
+        for a, b in zip(back.slots, sausage.slots):
+            np.testing.assert_array_equal(a.phones, b.phones)
+            np.testing.assert_allclose(a.probs, b.probs, atol=1e-9)
+
+    def test_branch_length_mismatch(self):
+        from repro.frontend.lattice import pinch_lattice
+
+        # Path A: 0 -a-> 1 -b-> 3 (prob .6); Path B: 0 -c-> 3 (prob .4).
+        lat = Lattice(
+            n_nodes=4,
+            starts=np.array([0, 1, 0]),
+            ends=np.array([1, 3, 3]),
+            phones=np.array([0, 1, 2]),
+            log_weights=np.log(np.array([0.6, 1.0, 0.4])),
+            phone_set=PS,
+        )
+        sausage = pinch_lattice(lat)
+        # Slot 0 holds 'a' (0.6) and 'c' (0.4); slot 1 holds 'b' alone.
+        np.testing.assert_array_equal(sausage.slots[0].phones, [0, 2])
+        np.testing.assert_allclose(sausage.slots[0].probs, [0.6, 0.4])
+        np.testing.assert_array_equal(sausage.slots[1].phones, [1])
+
+    def test_top_k_applied(self):
+        from repro.frontend.lattice import pinch_lattice
+
+        sausage = Sausage(
+            [
+                SausageSlot(
+                    np.array([0, 1, 2, 3]),
+                    np.array([0.4, 0.3, 0.2, 0.1]),
+                )
+            ],
+            PS,
+        )
+        pinched = pinch_lattice(sausage.to_lattice(), top_k=2)
+        assert pinched.slots[0].phones.size == 2
+
+    def test_empty_lattice(self):
+        from repro.frontend.lattice import pinch_lattice
+
+        lat = Lattice(
+            n_nodes=2,
+            starts=np.array([], dtype=np.int64),
+            ends=np.array([], dtype=np.int64),
+            phones=np.array([], dtype=np.int64),
+            log_weights=np.array([]),
+            phone_set=PS,
+        )
+        assert len(pinch_lattice(lat)) == 0
+
+    def test_counts_preserved_through_pinch_for_sausages(self):
+        """Expected unigram counts survive a to_lattice -> pinch roundtrip."""
+        from repro.frontend.lattice import pinch_lattice
+        from repro.ngram.counts import expected_counts_sausage
+
+        sausage = Sausage(
+            [
+                SausageSlot(np.array([0, 1]), np.array([0.25, 0.75])),
+                SausageSlot(np.array([2, 3]), np.array([0.5, 0.5])),
+            ],
+            PS,
+        )
+        back = pinch_lattice(sausage.to_lattice())
+        a = expected_counts_sausage(sausage, 1)
+        b = expected_counts_sausage(back, 1)
+        assert set(a) == set(b)
+        for key in a:
+            assert a[key] == pytest.approx(b[key], abs=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for the numpy MLP frame classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.am.mlp import MLPClassifier, MLPConfig
+
+
+def blobs(rng, n_per=150, k=3, dim=4, sep=4.0):
+    centers = rng.normal(0, sep, size=(k, dim))
+    x = np.vstack(
+        [rng.normal(centers[c], 1.0, size=(n_per, dim)) for c in range(k)]
+    )
+    y = np.repeat(np.arange(k), n_per)
+    return x, y
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        MLPConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"hidden_sizes": ()},
+            {"hidden_sizes": (0,)},
+            {"activation": "gelu"},
+            {"learning_rate": 0.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MLPConfig(**kwargs)
+
+
+class TestTraining:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        mlp = MLPClassifier(MLPConfig(hidden_sizes=(32,), n_epochs=10))
+        mlp.fit(x, y, rng=0)
+        assert mlp.frame_accuracy(x, y) > 0.95
+
+    def test_deep_network_trains(self, rng):
+        x, y = blobs(rng)
+        mlp = MLPClassifier(
+            MLPConfig(hidden_sizes=(24, 24, 24), n_epochs=12)
+        )
+        mlp.fit(x, y, rng=0)
+        assert mlp.frame_accuracy(x, y) > 0.9
+
+    @pytest.mark.parametrize("act", ["sigmoid", "tanh", "relu"])
+    def test_all_activations(self, rng, act):
+        x, y = blobs(rng, n_per=80)
+        mlp = MLPClassifier(
+            MLPConfig(hidden_sizes=(16,), activation=act, n_epochs=8)
+        )
+        mlp.fit(x, y, rng=0)
+        assert mlp.frame_accuracy(x, y) > 0.85
+
+    def test_deterministic(self, rng):
+        x, y = blobs(rng, n_per=50)
+        a = MLPClassifier(MLPConfig(n_epochs=2)).fit(x, y, rng=7)
+        b = MLPClassifier(MLPConfig(n_epochs=2)).fit(x, y, rng=7)
+        np.testing.assert_allclose(a.weights[0], b.weights[0])
+
+    def test_lr_halving_with_dev(self, rng):
+        x, y = blobs(rng, n_per=60)
+        mlp = MLPClassifier(MLPConfig(hidden_sizes=(16,), n_epochs=6))
+        mlp.fit(x, y, rng=0, dev=(x[:30], y[:30]))
+        assert mlp.frame_accuracy(x, y) > 0.8
+
+    def test_bad_targets_rejected(self, rng):
+        x, _ = blobs(rng, n_per=10)
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(x, np.zeros(5, dtype=int), rng=0)
+        with pytest.raises(ValueError):
+            MLPClassifier().fit(x, -np.ones(x.shape[0], dtype=int), rng=0)
+
+
+class TestScoring:
+    def test_proba_normalised(self, rng):
+        x, y = blobs(rng, n_per=40)
+        mlp = MLPClassifier(MLPConfig(n_epochs=2)).fit(x, y, rng=0)
+        proba = mlp.predict_proba(x[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-12)
+        assert np.all(proba >= 0)
+
+    def test_log_proba_finite(self, rng):
+        x, y = blobs(rng, n_per=40)
+        mlp = MLPClassifier(MLPConfig(n_epochs=2)).fit(x, y, rng=0)
+        assert np.all(np.isfinite(mlp.predict_log_proba(x[:10])))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict(np.zeros((1, 3)))
+
+    def test_gradient_check(self, rng):
+        """Finite-difference check of the backprop gradient."""
+        x, y = blobs(rng, n_per=8, k=2, dim=3)
+        cfg = MLPConfig(
+            hidden_sizes=(5,), n_epochs=1, batch_size=x.shape[0],
+            momentum=0.0, l2=0.0, learning_rate=1.0, lr_halving=False,
+        )
+        mlp = MLPClassifier(cfg)
+        mlp._init_weights(3, 2, np.random.default_rng(0))
+        w0 = [w.copy() for w in mlp.weights]
+        b0 = [b.copy() for b in mlp.biases]
+
+        def loss() -> float:
+            proba = mlp._forward(x)[-1]
+            return float(
+                -np.mean(np.log(proba[np.arange(len(y)), y] + 1e-300))
+            )
+
+        base = loss()
+        # One SGD step with lr=1 moves weights by exactly -grad.
+        mlp.fit(x, y, rng=0)
+        analytic_step = mlp.weights[0] - w0[0]
+        # Finite-difference the same loss wrt one weight entry.
+        mlp.weights = [w.copy() for w in w0]
+        mlp.biases = [b.copy() for b in b0]
+        eps = 1e-6
+        mlp.weights[0][0, 0] += eps
+        num_grad = (loss() - base) / eps
+        assert -num_grad == pytest.approx(analytic_step[0, 0], abs=1e-4)

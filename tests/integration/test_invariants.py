@@ -1,0 +1,128 @@
+"""Cross-module property tests on probabilistic invariants.
+
+These hold for *any* inputs, so hypothesis drives them with random
+corpora, emissions and model parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.frontend.am.train import chain_states, force_align
+from repro.ngram.lm import WittenBellLM
+
+
+@st.composite
+def random_corpora(draw):
+    n_phones = draw(st.integers(2, 6))
+    n_seqs = draw(st.integers(1, 5))
+    seqs = []
+    for _ in range(n_seqs):
+        n = draw(st.integers(0, 15))
+        seqs.append(
+            np.array(
+                draw(
+                    st.lists(
+                        st.integers(0, n_phones - 1), min_size=n, max_size=n
+                    )
+                ),
+                dtype=np.int64,
+            )
+        )
+    return n_phones, seqs
+
+
+class TestLMInvariants:
+    @given(random_corpora(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_conditionals_always_sum_to_one(self, corpus, order):
+        n_phones, seqs = corpus
+        lm = WittenBellLM(n_phones, order=order).fit(seqs)
+        contexts = [()]
+        if order >= 2:
+            contexts += [(p,) for p in range(n_phones)]
+        if order >= 3:
+            contexts += [(0, p) for p in range(n_phones)]
+        for ctx in contexts:
+            total = sum(lm.prob(ctx, p) for p in range(n_phones))
+            assert total == pytest.approx(1.0, abs=1e-8)
+
+    @given(random_corpora())
+    @settings(max_examples=30, deadline=None)
+    def test_probabilities_strictly_positive(self, corpus):
+        n_phones, seqs = corpus
+        lm = WittenBellLM(n_phones, order=2).fit(seqs)
+        for p in range(n_phones):
+            assert lm.prob((), p) > 0.0
+            assert lm.prob((0,), p) > 0.0
+
+
+@st.composite
+def alignment_problems(draw):
+    n_phones = draw(st.integers(2, 4))
+    states_per_phone = draw(st.integers(1, 3))
+    seq_len = draw(st.integers(1, 4))
+    seq = np.array(
+        draw(
+            st.lists(
+                st.integers(0, n_phones - 1),
+                min_size=seq_len,
+                max_size=seq_len,
+            )
+        ),
+        dtype=np.int64,
+    )
+    chain_len = seq_len * states_per_phone
+    t = draw(st.integers(chain_len, chain_len + 10))
+    rng_seed = draw(st.integers(0, 1000))
+    loglik = np.random.default_rng(rng_seed).normal(
+        size=(t, n_phones * states_per_phone)
+    )
+    return loglik, seq, states_per_phone
+
+
+class TestForceAlignInvariants:
+    @given(alignment_problems())
+    @settings(max_examples=50, deadline=None)
+    def test_alignment_is_a_monotone_chain_walk(self, problem):
+        loglik, seq, s = problem
+        labels = force_align(loglik, seq, s)
+        chain = chain_states(seq, s)
+        # Adjacent identical chain states (same phone repeated at 1 state
+        # per phone) make the walk reconstruction ambiguous - the
+        # alignment is still valid, but this check cannot verify it.
+        assume(np.all(np.diff(chain) != 0))
+        # Map each frame's state to its chain position; the walk must
+        # start at 0, end at the last position, and advance by 0 or 1.
+        position = np.zeros(labels.size, dtype=int)
+        pos = 0
+        for t, state in enumerate(labels):
+            # advance while the next chain slot matches better
+            if pos + 1 < chain.size and chain[pos] != state:
+                pos += 1
+            assert chain[pos] == state, "state off the chain"
+            position[t] = pos
+        assert position[0] == 0
+        assert position[-1] == chain.size - 1
+        assert np.all(np.diff(position) >= 0)
+        assert np.all(np.diff(position) <= 1)
+
+    @given(alignment_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_every_chain_state_occupied(self, problem):
+        loglik, seq, s = problem
+        labels = force_align(loglik, seq, s)
+        # Each chain position must get at least one frame (left-to-right
+        # HMM with no skips).
+        chain = chain_states(seq, s)
+        assume(np.all(np.diff(chain) != 0))
+        counts: dict[int, int] = {}
+        pos = 0
+        for state in labels:
+            if pos + 1 < chain.size and chain[pos] != state:
+                pos += 1
+            counts[pos] = counts.get(pos, 0) + 1
+        assert len(counts) == chain.size

@@ -1,0 +1,68 @@
+"""Tests for DET curve computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.det import det_curve, det_points_probit, render_det_ascii
+
+
+class TestDetCurve:
+    def test_monotone_tradeoff(self, rng):
+        tar = rng.normal(1.5, 1.0, 300)
+        non = rng.normal(0.0, 1.0, 300)
+        p_fa, p_miss = det_curve(tar, non)
+        assert np.all(np.diff(p_miss) >= 0)
+        assert np.all(np.diff(p_fa) <= 0)
+
+    def test_endpoints(self, rng):
+        tar = rng.normal(2.0, 1.0, 50)
+        non = rng.normal(0.0, 1.0, 50)
+        p_fa, p_miss = det_curve(tar, non)
+        assert p_miss[0] == 0.0  # lowest threshold misses nothing
+        assert p_fa[-1] <= 1.0 / 50 + 1e-12
+
+    def test_probabilities_in_range(self, rng):
+        p_fa, p_miss = det_curve(rng.normal(size=40), rng.normal(size=40))
+        assert np.all((0 <= p_fa) & (p_fa <= 1))
+        assert np.all((0 <= p_miss) & (p_miss <= 1))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            det_curve(np.array([]), np.array([1.0]))
+
+
+class TestProbitPoints:
+    def test_finite(self, rng):
+        scores = rng.normal(size=(100, 3))
+        labels = rng.integers(0, 3, 100)
+        scores[np.arange(100), labels] += 2.0
+        x, y = det_points_probit(scores, labels)
+        assert np.all(np.isfinite(x)) and np.all(np.isfinite(y))
+
+    def test_better_system_lower_curve(self, rng):
+        labels = rng.integers(0, 3, 300)
+
+        def system(quality):
+            scores = rng.normal(size=(300, 3))
+            scores[np.arange(300), labels] += quality
+            return det_points_probit(scores, labels)
+
+        _, miss_good = system(4.0)
+        _, miss_bad = system(1.0)
+        assert np.median(miss_good) < np.median(miss_bad)
+
+
+class TestAsciiRender:
+    def test_renders_all_curves(self, rng):
+        tar = rng.normal(1.0, 1.0, 200)
+        non = rng.normal(0.0, 1.0, 200)
+        curves = {
+            "baseline": det_curve(tar, non),
+            "dba": det_curve(tar + 0.5, non),
+        }
+        art = render_det_ascii(curves)
+        assert "b" in art and "d" in art
+        assert "baseline" in art and "dba" in art
+        assert len(art.splitlines()) > 10

@@ -1,0 +1,106 @@
+"""Tests for EER computation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.eer import eer_from_matrix, equal_error_rate, split_trials
+
+
+class TestSplitTrials:
+    def test_counts(self):
+        scores = np.arange(12.0).reshape(4, 3)
+        labels = np.array([0, 1, 2, 0])
+        tar, non = split_trials(scores, labels)
+        assert tar.size == 4
+        assert non.size == 8
+
+    def test_values(self):
+        scores = np.array([[1.0, 2.0], [3.0, 4.0]])
+        tar, non = split_trials(scores, np.array([0, 1]))
+        np.testing.assert_array_equal(np.sort(tar), [1.0, 4.0])
+        np.testing.assert_array_equal(np.sort(non), [2.0, 3.0])
+
+    def test_label_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_trials(np.zeros((2, 2)), np.array([0, 5]))
+
+
+class TestEqualErrorRate:
+    def test_perfect_separation(self):
+        assert equal_error_rate(
+            np.array([2.0, 3.0, 4.0]), np.array([-1.0, 0.0, 1.0])
+        ) == pytest.approx(0.0, abs=1e-9)
+
+    def test_total_confusion(self):
+        # Identical distributions: EER = 0.5.
+        scores = np.linspace(0, 1, 50)
+        assert equal_error_rate(scores, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_reversed_scores_give_high_eer(self):
+        eer = equal_error_rate(
+            np.array([-3.0, -2.0, -2.5]), np.array([2.0, 3.0, 2.5])
+        )
+        assert eer > 0.9
+
+    def test_known_overlap(self):
+        # One of four targets below all nontargets; one of four nontargets
+        # above all targets -> EER 0.25.
+        tar = np.array([-2.0, 1.0, 2.0, 3.0])
+        non = np.array([-3.0, -2.5, -2.2, 0.0])
+        assert equal_error_rate(tar, non) == pytest.approx(0.25, abs=0.01)
+
+    def test_gaussian_analytic(self):
+        # Equal-variance Gaussians at distance d: EER = Phi(-d/2).
+        rng = np.random.default_rng(0)
+        d = 2.0
+        tar = rng.normal(d, 1.0, 20000)
+        non = rng.normal(0.0, 1.0, 20000)
+        from scipy.stats import norm
+
+        expected = norm.cdf(-d / 2)
+        assert equal_error_rate(tar, non) == pytest.approx(expected, abs=0.01)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            equal_error_rate(np.array([]), np.array([1.0]))
+
+    @given(
+        st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=40),
+        st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_and_shift_invariance(self, tar, non):
+        # Round to 3 decimals so the +3.3 shift cannot collapse denormal
+        # near-ties into exact ties (a float artefact, not an EER property).
+        tar = np.round(np.array(tar), 3)
+        non = np.round(np.array(non), 3)
+        eer = equal_error_rate(tar, non)
+        assert 0.0 <= eer <= 1.0
+        shifted = equal_error_rate(tar + 3.3, non + 3.3)
+        assert eer == pytest.approx(shifted, abs=1e-9)
+
+    @given(
+        st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=40),
+        st.lists(st.floats(-5, 5, allow_nan=False), min_size=2, max_size=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_invariance(self, tar, non):
+        tar, non = np.array(tar), np.array(non)
+        assert equal_error_rate(tar, non) == pytest.approx(
+            equal_error_rate(tar * 2.5, non * 2.5), abs=1e-9
+        )
+
+
+class TestEerFromMatrix:
+    def test_perfect_matrix(self):
+        scores = np.array([[5.0, -5.0], [-5.0, 5.0]])
+        assert eer_from_matrix(scores, np.array([0, 1])) == pytest.approx(0.0)
+
+    def test_random_matrix_near_half(self, rng):
+        scores = rng.normal(size=(400, 5))
+        labels = rng.integers(0, 5, 400)
+        assert 0.4 < eer_from_matrix(scores, labels) < 0.6

@@ -1,0 +1,106 @@
+"""Tests for phone error rate / Levenshtein alignment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.per import EditCounts, levenshtein_alignment, phone_error_rate
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        counts = levenshtein_alignment(np.array([1, 2, 3]), np.array([1, 2, 3]))
+        assert counts.errors == 0
+        assert counts.error_rate == 0.0
+
+    def test_single_substitution(self):
+        counts = levenshtein_alignment(np.array([1, 2, 3]), np.array([1, 9, 3]))
+        assert (counts.substitutions, counts.insertions, counts.deletions) == (
+            1,
+            0,
+            0,
+        )
+
+    def test_single_insertion(self):
+        counts = levenshtein_alignment(np.array([1, 2]), np.array([1, 9, 2]))
+        assert counts.insertions == 1
+        assert counts.errors == 1
+
+    def test_single_deletion(self):
+        counts = levenshtein_alignment(np.array([1, 2, 3]), np.array([1, 3]))
+        assert counts.deletions == 1
+        assert counts.errors == 1
+
+    def test_empty_reference(self):
+        counts = levenshtein_alignment(np.array([]), np.array([1, 2]))
+        assert counts.insertions == 2
+        assert counts.error_rate == float("inf")
+
+    def test_empty_hypothesis(self):
+        counts = levenshtein_alignment(np.array([1, 2]), np.array([]))
+        assert counts.deletions == 2
+        assert counts.error_rate == 1.0
+
+    def test_both_empty(self):
+        assert levenshtein_alignment(np.array([]), np.array([])).errors == 0
+
+    def test_known_distance(self):
+        # kitten -> sitting (classic): 3 edits.
+        ref = np.array([ord(c) for c in "kitten"])
+        hyp = np.array([ord(c) for c in "sitting"])
+        assert levenshtein_alignment(ref, hyp).errors == 3
+
+    @given(
+        st.lists(st.integers(0, 5), max_size=12),
+        st.lists(st.integers(0, 5), max_size=12),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_metric_properties(self, a, b):
+        a, b = np.array(a, dtype=np.int64), np.array(b, dtype=np.int64)
+        d_ab = levenshtein_alignment(a, b).errors
+        d_ba = levenshtein_alignment(b, a).errors
+        assert d_ab == d_ba  # symmetry of the distance
+        assert d_ab >= abs(a.size - b.size)  # length lower bound
+        assert d_ab <= max(a.size, b.size)  # replacement upper bound
+        if a.size == b.size:
+            assert d_ab <= int(np.sum(a != b))
+
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=10),
+        st.lists(st.integers(0, 5), max_size=10),
+        st.lists(st.integers(0, 5), max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        a = np.array(a, dtype=np.int64)
+        b = np.array(b, dtype=np.int64)
+        c = np.array(c, dtype=np.int64)
+        d = lambda x, y: levenshtein_alignment(x, y).errors
+        assert d(a, c) <= d(a, b) + d(b, c)
+
+    def test_counts_decompose_distance(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(0, 4, 30)
+        hyp = rng.integers(0, 4, 25)
+        counts = levenshtein_alignment(ref, hyp)
+        assert counts.errors >= abs(30 - 25)
+        # I - D must account for the length difference.
+        assert counts.insertions - counts.deletions == hyp.size - ref.size
+
+
+class TestPhoneErrorRate:
+    def test_simple(self):
+        assert phone_error_rate(
+            np.array([1, 2, 3, 4]), np.array([1, 2, 9, 4])
+        ) == pytest.approx(0.25)
+
+    def test_can_exceed_one(self):
+        assert phone_error_rate(np.array([1]), np.array([2, 3, 4])) > 1.0
+
+
+class TestEditCounts:
+    def test_error_rate_zero_reference(self):
+        assert EditCounts(0, 0, 0, 0).error_rate == 0.0

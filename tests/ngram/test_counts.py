@@ -1,0 +1,135 @@
+"""Tests for expected n-gram counting (paper Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.phoneset import PhoneSet
+from repro.frontend.lattice import Sausage, SausageSlot
+from repro.ngram.counts import (
+    decode_ngram,
+    encode_ngram,
+    expected_counts_lattice,
+    expected_counts_sausage,
+)
+
+PS = PhoneSet("t", tuple("abcde"))
+
+
+class TestEncoding:
+    @given(
+        st.lists(st.integers(0, 4), min_size=1, max_size=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, phones):
+        code = encode_ngram(tuple(phones), 5)
+        assert decode_ngram(code, 5, len(phones)) == tuple(phones)
+
+    def test_unigram_is_identity(self):
+        assert encode_ngram((3,), 5) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            encode_ngram((5,), 5)
+        with pytest.raises(ValueError):
+            decode_ngram(25, 5, 1)
+
+
+def hard_sausage(seq):
+    return Sausage.from_hard_sequence(np.array(seq), PS)
+
+
+class TestSausageCounts:
+    def test_hard_sequence_bigram_counts(self):
+        counts = expected_counts_sausage(hard_sausage([0, 1, 0, 1]), 2)
+        assert counts[encode_ngram((0, 1), 5)] == pytest.approx(2.0)
+        assert counts[encode_ngram((1, 0), 5)] == pytest.approx(1.0)
+
+    def test_unigram_counts_sum_to_length(self):
+        counts = expected_counts_sausage(hard_sausage([0, 1, 2, 3]), 1)
+        assert sum(counts.values()) == pytest.approx(4.0)
+
+    def test_total_mass_invariant(self):
+        # Σ counts of order n == (T - n + 1) for any slot distributions.
+        slots = [
+            SausageSlot(np.array([0, 1]), np.array([0.5, 0.5])),
+            SausageSlot(np.array([2, 3]), np.array([0.9, 0.1])),
+            SausageSlot(np.array([4]), np.array([1.0])),
+        ]
+        sausage = Sausage(slots, PS)
+        for order in (1, 2, 3):
+            counts = expected_counts_sausage(sausage, order)
+            assert sum(counts.values()) == pytest.approx(3 - order + 1)
+
+    def test_soft_slot_weighting(self):
+        slots = [
+            SausageSlot(np.array([0, 1]), np.array([0.25, 0.75])),
+            SausageSlot(np.array([2]), np.array([1.0])),
+        ]
+        counts = expected_counts_sausage(Sausage(slots, PS), 2)
+        assert counts[encode_ngram((0, 2), 5)] == pytest.approx(0.25)
+        assert counts[encode_ngram((1, 2), 5)] == pytest.approx(0.75)
+
+    def test_order_longer_than_sausage(self):
+        assert expected_counts_sausage(hard_sausage([0]), 2) == {}
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            expected_counts_sausage(hard_sausage([0]), 0)
+
+
+@st.composite
+def small_sausages(draw):
+    n_slots = draw(st.integers(2, 5))
+    slots = []
+    for _ in range(n_slots):
+        k = draw(st.integers(1, 3))
+        phones = sorted(
+            draw(
+                st.lists(
+                    st.integers(0, 4), min_size=k, max_size=k, unique=True
+                )
+            )
+        )
+        raw = [draw(st.floats(0.1, 1.0, allow_nan=False)) for _ in range(k)]
+        probs = np.array(raw) / np.sum(raw)
+        slots.append(SausageSlot(np.array(phones), probs))
+    return Sausage(slots, PS)
+
+
+class TestLatticeAgreement:
+    @given(small_sausages(), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_sausage_and_lattice_paths_agree(self, sausage, order):
+        """The two Eq. 2 implementations must agree on every sausage."""
+        fast = expected_counts_sausage(sausage, order)
+        slow = expected_counts_lattice(sausage.to_lattice(), order)
+        keys = set(fast) | set(slow)
+        for key in keys:
+            assert fast.get(key, 0.0) == pytest.approx(
+                slow.get(key, 0.0), abs=1e-9
+            )
+
+    def test_nonuniform_dag(self):
+        """A non-sausage DAG: branch with different lengths."""
+        from repro.frontend.lattice import Lattice
+
+        # Path A: 0 -a-> 1 -b-> 3 ; Path B: 0 -c-> 3 (weights 0.6/0.4)
+        lat = Lattice(
+            n_nodes=4,
+            starts=np.array([0, 1, 0]),
+            ends=np.array([1, 3, 3]),
+            phones=np.array([0, 1, 2]),
+            log_weights=np.log(np.array([0.6, 1.0, 0.4])),
+            phone_set=PS,
+        )
+        uni = expected_counts_lattice(lat, 1)
+        assert uni[0] == pytest.approx(0.6)
+        assert uni[1] == pytest.approx(0.6)
+        assert uni[2] == pytest.approx(0.4)
+        bi = expected_counts_lattice(lat, 2)
+        assert bi[encode_ngram((0, 1), 5)] == pytest.approx(0.6)
+        assert len(bi) == 1

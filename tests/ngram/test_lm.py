@@ -1,0 +1,103 @@
+"""Tests for the Witten–Bell n-gram LM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ngram.lm import WittenBellLM
+
+
+@pytest.fixture()
+def alternating_lm() -> WittenBellLM:
+    return WittenBellLM(3, order=2).fit([np.array([0, 1] * 30)])
+
+
+class TestProbabilities:
+    def test_distribution_sums_to_one(self, alternating_lm):
+        for ctx in ((), (0,), (1,), (2,)):
+            total = sum(alternating_lm.prob(ctx, p) for p in range(3))
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_learned_pattern(self, alternating_lm):
+        assert alternating_lm.prob((0,), 1) > 0.8
+        assert alternating_lm.prob((1,), 0) > 0.8
+
+    def test_unseen_context_backs_off(self, alternating_lm):
+        # Phone 2 never occurs: P(·|2) must back off to the unigram.
+        p_backoff = alternating_lm.prob((2,), 0)
+        uni = alternating_lm.prob((), 0)
+        assert p_backoff == pytest.approx(uni, abs=1e-9)
+
+    def test_unseen_phone_nonzero(self, alternating_lm):
+        assert alternating_lm.prob((), 2) > 0.0
+
+    def test_trigram_backoff_chain(self):
+        lm = WittenBellLM(4, order=3).fit([np.array([0, 1, 2, 0, 1, 2])])
+        assert lm.prob((0, 1), 2) > lm.prob((0, 1), 3)
+        total = sum(lm.prob((0, 1), p) for p in range(4))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_long_context_truncated(self, alternating_lm):
+        assert alternating_lm.prob((2, 2, 2, 0), 1) == pytest.approx(
+            alternating_lm.prob((0,), 1)
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            WittenBellLM(3).prob((), 0)
+
+    def test_out_of_range_phone(self, alternating_lm):
+        with pytest.raises(ValueError):
+            alternating_lm.prob((), 7)
+
+
+class TestSequenceScoring:
+    def test_perplexity_lower_on_matching_data(self, alternating_lm):
+        matching = np.array([0, 1] * 10)
+        shuffled = np.array([1, 1, 0, 0] * 5)
+        assert alternating_lm.perplexity(matching) < alternating_lm.perplexity(
+            shuffled
+        )
+
+    def test_perplexity_bounds(self, alternating_lm):
+        ppl = alternating_lm.perplexity(np.array([0, 1, 0, 1]))
+        assert 1.0 <= ppl <= 3.0
+
+    def test_empty_perplexity_raises(self, alternating_lm):
+        with pytest.raises(ValueError):
+            alternating_lm.perplexity(np.array([]))
+
+    def test_log_prob_additivity(self, alternating_lm):
+        seq = np.array([0, 1, 0])
+        expected = (
+            np.log(alternating_lm.prob((), 0))
+            + np.log(alternating_lm.prob((0,), 1))
+            + np.log(alternating_lm.prob((0, 1)[-1:], 0))
+        )
+        assert alternating_lm.log_prob_sequence(seq) == pytest.approx(
+            expected, abs=1e-9
+        )
+
+
+class TestBigramMatrixAndSampling:
+    def test_bigram_matrix_rows_stochastic(self, alternating_lm):
+        lb = alternating_lm.log_bigram_matrix()
+        np.testing.assert_allclose(np.exp(lb).sum(axis=1), 1.0, atol=1e-9)
+
+    def test_bigram_matrix_needs_order2(self):
+        lm = WittenBellLM(3, order=1).fit([np.array([0, 1, 2])])
+        with pytest.raises(ValueError):
+            lm.log_bigram_matrix()
+
+    def test_sample_respects_model(self, alternating_lm):
+        seq = alternating_lm.sample(200, rng=0)
+        assert seq.size == 200
+        # Alternation dominates the chain, so most transitions flip.
+        flips = np.mean(seq[1:] != seq[:-1])
+        assert flips > 0.7
+
+    def test_sample_deterministic(self, alternating_lm):
+        np.testing.assert_array_equal(
+            alternating_lm.sample(20, rng=4), alternating_lm.sample(20, rng=4)
+        )

@@ -1,0 +1,117 @@
+"""Tests for one-vs-rest multiclass SVM (Eqs. 6-7) and the VSM."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend.lattice import Sausage
+from repro.corpus.phoneset import PhoneSet
+from repro.svm.ovr import OneVsRestSVM
+from repro.svm.vsm import VSM
+from repro.utils.sparse import SparseMatrix, SparseVector
+
+
+def to_sparse(x: np.ndarray) -> SparseMatrix:
+    rows = []
+    for row in x:
+        idx = np.flatnonzero(row)
+        rows.append(SparseVector(x.shape[1], idx.astype(np.int64), row[idx]))
+    return SparseMatrix.from_rows(rows, dim=x.shape[1])
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(5)
+    centers = np.array([[0, 0], [6, 0], [0, 6]], dtype=float)
+    x = np.vstack([rng.normal(c, 1.0, size=(60, 2)) for c in centers])
+    labels = np.repeat(np.arange(3), 60)
+    return to_sparse(x), labels
+
+
+class TestOneVsRest:
+    def test_accuracy(self, three_blobs):
+        x, labels = three_blobs
+        ovr = OneVsRestSVM(3, C=5.0).fit(x, labels)
+        assert np.mean(ovr.predict(x) == labels) > 0.95
+
+    def test_decision_matrix_shape(self, three_blobs):
+        x, labels = three_blobs
+        ovr = OneVsRestSVM(3).fit(x, labels)
+        assert ovr.decision_matrix(x).shape == (x.n_rows, 3)
+
+    def test_own_class_scores_higher(self, three_blobs):
+        x, labels = three_blobs
+        scores = OneVsRestSVM(3, C=5.0).fit(x, labels).decision_matrix(x)
+        mean_target = scores[np.arange(len(labels)), labels].mean()
+        mask = np.ones_like(scores, dtype=bool)
+        mask[np.arange(len(labels)), labels] = False
+        assert mean_target > scores[mask].mean()
+
+    def test_absent_class_constant_negative(self, three_blobs):
+        x, labels = three_blobs
+        # Train a 4-class model where class 3 never occurs.
+        ovr = OneVsRestSVM(4).fit(x, labels)
+        scores = ovr.decision_matrix(x)
+        np.testing.assert_allclose(scores[:, 3], -1.0)
+
+    def test_label_range_checked(self, three_blobs):
+        x, _ = three_blobs
+        with pytest.raises(ValueError):
+            OneVsRestSVM(2).fit(x, np.full(x.n_rows, 5))
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            OneVsRestSVM(1)
+
+    def test_unfitted_raises(self, three_blobs):
+        x, _ = three_blobs
+        with pytest.raises(RuntimeError):
+            OneVsRestSVM(3).decision_matrix(x)
+
+
+class TestVSM:
+    PS = PhoneSet("v", tuple("abcdef"))
+
+    def _sausages_and_labels(self, n_per=12):
+        """Two 'languages' with disjoint characteristic bigrams."""
+        rng = np.random.default_rng(0)
+        sausages, labels = [], []
+        for lang, pair in enumerate([(0, 1), (2, 3)]):
+            for _ in range(n_per):
+                seq = []
+                for _ in range(20):
+                    seq.extend(pair if rng.random() < 0.8 else (4, 5))
+                sausages.append(
+                    Sausage.from_hard_sequence(np.array(seq), self.PS)
+                )
+                labels.append(lang)
+        return sausages, np.array(labels)
+
+    def test_fit_score_separates_languages(self):
+        sausages, labels = self._sausages_and_labels()
+        vsm = VSM(6, 2, orders=(1, 2), max_epochs=30)
+        vsm.fit(sausages, labels)
+        assert np.mean(vsm.predict(sausages) == labels) == 1.0
+
+    def test_fit_matrix_equivalent_to_fit(self):
+        sausages, labels = self._sausages_and_labels()
+        a = VSM(6, 2, orders=(1, 2), seed=1)
+        b = VSM(6, 2, orders=(1, 2), seed=1)
+        a.fit(sausages, labels)
+        raw = b.extract(sausages)
+        b.fit_matrix(raw, labels)
+        np.testing.assert_allclose(
+            a.score(sausages), b.score_matrix(raw), atol=1e-12
+        )
+
+    def test_tfllr_disabled_still_works(self):
+        sausages, labels = self._sausages_and_labels()
+        vsm = VSM(6, 2, orders=(1, 2), tfllr=False)
+        vsm.fit(sausages, labels)
+        assert np.mean(vsm.predict(sausages) == labels) > 0.9
+
+    def test_score_shape(self):
+        sausages, labels = self._sausages_and_labels(n_per=5)
+        vsm = VSM(6, 2, orders=(1,)).fit(sausages, labels)
+        assert vsm.score(sausages).shape == (10, 2)

@@ -1,0 +1,102 @@
+"""Property tests on the classifier stack's mathematical invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.phoneset import PhoneSet
+from repro.frontend.lattice import Sausage
+from repro.ngram.supervector import SupervectorExtractor, TFLLRScaler
+from repro.svm.linear import LinearSVC
+from repro.utils.sparse import SparseMatrix, SparseVector
+
+PS = PhoneSet("p", tuple("abcdefgh"))
+
+
+@st.composite
+def phone_strings(draw, n_min=3, n_max=20):
+    n = draw(st.integers(n_min, n_max))
+    return np.array(
+        draw(st.lists(st.integers(0, 7), min_size=n, max_size=n)),
+        dtype=np.int64,
+    )
+
+
+class TestTfllrKernelProperties:
+    @given(st.lists(phone_strings(), min_size=3, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_scaled_gram_is_psd(self, strings):
+        """The TFLLR kernel matrix must be positive semi-definite."""
+        ex = SupervectorExtractor(8, orders=(1, 2))
+        matrix = ex.extract_matrix(
+            [Sausage.from_hard_sequence(s, PS) for s in strings]
+        )
+        scaled = TFLLRScaler(min_prob=1e-9).fit_transform(matrix)
+        gram = scaled.to_dense() @ scaled.to_dense().T
+        eigvals = np.linalg.eigvalsh(gram)
+        assert eigvals.min() > -1e-8
+
+    @given(phone_strings())
+    @settings(max_examples=30, deadline=None)
+    def test_supervector_blocks_are_distributions(self, string):
+        ex = SupervectorExtractor(8, orders=(1, 2))
+        dense = ex.extract(Sausage.from_hard_sequence(string, PS)).to_dense()
+        assert dense[:8].sum() == pytest.approx(1.0)
+        if string.size >= 2:
+            assert dense[8:].sum() == pytest.approx(1.0)
+        assert np.all(dense >= 0)
+
+
+class TestSvmInvariances:
+    def _fit(self, x, y, seed=0):
+        return LinearSVC(C=1.0, max_epochs=150, tol=1e-5, seed=seed).fit(x, y)
+
+    def _sparse(self, dense):
+        rows = []
+        for row in dense:
+            idx = np.flatnonzero(row)
+            rows.append(
+                SparseVector(dense.shape[1], idx.astype(np.int64), row[idx])
+            )
+        return SparseMatrix.from_rows(rows, dim=dense.shape[1])
+
+    def test_label_flip_symmetry(self, rng):
+        """Flipping all labels must negate the decision function."""
+        dense = rng.normal(size=(80, 5))
+        y = np.where(dense[:, 0] + 0.2 * dense[:, 1] > 0, 1.0, -1.0)
+        x = self._sparse(dense)
+        a = self._fit(x, y)
+        b = self._fit(x, -y)
+        np.testing.assert_allclose(
+            a.decision_function(x), -b.decision_function(x), atol=1e-2
+        )
+
+    def test_duplicated_data_same_solution_with_halved_c(self, rng):
+        """2x duplicated data with C/2 has the same optimum as (data, C)."""
+        dense = rng.normal(size=(60, 4))
+        y = np.where(dense @ np.array([1.0, -1, 0.5, 0]) > 0, 1.0, -1.0)
+        x = self._sparse(dense)
+        x2 = self._sparse(np.vstack([dense, dense]))
+        y2 = np.concatenate([y, y])
+        a = LinearSVC(C=1.0, max_epochs=300, tol=1e-6).fit(x, y)
+        b = LinearSVC(C=0.5, max_epochs=300, tol=1e-6).fit(x2, y2)
+        np.testing.assert_allclose(a.weight_, b.weight_, atol=5e-2)
+
+    def test_feature_scaling_equivariance(self, rng):
+        """Scaling one feature by c scales its weight by ~1/c (same margins)."""
+        dense = rng.normal(size=(100, 3))
+        y = np.where(dense @ np.array([1.0, -1.0, 0.3]) > 0.2, 1.0, -1.0)
+        scaled = dense.copy()
+        scaled[:, 0] *= 4.0
+        a = self._fit(self._sparse(dense), y)
+        b = self._fit(self._sparse(scaled), y)
+        # Margins (decision values) should be similar since the problem is
+        # equivalent up to reparameterisation of one coordinate... the L2
+        # penalty breaks exact equivalence, so check predictions agree.
+        agree = np.mean(
+            a.predict(self._sparse(dense)) == b.predict(self._sparse(scaled))
+        )
+        assert agree > 0.95

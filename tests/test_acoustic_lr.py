@@ -1,0 +1,150 @@
+"""Tests for the GMM-UBM acoustic LR comparator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.acoustic_lr import (
+    AcousticLanguageRecognizer,
+    SdcConfig,
+    map_adapt_means,
+    shifted_delta_cepstra,
+    train_ubm,
+)
+from repro.frontend.am.gmm import DiagonalGMM
+
+
+class TestSdc:
+    def test_output_shape(self, rng):
+        x = rng.normal(size=(50, 13))
+        cfg = SdcConfig(n=7, d=1, p=3, k=7)
+        out = shifted_delta_cepstra(x, cfg)
+        assert out.shape == (50, 49)
+        assert cfg.output_dim == 49
+
+    def test_constant_signal_zero(self):
+        x = np.ones((20, 8)) * 3.0
+        np.testing.assert_allclose(shifted_delta_cepstra(x), 0.0)
+
+    def test_block_structure(self, rng):
+        # Block i at frame t equals base[t+iP+d] - base[t+iP-d] (interior).
+        x = rng.normal(size=(60, 7))
+        cfg = SdcConfig(n=7, d=1, p=3, k=2)
+        out = shifted_delta_cepstra(x, cfg)
+        t = 10
+        np.testing.assert_allclose(out[t, :7], x[t + 1] - x[t - 1])
+        np.testing.assert_allclose(out[t, 7:], x[t + 4] - x[t + 2])
+
+    def test_too_few_coefficients(self, rng):
+        with pytest.raises(ValueError):
+            shifted_delta_cepstra(rng.normal(size=(5, 3)), SdcConfig(n=7))
+
+    def test_empty_input(self):
+        out = shifted_delta_cepstra(np.zeros((0, 13)))
+        assert out.shape == (0, 49)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SdcConfig(n=0)
+
+
+class TestUbm:
+    def test_train_and_adapt(self, rng):
+        pooled = np.vstack(
+            [rng.normal(0, 1, (300, 2)), rng.normal(5, 1, (300, 2))]
+        )
+        ubm = train_ubm(pooled, n_components=4, rng=0)
+        assert ubm.means is not None
+        # Adaptation data off the UBM modes pulls the nearest means over.
+        adapted = map_adapt_means(ubm, rng.normal(3.0, 0.5, (200, 2)))
+        moved = np.linalg.norm(adapted.means - ubm.means, axis=1)
+        assert moved.max() > 0.3
+
+    def test_adaptation_bounded_by_relevance(self, rng):
+        pooled = rng.normal(size=(400, 2))
+        ubm = train_ubm(pooled, n_components=2, rng=0)
+        frames = rng.normal(3.0, 0.5, size=(100, 2))
+        light = map_adapt_means(ubm, frames, relevance=1000.0)
+        heavy = map_adapt_means(ubm, frames, relevance=0.1)
+        move_light = np.linalg.norm(light.means - ubm.means)
+        move_heavy = np.linalg.norm(heavy.means - ubm.means)
+        assert move_light < move_heavy
+
+    def test_adapt_keeps_weights_and_variances(self, rng):
+        ubm = train_ubm(rng.normal(size=(200, 2)), n_components=2, rng=0)
+        adapted = map_adapt_means(ubm, rng.normal(size=(50, 2)))
+        np.testing.assert_allclose(adapted.variances, ubm.variances)
+        np.testing.assert_allclose(adapted.log_weights, ubm.log_weights)
+
+    def test_subsampling(self, rng):
+        ubm = train_ubm(
+            rng.normal(size=(5000, 2)), n_components=2, rng=0, max_frames=500
+        )
+        assert ubm.means is not None
+
+    def test_untrained_ubm_rejected(self, rng):
+        with pytest.raises(RuntimeError):
+            map_adapt_means(DiagonalGMM(2), rng.normal(size=(10, 2)))
+
+    def test_empty_adaptation_rejected(self, rng):
+        ubm = train_ubm(rng.normal(size=(100, 2)), n_components=2, rng=0)
+        with pytest.raises(ValueError):
+            map_adapt_means(ubm, np.zeros((0, 2)))
+
+
+class TestAcousticLanguageRecognizer:
+    @pytest.fixture(scope="class")
+    def trained(self, tiny_bundle):
+        rec = AcousticLanguageRecognizer(
+            tiny_bundle.acoustics,
+            tiny_bundle.language_names,
+            n_components=16,
+            seed=3,
+        )
+        rec.train(tiny_bundle.train)
+        return rec
+
+    def test_scores_shape(self, trained, tiny_bundle):
+        scores = trained.score_corpus(tiny_bundle.test[10.0])
+        assert scores.shape == (
+            len(tiny_bundle.test[10.0]),
+            len(tiny_bundle.language_names),
+        )
+
+    def test_beats_chance(self, trained, tiny_bundle):
+        corpus = tiny_bundle.test[10.0]
+        scores = trained.score_corpus(corpus)
+        labels = corpus.label_indices(tiny_bundle.language_names)
+        acc = float(np.mean(np.argmax(scores, axis=1) == labels))
+        assert acc > 1.2 / len(tiny_bundle.language_names)
+
+    def test_untrained_raises(self, tiny_bundle):
+        rec = AcousticLanguageRecognizer(
+            tiny_bundle.acoustics, tiny_bundle.language_names
+        )
+        with pytest.raises(RuntimeError):
+            rec.score_utterance(tiny_bundle.train[0])
+
+    def test_unknown_language_rejected(self, tiny_bundle):
+        rec = AcousticLanguageRecognizer(
+            tiny_bundle.acoustics, ["lang00", "lang01"]
+        )
+        with pytest.raises(ValueError, match="not in"):
+            rec.train(tiny_bundle.train)  # contains other languages
+
+    def test_needs_two_languages(self, tiny_bundle):
+        with pytest.raises(ValueError):
+            AcousticLanguageRecognizer(tiny_bundle.acoustics, ["solo"])
+
+    def test_raw_frame_mode(self, tiny_bundle):
+        rec = AcousticLanguageRecognizer(
+            tiny_bundle.acoustics,
+            tiny_bundle.language_names,
+            n_components=8,
+            sdc=None,
+            seed=3,
+        )
+        rec.train(tiny_bundle.train)
+        scores = rec.score_corpus(tiny_bundle.test[3.0])
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,65 @@
+"""Tests for the scatter/gather parallel map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.parallel import chunked, effective_workers, pmap
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestChunked:
+    def test_even_split(self):
+        assert chunked(list(range(6)), 3) == [[0, 1], [2, 3], [4, 5]]
+
+    def test_uneven_split_sizes_differ_by_one(self):
+        chunks = chunked(list(range(7)), 3)
+        sizes = [len(c) for c in chunks]
+        assert sum(sizes) == 7
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        chunks = chunked([1, 2], 5)
+        assert chunks == [[1], [2]]  # empty chunks omitted
+
+    def test_order_preserved(self):
+        flat = [x for c in chunked(list(range(100)), 7) for x in c]
+        assert flat == list(range(100))
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestEffectiveWorkers:
+    def test_auto_at_least_one(self):
+        assert effective_workers(None) >= 1
+        assert effective_workers(0) >= 1
+
+    def test_explicit_clamped(self):
+        assert effective_workers(-3) == 1
+        assert effective_workers(4) == 4
+
+
+class TestPmap:
+    def test_serial_map(self):
+        assert pmap(_square, [1, 2, 3], workers=1) == [1, 4, 9]
+
+    def test_empty(self):
+        assert pmap(_square, [], workers=1) == []
+
+    def test_small_input_stays_serial_even_with_workers(self):
+        # Below the parallel threshold the pool must not be spun up;
+        # lambdas (unpicklable) prove the serial path was taken.
+        assert pmap(lambda x: x + 1, [1, 2, 3], workers=4) == [2, 3, 4]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(100))
+        assert pmap(_square, items, workers=2) == [x * x for x in items]
+
+    def test_order_preserved_parallel(self):
+        items = list(range(64))
+        assert pmap(_square, items, workers=2) == [x * x for x in items]

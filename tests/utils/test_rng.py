@@ -1,0 +1,65 @@
+"""Tests for deterministic RNG stream derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import child_rng, ensure_rng, spawn_many
+
+
+class TestChildRng:
+    def test_same_key_same_stream(self):
+        a = child_rng(42, "corpus/train").random(5)
+        b = child_rng(42, "corpus/train").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_keys_differ(self):
+        a = child_rng(42, "corpus/train").random(5)
+        b = child_rng(42, "corpus/test").random(5)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = child_rng(1, "x").random(5)
+        b = child_rng(2, "x").random(5)
+        assert not np.allclose(a, b)
+
+    def test_key_insensitive_to_other_consumers(self):
+        # Deriving stream B must not change stream A (order independence).
+        a1 = child_rng(7, "a").random(3)
+        _ = child_rng(7, "b").random(3)
+        a2 = child_rng(7, "a").random(3)
+        np.testing.assert_array_equal(a1, a2)
+
+
+class TestEnsureRng:
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_int_seed_deterministic(self):
+        np.testing.assert_array_equal(
+            ensure_rng(5).random(3), ensure_rng(5).random(3)
+        )
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnMany:
+    def test_count_and_independence(self):
+        gens = spawn_many(3, "workers", 4)
+        assert len(gens) == 4
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_many(3, "workers", -1)
+
+    def test_zero_ok(self):
+        assert spawn_many(3, "w", 0) == []

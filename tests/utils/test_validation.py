@@ -1,0 +1,82 @@
+"""Tests for the argument-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_in,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_prob_vector,
+    check_probability,
+)
+
+
+class TestScalarChecks:
+    def test_positive_ok(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.001])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", bad)
+
+    def test_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1e-9)
+
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_probability_ok(self, ok):
+        assert check_probability("p", ok) == ok
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_probability_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability("p", bad)
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ["a", "b"]) == "a"
+        with pytest.raises(ValueError, match="mode must be one of"):
+            check_in("mode", "c", ["a", "b"])
+
+
+class TestProbVector:
+    def test_ok(self):
+        p = check_prob_vector("p", np.array([0.25, 0.75]))
+        assert p.dtype == np.float64
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            check_prob_vector("p", np.array([0.5, 0.6]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_prob_vector("p", np.array([-0.5, 1.5]))
+
+    def test_rejects_empty_and_2d(self):
+        with pytest.raises(ValueError):
+            check_prob_vector("p", np.array([]))
+        with pytest.raises(ValueError):
+            check_prob_vector("p", np.ones((2, 2)) / 4)
+
+
+class TestMatrix:
+    def test_ok_and_shape_constraints(self):
+        x = check_matrix("x", [[1.0, 2.0], [3.0, 4.0]], n_rows=2, n_cols=2)
+        assert x.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_matrix("x", np.ones(3))
+
+    def test_rejects_wrong_rows(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_matrix("x", np.ones((2, 3)), n_rows=4)
+
+    def test_rejects_wrong_cols(self):
+        with pytest.raises(ValueError, match="columns"):
+            check_matrix("x", np.ones((2, 3)), n_cols=4)
