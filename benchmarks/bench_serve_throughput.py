@@ -1,0 +1,102 @@
+"""Serving throughput — micro-batching and supervector-cache economics.
+
+The online service (:mod:`repro.serve`) claims two speed mechanisms on
+top of the offline pipeline: matrix-level micro-batching of the SVM
+product and an LRU cache of per-utterance subsystem scores.  This bench
+measures both over an exported baseline system:
+
+- single-utterance p95 latency through the synchronous scoring path
+  (the floor an interactive caller sees on a cold cache);
+- batched throughput with a cold cache vs a warm cache.  A warm hit
+  skips decode + φ(x) + SVM product (Table 5's dominant stages), so the
+  warm pass must be at least 5x faster — asserted below, together with
+  nonzero cache-hit accounting in the engine's ``stats()``.
+
+Results land in ``benchmarks/results/serve_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.serve import ScoringEngine, export_trained
+
+#: Cap on the utterance batch so the bench stays minutes-level at
+#: bench scale (decoding dominates; see Table 5).
+MAX_BATCH_UTTERANCES = 48
+
+
+@pytest.fixture(scope="module")
+def trained(lab):
+    """The lab's baseline system in exported (score-ready) form."""
+    return export_trained(lab.system, [lab.baseline()], lab.config)
+
+
+@pytest.fixture(scope="module")
+def batch(lab):
+    """A fixed utterance batch from the longest-duration test corpus."""
+    duration = max(lab.durations)
+    corpus = lab.system.corpus_for(f"test@{duration}")
+    return list(corpus.utterances)[:MAX_BATCH_UTTERANCES]
+
+
+def test_serve_single_utterance_latency(trained, batch, benchmark):
+    """p95 latency of one-at-a-time scoring on a cold cache."""
+    engine = ScoringEngine(trained, cache_entries=0)
+    queue = list(batch)
+
+    def score_one():
+        engine.score_utterances([queue.pop()])
+
+    benchmark.pedantic(
+        score_one, rounds=min(10, len(batch)), iterations=1
+    )
+    p95 = engine.stats()["latency_ms"]["p95"]
+    benchmark.extra_info["p95_ms"] = p95
+    assert p95 is not None and p95 > 0.0
+
+
+def test_serve_batched_throughput_cold_vs_warm(
+    trained, batch, report, benchmark
+):
+    """Cold vs warm batched throughput; warm must be >= 5x faster."""
+    engine = ScoringEngine(trained, max_batch=32, cache_entries=None)
+
+    def cold_then_warm():
+        t0 = time.perf_counter()
+        cold_scores = engine.score_utterances(batch)
+        t1 = time.perf_counter()
+        warm_scores = engine.score_utterances(batch)
+        t2 = time.perf_counter()
+        assert (cold_scores == warm_scores).all()
+        return t1 - t0, t2 - t1
+
+    cold_s, warm_s = benchmark.pedantic(
+        cold_then_warm, rounds=1, iterations=1
+    )
+    stats = engine.stats()
+    n = len(batch)
+    speedup = cold_s / warm_s
+    p95 = stats["latency_ms"]["p95"]
+    lines = [
+        "Serving throughput (exported baseline, "
+        f"{len(trained.subsystems)} subsystems, {n} utterances)",
+        "",
+        f"{'pass':<12}{'wall s':>10}{'utt/s':>10}",
+        f"{'cold':<12}{cold_s:>10.3f}{n / cold_s:>10.1f}",
+        f"{'warm':<12}{warm_s:>10.3f}{n / warm_s:>10.1f}",
+        "",
+        f"warm/cold speedup: {speedup:.1f}x",
+        f"cache hits {stats['cache']['hits']}  "
+        f"misses {stats['cache']['misses']}  "
+        f"hit rate {stats['cache']['hit_rate']:.2f}",
+        f"request p95 latency: {p95:.2f} ms",
+    ]
+    report("serve_throughput", "\n".join(lines))
+    benchmark.extra_info["speedup"] = speedup
+    # The acceptance bar: a warm cache skips Table 5's dominant stages.
+    assert speedup >= 5.0
+    assert stats["cache"]["hits"] == n
+    assert stats["cache"]["misses"] == n

@@ -11,6 +11,7 @@ The package layers:
 - :mod:`repro.backend`   LDA-MMI calibration and fusion
 - :mod:`repro.metrics`   EER, NIST C_avg, DET curves
 - :mod:`repro.core`      the Discriminative Boosting Algorithm and pipelines
+- :mod:`repro.serve`     persisted-model online scoring service (export/serve)
 
 Quickstart::
 
@@ -30,7 +31,7 @@ from repro.core import (
     smoke_scale,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ExperimentConfig",

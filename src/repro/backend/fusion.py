@@ -117,6 +117,60 @@ class LdaMmiFusion:
             ).refine(self.backend, x, labels)
         return self
 
+    # ------------------------------------------------------------------
+    # persistence (repro.serve artifacts)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Fitted calibration state (weights + LDA + Gaussian models).
+
+        Flat mapping of arrays/scalars (nested components use dotted key
+        prefixes) so the artifact store can persist it to one ``.npz``;
+        :meth:`from_state` restores a backend whose :meth:`transform`
+        output is bitwise identical.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted fusion backend")
+        state = {
+            "use_lda": self.use_lda,
+            "mmi_iterations": self.mmi_iterations,
+            "mmi_learning_rate": self.mmi_learning_rate,
+            "weights": self.weights_,
+            "n_classes": self.n_classes_,
+        }
+        if self.lda is not None:
+            for key, value in self.lda.state_dict().items():
+                state[f"lda.{key}"] = value
+        for key, value in self.backend.state_dict().items():
+            state[f"gaussian.{key}"] = value
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LdaMmiFusion":
+        """Rebuild a fitted backend from :meth:`state_dict` output."""
+        fusion = cls(
+            use_lda=bool(state["use_lda"]),
+            mmi_iterations=int(state["mmi_iterations"]),
+            mmi_learning_rate=float(state["mmi_learning_rate"]),
+        )
+        fusion.weights_ = np.asarray(state["weights"], dtype=np.float64)
+        fusion.n_classes_ = int(state["n_classes"])
+        if fusion.use_lda:
+            fusion.lda = LDA.from_state(
+                {
+                    key[len("lda.") :]: value
+                    for key, value in state.items()
+                    if key.startswith("lda.")
+                }
+            )
+        fusion.backend = GaussianBackend.from_state(
+            {
+                key[len("gaussian.") :]: value
+                for key, value in state.items()
+                if key.startswith("gaussian.")
+            }
+        )
+        return fusion
+
     def transform(self, score_matrices: list[np.ndarray]) -> np.ndarray:
         """Calibrated detection log-odds, shape ``(m, K)``."""
         if not self.is_fitted:

@@ -74,6 +74,31 @@ class GaussianBackend:
         return self
 
     # ------------------------------------------------------------------
+    # persistence (repro.serve artifacts)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Fitted class models as plain arrays/scalars."""
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted backend")
+        return {
+            "var_floor": self.var_floor,
+            "means": self.means_,
+            "variance": self.variance_,
+            "log_priors": self.log_priors_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GaussianBackend":
+        """Rebuild a fitted backend from :meth:`state_dict` output."""
+        backend = cls(var_floor=float(state["var_floor"]))
+        backend.means_ = np.asarray(state["means"], dtype=np.float64)
+        backend.variance_ = np.asarray(state["variance"], dtype=np.float64)
+        backend.log_priors_ = np.asarray(
+            state["log_priors"], dtype=np.float64
+        )
+        return backend
+
+    # ------------------------------------------------------------------
     # scoring
     # ------------------------------------------------------------------
     def log_likelihoods(self, x: np.ndarray) -> np.ndarray:

@@ -74,6 +74,27 @@ class LDA:
         self.projection_ = eigvecs[:, order[:n_out]]
         return self
 
+    def state_dict(self) -> dict:
+        """Fitted projection state as plain arrays/scalars."""
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted LDA")
+        return {
+            "shrinkage": self.shrinkage,
+            "mean": self.mean_,
+            "projection": self.projection_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LDA":
+        """Rebuild a fitted :class:`LDA` from :meth:`state_dict` output."""
+        projection = np.asarray(state["projection"], dtype=np.float64)
+        lda = cls(
+            int(projection.shape[1]), shrinkage=float(state["shrinkage"])
+        )
+        lda.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        lda.projection_ = projection
+        return lda
+
     def transform(self, x: np.ndarray) -> np.ndarray:
         """Project ``(n, D)`` features to the discriminative subspace."""
         if self.projection_ is None or self.mean_ is None:

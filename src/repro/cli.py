@@ -11,12 +11,20 @@ Commands mirror the paper's experiment set:
 - ``campaign``   the full protocol: Tables 1-4 in one run
 - ``replicate``  the headline comparison across corpus seeds
 
-All commands accept ``--scale smoke|bench`` and ``--seed``.
+plus the serving vertical (:mod:`repro.serve`):
+
+- ``export``     train a system and persist it as a versioned artifact
+- ``score``      score a corpus split or a JSON utterance file offline
+- ``serve``      run the JSON HTTP scoring service over an artifact
+
+Experiment commands accept ``--scale smoke|bench`` and ``--seed``;
+``score``/``serve`` read their configuration from the artifact itself.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -206,6 +214,124 @@ def cmd_replicate(args) -> int:
     return 0
 
 
+def cmd_export(args) -> int:
+    """Train a system at the chosen scale and persist it for serving."""
+    from repro.serve import export_trained, save_system
+
+    system, config = _make_system(args)
+    print(f"... training baseline ({args.scale} scale, seed {args.seed})")
+    baseline = system.baseline()
+    results = [baseline]
+    metadata = {
+        "command": "export",
+        "scale": args.scale,
+        "seed": args.seed,
+        "source": "baseline",
+    }
+    if args.dba_threshold is not None:
+        print(
+            f"... boosting (DBA-{args.variant}, V={args.dba_threshold})"
+        )
+        results = [system.dba(args.dba_threshold, args.variant, baseline)]
+        metadata.update(
+            source=f"dba-{args.variant}", threshold=args.dba_threshold
+        )
+    trained = export_trained(system, results, config)
+    path = save_system(args.output, trained, metadata=metadata)
+    print(
+        f"exported {metadata['source']} system "
+        f"({len(trained.subsystems)} subsystems, "
+        f"{len(trained.language_names)} languages) to {path}"
+    )
+    return 0
+
+
+def _corpus_for_tag(bundle, tag: str):
+    """Resolve ``train``/``dev``/``test@<duration>`` on a corpus bundle."""
+    if tag == "train":
+        return bundle.train
+    if tag == "dev":
+        return bundle.dev
+    if tag.startswith("test@"):
+        duration = float(tag.split("@", 1)[1])
+        try:
+            return bundle.test[duration]
+        except KeyError:
+            raise SystemExit(
+                f"no test corpus at duration {duration}; "
+                f"have {sorted(bundle.test)}"
+            ) from None
+    raise SystemExit(f"unknown corpus tag {tag!r}")
+
+
+def cmd_score(args) -> int:
+    """Score utterances offline with a persisted system."""
+    from repro.corpus.splits import make_corpus_bundle
+    from repro.serve import ScoringEngine, load_system
+    from repro.serve.protocol import utterance_from_json
+    from repro.utils.io import save_scores
+
+    trained = load_system(args.artifact)
+    labels = None
+    if args.input:
+        with open(args.input) as fh:
+            payload = json.load(fh)
+        utterances = [utterance_from_json(u) for u in payload["utterances"]]
+        source = args.input
+    else:
+        bundle = make_corpus_bundle(trained.config.corpus)
+        corpus = _corpus_for_tag(bundle, args.tag)
+        utterances = list(corpus.utterances)
+        known = set(trained.language_names)
+        if all(u.language in known for u in utterances):
+            labels = corpus.label_indices(trained.language_names)
+        source = f"regenerated corpus {args.tag!r}"
+    engine = ScoringEngine(trained, max_batch=args.max_batch)
+    scores = engine.score_utterances(utterances)
+    predictions = engine.predict_languages(scores)
+    print(f"scored {len(utterances)} utterances from {source}")
+    for utt, pred in list(zip(utterances, predictions))[: args.show]:
+        print(f"  {utt.utt_id:<24} -> {pred}")
+    if len(utterances) > args.show:
+        print(f"  ... ({len(utterances) - args.show} more)")
+    if labels is not None:
+        from repro.core.pipeline import evaluate_scores
+
+        eer, c_avg = evaluate_scores(scores, labels)
+        accuracy = float(
+            (scores.argmax(axis=1) == labels).mean()
+        )
+        print(
+            f"EER {eer:.2f} %  C_avg {c_avg:.2f} %  "
+            f"top-1 accuracy {100 * accuracy:.1f} %"
+        )
+    if args.output:
+        save_scores(args.output, {"scores": scores})
+        print(f"saved score matrix to {args.output}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the JSON HTTP scoring service over a persisted system."""
+    from repro.serve import ScoringEngine, load_system, run_server
+
+    trained = load_system(args.artifact)
+    engine = ScoringEngine(
+        trained,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        cache_entries=args.cache_entries,
+        workers=args.workers,
+    )
+    print(
+        f"loaded system: {len(trained.subsystems)} subsystems over "
+        f"{len(trained.frontends)} frontends, "
+        f"{len(trained.language_names)} languages"
+    )
+    run_server(engine, args.host, args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -265,6 +391,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--variant", choices=("M1", "M2"), default="M2")
     p.set_defaults(func=cmd_replicate)
+
+    p = sub.add_parser(
+        "export", help="train and persist a system for serving"
+    )
+    common(p)
+    p.add_argument("output", help="artifact directory to create")
+    p.add_argument(
+        "--dba-threshold", "-V", type=int, default=None,
+        help="also boost with DBA at this vote threshold before export",
+    )
+    p.add_argument("--variant", choices=("M1", "M2"), default="M2")
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "score", help="score utterances offline with a saved artifact"
+    )
+    p.add_argument("artifact", help="artifact directory from `repro export`")
+    p.add_argument(
+        "--tag", default="dev",
+        help="corpus split to regenerate and score: train|dev|test@<dur> "
+        "(default: dev)",
+    )
+    p.add_argument(
+        "--input", default=None,
+        help='JSON file {"utterances": [...]} to score instead of a split',
+    )
+    p.add_argument("--output", "-o", default=None, help="save scores (.npz)")
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument(
+        "--show", type=int, default=5, help="predictions to print"
+    )
+    p.set_defaults(func=cmd_score)
+
+    p = sub.add_parser(
+        "serve", help="run the JSON HTTP scoring service"
+    )
+    p.add_argument("artifact", help="artifact directory from `repro export`")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8337)
+    p.add_argument(
+        "--batch-window", type=float, default=0.02,
+        help="micro-batch coalescing window in seconds (default: 0.02)",
+    )
+    p.add_argument("--max-batch", type=int, default=32)
+    p.add_argument(
+        "--cache-entries", type=int, default=512,
+        help="supervector-score cache bound (0 disables)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=None,
+        help="decode pool width (default: auto / REPRO_WORKERS)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     return parser
 

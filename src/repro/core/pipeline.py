@@ -66,11 +66,15 @@ class SubsystemScores:
     """Raw SVM score matrices of one subsystem (Eq. 9).
 
     ``test`` maps each nominal duration to an ``(m_d, K)`` matrix.
+    ``vsm`` is the fitted classifier that produced the scores; it is kept
+    so a trained system can be exported for online serving
+    (:mod:`repro.serve`) without retraining.
     """
 
     name: str
     dev: np.ndarray
     test: dict[float, np.ndarray]
+    vsm: VSM | None = None
 
 
 @dataclass
@@ -87,6 +91,11 @@ class SystemResult:
     @property
     def dev_scores(self) -> list[np.ndarray]:
         return [s.dev for s in self.subsystems]
+
+    @property
+    def vsms(self) -> list["VSM | None"]:
+        """Fitted per-subsystem classifiers (for export/serving)."""
+        return [s.vsm for s in self.subsystems]
 
     def test_scores(self, duration: float) -> list[np.ndarray]:
         """Per-subsystem raw test scores at one duration."""
@@ -293,7 +302,7 @@ class PhonotacticSystem:
                 test[duration] = vsm.score_matrix(
                     self.raw_matrix(frontend, tag)
                 )
-        return SubsystemScores(frontend.name, dev_scores, test)
+        return SubsystemScores(frontend.name, dev_scores, test, vsm=vsm)
 
     # ------------------------------------------------------------------
     # baseline (PPRVSM)
@@ -385,22 +394,26 @@ class PhonotacticSystem:
         )
         return evaluate_scores(fused, self.labels_for(f"test@{duration}"))
 
-    def fused_scores(
+    def fit_fusion(
         self,
         results: list[SystemResult],
-        duration: float,
         *,
         use_fit_count_weights: bool = True,
-    ) -> np.ndarray:
-        """Calibrated fused test scores (for DET curves, Fig. 3)."""
+    ) -> LdaMmiFusion:
+        """Fit the LDA-MMI backend on the dev scores of ``results``.
+
+        The returned fitted backend is a *trained component*: applying
+        its :meth:`~repro.backend.fusion.LdaMmiFusion.transform` to test
+        scores reproduces :meth:`fused_scores` exactly, and it can be
+        exported with the frontends and VSMs for online serving
+        (:mod:`repro.serve.artifacts`).
+        """
         dev_labels = self.labels_for("dev")
         dev_list: list[np.ndarray] = []
-        test_list: list[np.ndarray] = []
         counts: list[float] = []
         for result in results:
             for sub in result.subsystems:
                 dev_list.append(sub.dev)
-                test_list.append(sub.test[duration])
             if isinstance(result, DBAResult) and result.fit_counts.size:
                 counts.extend(result.fit_counts.tolist())
             else:
@@ -410,9 +423,30 @@ class PhonotacticSystem:
             if use_fit_count_weights and any(c > 0 for c in counts)
             else None
         )
-        return calibrate_scores(
-            dev_list, dev_labels, test_list, system=self.system, weights=weights
+        fusion = LdaMmiFusion(
+            use_lda=self.system.use_lda,
+            mmi_iterations=self.system.mmi_iterations,
         )
+        fusion.fit(dev_list, dev_labels, weights=weights)
+        return fusion
+
+    def fused_scores(
+        self,
+        results: list[SystemResult],
+        duration: float,
+        *,
+        use_fit_count_weights: bool = True,
+    ) -> np.ndarray:
+        """Calibrated fused test scores (for DET curves, Fig. 3)."""
+        fusion = self.fit_fusion(
+            results, use_fit_count_weights=use_fit_count_weights
+        )
+        test_list = [
+            sub.test[duration]
+            for result in results
+            for sub in result.subsystems
+        ]
+        return fusion.transform(test_list)
 
 
 def build_system(

@@ -1,0 +1,334 @@
+"""Versioned persistence of a trained PPRVSM system.
+
+A *trained system* is everything needed to score a new utterance exactly
+as the in-memory pipeline would: the Q trained phone recognizers, the
+fitted per-subsystem :class:`~repro.svm.vsm.VSM` classifiers (TFLLR map
++ OvR SVM weights), the fitted :class:`~repro.backend.fusion.LdaMmiFusion`
+calibration backend, and the generating
+:class:`~repro.core.config.ExperimentConfig`.  :func:`save_system`
+writes all of that to a directory:
+
+``manifest.json``
+    schema version, creation metadata, the config fingerprint and a
+    SHA-256 per payload file (integrity-checked at load);
+``config.json``
+    the full experiment config (used to regenerate corpora and the
+    deterministic decode RNG streams);
+``frontends.pkl``
+    the trained recognizers (pickle — they embed trained AMs/decoders);
+``vsm__*.npz`` / ``fusion.npz``
+    array-only state dicts via :mod:`numpy` ``savez`` (the same NPZ
+    substrate as :mod:`repro.utils.io`).
+
+:func:`load_system` refuses to load when the schema version is unknown,
+when a payload file was corrupted, or when the stored config no longer
+matches the fingerprint recorded at export time (a **hard failure** —
+scoring with a silently drifted config would return wrong-but-plausible
+scores).  Round-trip fidelity is exact: a reloaded system reproduces the
+exporting system's dev/test scores bit for bit (enforced by
+``tests/serve/test_artifacts.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import pickle
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.backend.fusion import LdaMmiFusion
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.corpus.splits import CorpusConfig
+from repro.svm.vsm import VSM
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ArtifactError",
+    "TrainedSystem",
+    "config_fingerprint",
+    "export_trained",
+    "save_system",
+    "load_system",
+]
+
+#: Artifact layout version; bump on any incompatible change.
+SCHEMA_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_CONFIG = "config.json"
+_FRONTENDS = "frontends.pkl"
+_FUSION = "fusion.npz"
+
+
+class ArtifactError(RuntimeError):
+    """A saved system could not be loaded safely (version/hash mismatch)."""
+
+
+@dataclasses.dataclass
+class TrainedSystem:
+    """A self-contained, score-ready system.
+
+    Attributes
+    ----------
+    config:
+        The experiment config the system was trained under; fixes the
+        decode RNG streams and lets corpora be regenerated exactly.
+    language_names:
+        Ordered target-language names (the score-column order).
+    frontends:
+        The unique trained recognizers, in battery order.
+    subsystems:
+        ``(frontend_name, fitted VSM)`` pairs in fusion stacking order.
+        A baseline export has one per frontend; a DBA-fusion export may
+        repeat frontends (one VSM per variant).
+    fusion:
+        The fitted LDA-MMI calibration backend over the subsystems.
+    """
+
+    config: ExperimentConfig
+    language_names: tuple[str, ...]
+    frontends: list
+    subsystems: list[tuple[str, VSM]]
+    fusion: LdaMmiFusion
+
+    def __post_init__(self) -> None:
+        names = {fe.name for fe in self.frontends}
+        for fe_name, _ in self.subsystems:
+            if fe_name not in names:
+                raise ValueError(
+                    f"subsystem frontend {fe_name!r} not in frontend battery"
+                )
+        if not self.fusion.is_fitted or self.fusion.weights_ is None:
+            raise ValueError("fusion backend must be fitted before export")
+        if len(self.subsystems) != self.fusion.weights_.shape[0]:
+            raise ValueError("fusion was fitted on a different subsystem count")
+
+    @property
+    def n_classes(self) -> int:
+        """Number of target languages K."""
+        return len(self.language_names)
+
+    def frontend_by_name(self, name: str):
+        """Resolve a recognizer by frontend name."""
+        for fe in self.frontends:
+            if fe.name == name:
+                return fe
+        raise KeyError(f"no frontend named {name!r}")
+
+
+def config_fingerprint(config: ExperimentConfig) -> str:
+    """SHA-256 over the canonical JSON form of an experiment config.
+
+    Tuples serialise as JSON arrays and keys are sorted, so the
+    fingerprint is stable across save/load round-trips.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(config), sort_keys=True, default=list
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def export_trained(
+    system,
+    results: list,
+    config: ExperimentConfig,
+    *,
+    use_fit_count_weights: bool = True,
+) -> TrainedSystem:
+    """Collect the trained components of pipeline ``results`` for export.
+
+    ``system`` is the :class:`~repro.core.pipeline.PhonotacticSystem`
+    that produced ``results`` (baseline and/or DBA passes, in fusion
+    order).  The fusion backend is fitted here on the results' dev
+    scores — exactly what :meth:`~repro.core.pipeline.PhonotacticSystem.
+    fused_scores` does internally, so serving the export reproduces the
+    in-memory fused scores bit for bit.
+    """
+    subsystems: list[tuple[str, VSM]] = []
+    for result in results:
+        for sub in result.subsystems:
+            if sub.vsm is None:
+                raise ValueError(
+                    f"subsystem {sub.name!r} carries no fitted VSM; "
+                    "results must come from baseline()/dba()"
+                )
+            subsystems.append((sub.name, sub.vsm))
+    fusion = system.fit_fusion(
+        results, use_fit_count_weights=use_fit_count_weights
+    )
+    return TrainedSystem(
+        config=config,
+        language_names=tuple(system.bundle.language_names),
+        frontends=list(system.frontends),
+        subsystems=subsystems,
+        fusion=fusion,
+    )
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation helpers
+# ----------------------------------------------------------------------
+def _save_state_npz(path: Path, state: dict) -> None:
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def _load_state_npz(path: Path) -> dict:
+    with np.load(path) as data:
+        return {name: data[name] for name in data.files}
+
+
+def _file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+def _config_to_dict(config: ExperimentConfig) -> dict:
+    return dataclasses.asdict(config)
+
+
+def _config_from_dict(payload: dict) -> ExperimentConfig:
+    corpus = dict(payload["corpus"])
+    corpus["durations"] = tuple(float(d) for d in corpus["durations"])
+    system = dict(payload["system"])
+    system["orders"] = tuple(int(o) for o in system["orders"])
+    return ExperimentConfig(
+        corpus=CorpusConfig(**corpus),
+        system=SystemConfig(**system),
+        frontend_mode=str(payload["frontend_mode"]),
+        vote_thresholds=tuple(int(v) for v in payload["vote_thresholds"]),
+    )
+
+
+def _vsm_filename(index: int, frontend_name: str) -> str:
+    return f"vsm__{index:02d}_{frontend_name}.npz"
+
+
+# ----------------------------------------------------------------------
+# save / load
+# ----------------------------------------------------------------------
+def save_system(
+    directory: str | Path,
+    trained: TrainedSystem,
+    *,
+    metadata: dict | None = None,
+) -> Path:
+    """Write a :class:`TrainedSystem` to ``directory``; returns the path.
+
+    ``metadata`` (JSON-able) is stored verbatim in the manifest — use it
+    to record provenance such as the exporting command or DBA settings.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    files: dict[str, str] = {}
+
+    config_path = directory / _CONFIG
+    config_path.write_text(
+        json.dumps(_config_to_dict(trained.config), indent=2, default=list)
+    )
+    files[_CONFIG] = _file_sha256(config_path)
+
+    frontends_path = directory / _FRONTENDS
+    with open(frontends_path, "wb") as fh:
+        pickle.dump(trained.frontends, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    files[_FRONTENDS] = _file_sha256(frontends_path)
+
+    subsystem_names = []
+    for i, (fe_name, vsm) in enumerate(trained.subsystems):
+        name = _vsm_filename(i, fe_name)
+        _save_state_npz(directory / name, vsm.state_dict())
+        files[name] = _file_sha256(directory / name)
+        subsystem_names.append(fe_name)
+
+    _save_state_npz(directory / _FUSION, trained.fusion.state_dict())
+    files[_FUSION] = _file_sha256(directory / _FUSION)
+
+    manifest = {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "config_sha256": config_fingerprint(trained.config),
+        "languages": list(trained.language_names),
+        "frontends": [fe.name for fe in trained.frontends],
+        "subsystems": subsystem_names,
+        "files": files,
+        "metadata": metadata or {},
+    }
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory
+
+
+def load_system(
+    directory: str | Path,
+    *,
+    expected_config: ExperimentConfig | None = None,
+) -> TrainedSystem:
+    """Load a :class:`TrainedSystem` saved by :func:`save_system`.
+
+    Raises :class:`ArtifactError` when the schema version is unsupported,
+    a payload file is missing or corrupted, or the stored config's
+    fingerprint does not match the one recorded at export time.  Passing
+    ``expected_config`` additionally pins the artifact to a caller-side
+    config (e.g. the one a server was asked to assume).
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise ArtifactError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+
+    version = manifest.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ArtifactError(
+            f"artifact schema version {version!r} unsupported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    for name, digest in manifest["files"].items():
+        path = directory / name
+        if not path.exists():
+            raise ArtifactError(f"artifact payload {name!r} is missing")
+        actual = _file_sha256(path)
+        if actual != digest:
+            raise ArtifactError(
+                f"artifact payload {name!r} is corrupted "
+                f"(sha256 {actual[:12]}… != manifest {digest[:12]}…)"
+            )
+
+    config = _config_from_dict(json.loads((directory / _CONFIG).read_text()))
+    fingerprint = config_fingerprint(config)
+    if fingerprint != manifest["config_sha256"]:
+        raise ArtifactError(
+            "config hash mismatch: stored config fingerprints to "
+            f"{fingerprint[:12]}… but the manifest pinned "
+            f"{manifest['config_sha256'][:12]}… — refusing to score with a "
+            "drifted configuration"
+        )
+    if expected_config is not None and (
+        config_fingerprint(expected_config) != fingerprint
+    ):
+        raise ArtifactError(
+            "artifact was exported under a different experiment config "
+            "than the one expected by the caller"
+        )
+
+    with open(directory / _FRONTENDS, "rb") as fh:
+        frontends = pickle.load(fh)
+
+    subsystems: list[tuple[str, VSM]] = []
+    for i, fe_name in enumerate(manifest["subsystems"]):
+        state = _load_state_npz(directory / _vsm_filename(i, fe_name))
+        subsystems.append((fe_name, VSM.from_state(state)))
+    fusion = LdaMmiFusion.from_state(_load_state_npz(directory / _FUSION))
+
+    return TrainedSystem(
+        config=config,
+        language_names=tuple(manifest["languages"]),
+        frontends=frontends,
+        subsystems=subsystems,
+        fusion=fusion,
+    )

@@ -1,0 +1,375 @@
+"""The online scoring engine: micro-batching + supervector caching.
+
+:class:`ScoringEngine` wraps a loaded
+:class:`~repro.serve.artifacts.TrainedSystem` and scores utterances the
+exact way the offline pipeline does — same deterministic decode RNG
+streams, same fitted TFLLR/SVM/fusion state — so served scores are
+bitwise identical to :meth:`repro.core.pipeline.PhonotacticSystem.
+fused_scores` on the same utterances.
+
+Two throughput mechanisms sit on the hot path:
+
+**Micro-batching.**  Requests submitted via :meth:`ScoringEngine.submit`
+are queued; a batcher thread flushes the queue as one matrix-level pass
+(``VSM.score_matrix`` over the whole batch) once either ``max_batch``
+requests are waiting or the oldest request has waited ``batch_window``
+seconds.  Batching turns K×N per-utterance SVM products into a handful
+of matrix products, the same economy the paper's Eq. 9 formulation
+exploits offline.
+
+**Supervector caching.**  Per-utterance raw subsystem scores are
+memoised in a :class:`~repro.serve.cache.ScoreCache` keyed by utterance
+digest, so repeated scoring (the DBA/transductive access pattern) skips
+decode + φ(x) + SVM product entirely and only reruns calibration.
+
+Per-stage wall-clock accounting uses the Table 5 stage names
+(``decoding`` / ``sv_generation`` / ``sv_product`` plus ``fusion``);
+:meth:`ScoringEngine.stats` snapshots counters, cache accounting and
+p50/p95 latencies per stage.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from contextlib import contextmanager
+from functools import partial
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.corpus.generator import Utterance
+from repro.serve.artifacts import TrainedSystem
+from repro.serve.cache import ScoreCache
+from repro.serve.protocol import utterance_digest
+from repro.utils.parallel import pmap
+from repro.utils.rng import child_rng
+from repro.utils.timing import StageTimer
+
+__all__ = ["ScoringEngine", "STAGE_NAMES"]
+
+#: Table 5 stage names plus the serving-only calibration stage, in
+#: pipeline order (used to order the stats() output).
+STAGE_NAMES = ("decoding", "sv_generation", "sv_product", "fusion")
+
+
+def _decode_one(frontend, seed: int, utterance: Utterance):
+    """Decode with the pipeline's RNG keying (picklable for pmap)."""
+    return frontend.decode(
+        utterance, child_rng(seed, f"decode/{frontend.name}/{utterance.utt_id}")
+    )
+
+
+class _Request:
+    """One queued utterance with its future and enqueue timestamp."""
+
+    __slots__ = ("utterance", "future", "enqueued")
+
+    def __init__(self, utterance: Utterance) -> None:
+        self.utterance = utterance
+        self.future: Future = Future()
+        self.enqueued = time.monotonic()
+
+
+def _percentile_ms(samples: Sequence[float], q: float) -> float | None:
+    """Percentile of second-valued samples in ms; None (JSON null) if empty."""
+    if not samples:
+        return None
+    return float(np.percentile(np.asarray(samples), q) * 1e3)
+
+
+class ScoringEngine:
+    """Batched, cached scoring over a trained system.
+
+    Parameters
+    ----------
+    trained:
+        The loaded system (from :func:`repro.serve.artifacts.load_system`
+        or :func:`~repro.serve.artifacts.export_trained`).
+    batch_window:
+        Seconds the batcher waits, from the oldest queued request, for
+        more requests to coalesce before flushing a partial batch.
+    max_batch:
+        Flush immediately once this many requests are queued; also the
+        matrix-batch size of the synchronous path.
+    cache_entries:
+        Size bound of the supervector-score cache (``None`` unbounded,
+        ``0`` disables caching).
+    workers:
+        Decode fan-out width for :func:`repro.utils.parallel.pmap`;
+        ``None`` auto-sizes (honouring ``REPRO_WORKERS``).
+    """
+
+    def __init__(
+        self,
+        trained: TrainedSystem,
+        *,
+        batch_window: float = 0.02,
+        max_batch: int = 32,
+        cache_entries: int | None = 512,
+        workers: int | None = None,
+    ) -> None:
+        if batch_window < 0:
+            raise ValueError("batch_window must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.trained = trained
+        self.batch_window = float(batch_window)
+        self.max_batch = int(max_batch)
+        self.workers = workers
+        self._cache_enabled = cache_entries != 0
+        self.cache = ScoreCache(cache_entries if self._cache_enabled else None)
+        self.timer = StageTimer()
+        # Decode/extract once per *unique* frontend; subsystems (possibly
+        # several per frontend, e.g. a DBA-M1+M2 export) share the raw
+        # supervectors, mirroring the pipeline's Eq. 18-19 sharing.
+        self._frontends = {fe.name: fe for fe in trained.frontends}
+        self._active = []
+        seen = set()
+        for fe_name, _ in trained.subsystems:
+            if fe_name not in seen:
+                seen.add(fe_name)
+                self._active.append(self._frontends[fe_name])
+        self._extractors = {}
+        for fe_name, vsm in trained.subsystems:
+            self._extractors.setdefault(fe_name, vsm)
+        self._queue: deque[_Request] = deque()
+        self._cv = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._closed = False
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._samples: dict[str, deque[float]] = {
+            name: deque(maxlen=512) for name in ("request", *STAGE_NAMES)
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ScoringEngine":
+        """Start the batcher thread (idempotent)."""
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-serve-batcher", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Flush pending requests and stop the batcher thread."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def __enter__(self) -> "ScoringEngine":
+        """Context manager entry: start the batcher."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Context manager exit: drain and stop."""
+        self.close()
+
+    # ------------------------------------------------------------------
+    # public scoring API
+    # ------------------------------------------------------------------
+    @property
+    def languages(self) -> tuple[str, ...]:
+        """Score-column order: the trained system's language names."""
+        return self.trained.language_names
+
+    def submit(self, utterance: Utterance) -> Future:
+        """Queue one utterance; the future resolves to its ``(K,)`` scores.
+
+        Requests from concurrent callers coalesce into shared matrix
+        batches.  The engine is started on first use.
+        """
+        request = _Request(utterance)
+        with self._cv:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="repro-serve-batcher", daemon=True
+                )
+                self._thread.start()
+            self._queue.append(request)
+            self._cv.notify_all()
+        return request.future
+
+    def score_utterances(self, utterances: Sequence[Utterance]) -> np.ndarray:
+        """Synchronously score a batch; returns ``(m, K)`` calibrated scores.
+
+        The batch is processed in ``max_batch``-sized matrix chunks
+        through the same cached path as the queued API.
+        """
+        utterances = list(utterances)
+        rows: list[np.ndarray] = []
+        for start in range(0, len(utterances), self.max_batch):
+            chunk = utterances[start : start + self.max_batch]
+            t0 = time.monotonic()
+            rows.append(self._score_batch(chunk))
+            dt = time.monotonic() - t0
+            with self._stats_lock:
+                self._requests += len(chunk)
+                self._batches += 1
+                self._batched_requests += len(chunk)
+                self._samples["request"].extend([dt] * len(chunk))
+        if not rows:
+            return np.zeros((0, len(self.languages)))
+        return np.vstack(rows)
+
+    def predict_languages(self, scores: np.ndarray) -> list[str]:
+        """Arg-max language names for a ``(m, K)`` score matrix."""
+        return [self.languages[int(k)] for k in np.argmax(scores, axis=1)]
+
+    # ------------------------------------------------------------------
+    # batcher
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                if not self._queue:
+                    return  # closed and drained
+                deadline = self._queue[0].enqueued + self.batch_window
+                while len(self._queue) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cv.wait(timeout=remaining)
+                    if not self._queue:
+                        break
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(self.max_batch, len(self._queue)))
+                ]
+            if batch:
+                self._resolve(batch)
+
+    def _resolve(self, batch: list[_Request]) -> None:
+        try:
+            scores = self._score_batch([r.utterance for r in batch])
+        except Exception as exc:  # propagate to every waiter
+            for request in batch:
+                request.future.set_exception(exc)
+            return
+        now = time.monotonic()
+        with self._stats_lock:
+            self._requests += len(batch)
+            self._batches += 1
+            self._batched_requests += len(batch)
+            for request in batch:
+                self._samples["request"].append(now - request.enqueued)
+        for i, request in enumerate(batch):
+            request.future.set_result(scores[i].copy())
+
+    # ------------------------------------------------------------------
+    # the scoring pass
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _stage(self, name: str, audio_seconds: float = 0.0) -> Iterator[None]:
+        with self.timer.stage(name, audio_seconds=audio_seconds):
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                self._samples[name].append(time.perf_counter() - start)
+
+    def _score_batch(self, utterances: list[Utterance]) -> np.ndarray:
+        """One matrix-level pass: cache → decode/φ/SVM for misses → fuse."""
+        n_sub = len(self.trained.subsystems)
+        n_classes = self.trained.n_classes
+        if not utterances:
+            return np.zeros((0, n_classes))
+        digests = [utterance_digest(u) for u in utterances]
+        stacks: list[np.ndarray | None] = (
+            [self.cache.get(d) for d in digests]
+            if self._cache_enabled
+            else [None] * len(digests)
+        )
+        miss_idx = [i for i, s in enumerate(stacks) if s is None]
+        if miss_idx:
+            miss_utts = [utterances[i] for i in miss_idx]
+            audio = float(sum(u.duration for u in miss_utts))
+            seed = self.trained.config.system.seed
+            raw_by_frontend = {}
+            for frontend in self._active:
+                decode = partial(_decode_one, frontend, seed)
+                with self._stage("decoding", audio_seconds=audio):
+                    sausages = pmap(decode, miss_utts, workers=self.workers)
+                with self._stage("sv_generation", audio_seconds=audio):
+                    raw_by_frontend[frontend.name] = self._extractors[
+                        frontend.name
+                    ].extract(sausages)
+            computed = np.empty((len(miss_utts), n_sub, n_classes))
+            for q, (fe_name, vsm) in enumerate(self.trained.subsystems):
+                with self._stage("sv_product", audio_seconds=audio):
+                    computed[:, q, :] = vsm.score_matrix(
+                        raw_by_frontend[fe_name]
+                    )
+            for row, i in enumerate(miss_idx):
+                stacks[i] = computed[row]
+                if self._cache_enabled:
+                    self.cache.put(digests[i], computed[row])
+        full = np.stack(stacks)  # (m, N, K)
+        with self._stage("fusion"):
+            return self.trained.fusion.transform(
+                [full[:, q, :] for q in range(n_sub)]
+            )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Snapshot of request/batch/cache counters and stage latencies.
+
+        ``stages`` is keyed by the Table 5 stage names (plus ``fusion``)
+        with total elapsed seconds, call counts and p50/p95 per-batch
+        latency in milliseconds; ``latency_ms`` is the end-to-end
+        per-request distribution (queue wait included for the submitted
+        path).
+        """
+        with self._stats_lock:
+            request_samples = list(self._samples["request"])
+            stage_samples = {
+                name: list(self._samples[name]) for name in STAGE_NAMES
+            }
+            requests = self._requests
+            batches = self._batches
+            batched = self._batched_requests
+        with self._cv:
+            queue_depth = len(self._queue)
+        stages = {}
+        for name in STAGE_NAMES:
+            stages[name] = {
+                "calls": self.timer.calls(name),
+                "elapsed_s": self.timer.elapsed(name),
+                "p50_ms": _percentile_ms(stage_samples[name], 50.0),
+                "p95_ms": _percentile_ms(stage_samples[name], 95.0),
+            }
+        return {
+            "requests": requests,
+            "batches": batches,
+            "mean_batch_size": (batched / batches) if batches else 0.0,
+            "queue_depth": queue_depth,
+            "batch_window_s": self.batch_window,
+            "max_batch": self.max_batch,
+            "cache": self.cache.stats(),
+            "stages": stages,
+            "latency_ms": {
+                "p50": _percentile_ms(request_samples, 50.0),
+                "p95": _percentile_ms(request_samples, 95.0),
+            },
+            "languages": list(self.languages),
+        }

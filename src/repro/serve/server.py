@@ -1,0 +1,178 @@
+"""Stdlib-only JSON HTTP surface over the scoring engine.
+
+A :class:`ScoringServer` (a ``ThreadingHTTPServer``) exposes three
+endpoints:
+
+``POST /score``
+    Body ``{"utterances": [<utterance json>, ...]}`` (see
+    :func:`repro.serve.protocol.utterance_to_json`).  Every utterance is
+    submitted to the engine's micro-batching queue — concurrent requests
+    from different connections coalesce into shared matrix batches — and
+    the response carries calibrated detection log-odds per language plus
+    arg-max predictions.
+``GET /healthz``
+    Liveness + a summary of the loaded system.
+``GET /stats``
+    The engine's :meth:`~repro.serve.engine.ScoringEngine.stats`
+    snapshot (requests, batches, cache hits/misses, per-stage p50/p95).
+
+Only the standard library is used (``http.server`` + ``json``), so the
+service runs anywhere the package does.  This is an internal-tier
+service: put a real ingress in front of it before exposing it publicly.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.serve.engine import ScoringEngine
+from repro.serve.protocol import utterance_from_json
+
+__all__ = ["ScoringServer", "ScoringRequestHandler", "make_server", "run_server"]
+
+#: Cap on accepted request bodies (16 MiB) — a crude but effective guard
+#: against memory-exhaustion by a single oversized POST.
+MAX_BODY_BYTES = 16 << 20
+
+
+class ScoringRequestHandler(BaseHTTPRequestHandler):
+    """Routes /score, /healthz and /stats onto the owning server's engine."""
+
+    server: "ScoringServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Silence per-request stderr logging (stats() is the telemetry)."""
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json(status, {"error": message})
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:
+        """Serve /healthz and /stats."""
+        engine = self.server.engine
+        if self.path == "/healthz":
+            trained = engine.trained
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "languages": list(trained.language_names),
+                    "frontends": [fe.name for fe in trained.frontends],
+                    "subsystems": [name for name, _ in trained.subsystems],
+                },
+            )
+        elif self.path == "/stats":
+            self._send_json(200, engine.stats())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:
+        """Serve /score."""
+        if self.path != "/score":
+            self._send_error_json(404, f"unknown path {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_error_json(400, "bad Content-Length")
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_error_json(400, "request body missing or too large")
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+            utterances = [
+                utterance_from_json(u) for u in payload["utterances"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            self._send_error_json(400, f"bad request: {exc}")
+            return
+        if not utterances:
+            self._send_json(
+                200,
+                {
+                    "languages": list(self.server.engine.languages),
+                    "utt_ids": [],
+                    "scores": [],
+                    "predictions": [],
+                },
+            )
+            return
+        try:
+            futures = [self.server.engine.submit(u) for u in utterances]
+            scores = np.vstack([f.result() for f in futures])
+        except Exception as exc:  # engine-side failure
+            self._send_error_json(500, f"scoring failed: {exc}")
+            return
+        engine = self.server.engine
+        self._send_json(
+            200,
+            {
+                "languages": list(engine.languages),
+                "utt_ids": [u.utt_id for u in utterances],
+                "scores": scores.tolist(),
+                "predictions": engine.predict_languages(scores),
+            },
+        )
+
+
+class ScoringServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ScoringEngine`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], engine: ScoringEngine) -> None:
+        super().__init__(address, ScoringRequestHandler)
+        self.engine = engine
+
+
+def make_server(
+    engine: ScoringEngine, host: str = "127.0.0.1", port: int = 8337
+) -> ScoringServer:
+    """Bind a :class:`ScoringServer` (engine started; not yet serving).
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address`` (used by tests and benchmarks).
+    """
+    engine.start()
+    return ScoringServer((host, port), engine)
+
+
+def run_server(
+    engine: ScoringEngine,
+    host: str = "127.0.0.1",
+    port: int = 8337,
+    *,
+    announce=print,
+) -> None:
+    """Serve until interrupted, then drain the engine cleanly."""
+    server = make_server(engine, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    announce(
+        f"repro.serve listening on http://{bound_host}:{bound_port} "
+        f"(endpoints: /score /healthz /stats)"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        announce("shutting down")
+    finally:
+        server.server_close()
+        engine.close()

@@ -74,6 +74,54 @@ class OneVsRestSVM:
             self.models_.append(model)
         return self
 
+    # ------------------------------------------------------------------
+    # persistence (repro.serve artifacts)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Fitted scoring state as plain arrays/scalars.
+
+        Only what :meth:`decision_matrix` needs is captured — the dual
+        variables (``alpha_``) are training-time state and are dropped,
+        so a restored model scores identically but cannot resume
+        training.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("cannot serialise an unfitted OneVsRestSVM")
+        return {
+            "n_classes": self.n_classes,
+            "seed": self.seed,
+            "C": self._svm_kwargs["C"],
+            "loss": self._svm_kwargs["loss"],
+            "max_epochs": self._svm_kwargs["max_epochs"],
+            "tol": self._svm_kwargs["tol"],
+            "weights": np.stack([m.weight_ for m in self.models_]),
+            "biases": np.array([m.bias_ for m in self.models_]),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "OneVsRestSVM":
+        """Rebuild a fitted scorer from :meth:`state_dict` output."""
+        ovr = cls(
+            int(state["n_classes"]),
+            C=float(state["C"]),
+            loss=str(state["loss"]),
+            max_epochs=int(state["max_epochs"]),
+            tol=float(state["tol"]),
+            seed=int(state["seed"]),
+        )
+        weights = np.asarray(state["weights"], dtype=np.float64)
+        biases = np.asarray(state["biases"], dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[0] != ovr.n_classes:
+            raise ValueError("weights must be (n_classes, dim)")
+        if biases.shape != (ovr.n_classes,):
+            raise ValueError("biases must align with n_classes")
+        for k in range(ovr.n_classes):
+            model = LinearSVC(seed=ovr.seed + k, **ovr._svm_kwargs)
+            model.weight_ = weights[k].copy()
+            model.bias_ = float(biases[k])
+            ovr.models_.append(model)
+        return ovr
+
     def decision_matrix(self, x: SparseMatrix) -> np.ndarray:
         """Score matrix ``(n_rows, n_classes)`` — one subsystem's F_q (Eq. 9)."""
         if not self.is_fitted:

@@ -82,6 +82,61 @@ class VSM:
         return self.ovr.decision_matrix(scaled)
 
     # ------------------------------------------------------------------
+    # persistence (repro.serve artifacts)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Fitted subsystem state (TFLLR scaling + OvR weights).
+
+        The returned mapping contains only arrays, scalars and strings,
+        so it can be persisted to a single ``.npz`` by the artifact
+        store; :meth:`from_state` restores a scorer whose
+        :meth:`score_matrix` output is bitwise identical.
+        """
+        state = {
+            "n_phones": self.extractor.layout.n_phones,
+            "n_classes": self.n_classes,
+            "orders": np.asarray(self.extractor.orders, dtype=np.int64),
+            "tfllr": self.tfllr,
+        }
+        if self.scaler is not None:
+            if not self.scaler.is_fitted:
+                raise RuntimeError("cannot serialise an unfitted VSM")
+            state["min_prob"] = self.scaler.min_prob
+            state["scale"] = self.scaler.scale_
+        for key, value in self.ovr.state_dict().items():
+            state[f"ovr.{key}"] = value
+        return state
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VSM":
+        """Rebuild a fitted :class:`VSM` from :meth:`state_dict` output."""
+        tfllr = bool(state["tfllr"])
+        vsm = cls(
+            int(state["n_phones"]),
+            int(state["n_classes"]),
+            orders=tuple(int(o) for o in state["orders"]),
+            C=float(state["ovr.C"]),
+            loss=str(state["ovr.loss"]),
+            max_epochs=int(state["ovr.max_epochs"]),
+            tfllr=tfllr,
+            min_prob=float(state["min_prob"]) if tfllr else 1e-5,
+            seed=int(state["ovr.seed"]),
+        )
+        if vsm.scaler is not None:
+            scale = np.asarray(state["scale"], dtype=np.float64)
+            if scale.shape != (vsm.extractor.dim,):
+                raise ValueError("TFLLR scale does not match supervector dim")
+            vsm.scaler.scale_ = scale
+        vsm.ovr = OneVsRestSVM.from_state(
+            {
+                key[len("ovr.") :]: value
+                for key, value in state.items()
+                if key.startswith("ovr.")
+            }
+        )
+        return vsm
+
+    # ------------------------------------------------------------------
     # convenience: straight from sausages
     # ------------------------------------------------------------------
     def fit(self, sausages: list[Sausage], labels: np.ndarray) -> "VSM":

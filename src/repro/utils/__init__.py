@@ -7,6 +7,7 @@ from repro.utils.io import (
     save_scores,
     save_sparse,
 )
+from repro.utils.lru import LruTracker
 from repro.utils.parallel import chunked, effective_workers, pmap
 from repro.utils.rng import child_rng, ensure_rng, spawn_many
 from repro.utils.sparse import SparseMatrix, SparseVector
@@ -21,6 +22,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "LruTracker",
     "MatrixCache",
     "load_scores",
     "load_sparse",

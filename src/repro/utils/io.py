@@ -18,6 +18,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.utils.lru import LruTracker
 from repro.utils.sparse import SparseMatrix
 
 __all__ = [
@@ -73,21 +74,52 @@ def load_scores(path: str | Path) -> dict[str, np.ndarray]:
 
 
 class MatrixCache:
-    """Directory-backed cache of supervector matrices.
+    """Directory-backed, size-bounded cache of supervector matrices.
 
     Keys are ``(frontend_name, corpus_tag)``; values are sparse matrices.
     :meth:`get_or_compute` is the primary entry: it loads from disk when
     present, otherwise calls the supplied thunk and persists the result —
     so re-running an experiment skips the decode/extract stages entirely.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on the number of cached matrices.  When a
+        :meth:`put` pushes the cache over the bound, the least recently
+        *used* entries (reads count as uses) are deleted from disk.
+        ``None`` (the default) keeps the historical unbounded behaviour.
+        Entries already on disk when the cache is opened are adopted
+        oldest-modified-first, so long-lived cache directories stay
+        bounded too.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, *, max_entries: int | None = None
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._lru = LruTracker(max_entries)
+        existing = sorted(
+            self.directory.glob("*.npz"), key=lambda p: p.stat().st_mtime
+        )
+        self._lru.seed(p.name for p in existing)
+        self._evict_excess()
+
+    @property
+    def max_entries(self) -> int | None:
+        """The configured size bound (``None`` = unbounded)."""
+        return self._lru.max_entries
+
+    def __len__(self) -> int:
+        return len(self._lru)
 
     def _path(self, frontend_name: str, tag: str) -> Path:
         safe_tag = tag.replace("@", "_at_").replace("/", "_")
         return self.directory / f"{frontend_name}__{safe_tag}.npz"
+
+    def _evict_excess(self) -> None:
+        for name in self._lru.pop_excess():
+            (self.directory / str(name)).unlink(missing_ok=True)
 
     def has(self, frontend_name: str, tag: str) -> bool:
         """Whether a cached matrix exists for the key."""
@@ -96,14 +128,19 @@ class MatrixCache:
     def put(
         self, frontend_name: str, tag: str, matrix: SparseMatrix
     ) -> None:
-        """Persist a matrix under the key."""
-        save_sparse(self._path(frontend_name, tag), matrix)
+        """Persist a matrix under the key, evicting LRU entries if full."""
+        path = self._path(frontend_name, tag)
+        save_sparse(path, matrix)
+        self._lru.touch(path.name)
+        self._evict_excess()
 
     def get(self, frontend_name: str, tag: str) -> SparseMatrix:
         """Load the matrix for the key (raises if absent)."""
         path = self._path(frontend_name, tag)
         if not path.exists():
+            self._lru.discard(path.name)
             raise KeyError(f"no cached matrix for {(frontend_name, tag)!r}")
+        self._lru.touch(path.name)
         return load_sparse(path)
 
     def get_or_compute(

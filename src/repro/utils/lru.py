@@ -1,0 +1,84 @@
+"""Least-recently-used bookkeeping shared by the caches.
+
+Two caches need identical eviction behaviour: the disk-backed
+:class:`repro.utils.io.MatrixCache` (supervector matrices per
+``(frontend, corpus)``) and the in-memory
+:class:`repro.serve.cache.ScoreCache` (per-utterance subsystem scores in
+the online scoring service).  :class:`LruTracker` factors the recency
+bookkeeping out of both: it orders keys by last touch and, when a bound
+is configured, says which keys must go.  It deliberately stores no
+values — owners keep their own storage (files, dicts) and merely delete
+whatever the tracker evicts, so the same policy serves disk- and
+memory-backed stores alike.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+__all__ = ["LruTracker"]
+
+
+class LruTracker:
+    """Recency-ordered key set with a configurable size bound.
+
+    Parameters
+    ----------
+    max_entries:
+        Maximum number of tracked keys; ``None`` disables eviction (the
+        tracker then only records recency order).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._order: OrderedDict[Hashable, None] = OrderedDict()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> list[Hashable]:
+        """Tracked keys, least- to most-recently used."""
+        return list(self._order)
+
+    def touch(self, key: Hashable) -> None:
+        """Mark ``key`` as most recently used (adding it if new)."""
+        if key in self._order:
+            self._order.move_to_end(key)
+        else:
+            self._order[key] = None
+
+    def discard(self, key: Hashable) -> None:
+        """Forget ``key`` if tracked (no-op otherwise)."""
+        self._order.pop(key, None)
+
+    def pop_excess(self) -> list[Hashable]:
+        """Drop and return the least-recent keys above ``max_entries``.
+
+        The caller must delete the corresponding stored values.  Returns
+        an empty list when unbounded or within bound.
+        """
+        if self.max_entries is None:
+            return []
+        evicted: list[Hashable] = []
+        while len(self._order) > self.max_entries:
+            key, _ = self._order.popitem(last=False)
+            evicted.append(key)
+        return evicted
+
+    def seed(self, keys: Iterable[Hashable]) -> None:
+        """Initialise recency order from ``keys`` (oldest first).
+
+        Used by disk-backed caches to adopt pre-existing entries: keys
+        are recorded least-recent-first without triggering eviction, so a
+        freshly opened cache over an over-full directory only evicts on
+        the next :meth:`touch` + :meth:`pop_excess` cycle.
+        """
+        for key in keys:
+            if key not in self._order:
+                self._order[key] = None

@@ -24,16 +24,34 @@ __all__ = ["pmap", "effective_workers", "chunked"]
 #: Below this many items the pool overhead is never worth paying.
 _MIN_PARALLEL_ITEMS = 32
 
+#: Hard ceiling on any resolved worker count (explicit or from the
+#: REPRO_WORKERS environment variable): oversubscribing a host by more
+#: than this only adds scheduler churn.
+_MAX_WORKERS = 256
+
 
 def effective_workers(requested: int | None = None) -> int:
     """Resolve a worker count.
 
-    ``None`` or ``0`` means "auto": ``os.cpu_count() - 1`` capped below at 1.
-    Explicit values are clamped to at least 1.
+    ``None`` or ``0`` means "auto": the ``REPRO_WORKERS`` environment
+    variable when set (so deployments — notably ``repro serve`` — size
+    their pools without code changes), else ``os.cpu_count() - 1`` capped
+    below at 1.  All values, explicit or from the environment, are
+    clamped to ``[1, 256]``; a non-integer ``REPRO_WORKERS`` raises
+    ``ValueError`` rather than being silently ignored.
     """
     if requested is None or requested == 0:
-        return max(1, (os.cpu_count() or 1) - 1)
-    return max(1, int(requested))
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                requested = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_WORKERS must be an integer, got {env!r}"
+                ) from None
+        else:
+            return max(1, (os.cpu_count() or 1) - 1)
+    return min(_MAX_WORKERS, max(1, int(requested)))
 
 
 def chunked(items: Sequence[T], n_chunks: int) -> list[list[T]]:

@@ -1,0 +1,1 @@
+"""Tests for the online scoring service (repro.serve)."""

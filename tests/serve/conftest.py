@@ -1,0 +1,60 @@
+"""Shared fixtures for the serving tests: one small trained system.
+
+Training (decode + SVM fit + fusion fit) is the expensive part, so a
+single session-scoped system at a reduced scale — 4 languages, one
+3-second duration — is shared by the artifact, engine and server tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_system
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.corpus.splits import CorpusConfig
+from repro.serve import export_trained, save_system
+
+
+@pytest.fixture(scope="session")
+def serve_config() -> ExperimentConfig:
+    """A 4-language single-duration experiment config for serving tests."""
+    return ExperimentConfig(
+        corpus=CorpusConfig(
+            n_languages=4,
+            n_families=2,
+            train_per_language=8,
+            dev_per_language=6,
+            test_per_language=6,
+            durations=(3.0,),
+            seed=1234,
+        ),
+        system=SystemConfig(
+            orders=(1, 2), svm_max_epochs=12, mmi_iterations=10
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def serve_system(serve_config):
+    """The in-memory pipeline trained under ``serve_config``."""
+    return build_system(serve_config)
+
+
+@pytest.fixture(scope="session")
+def serve_baseline(serve_system):
+    """The baseline result of the shared system."""
+    return serve_system.baseline()
+
+
+@pytest.fixture(scope="session")
+def serve_trained(serve_system, serve_baseline, serve_config):
+    """The exported (score-ready) form of the shared system."""
+    return export_trained(serve_system, [serve_baseline], serve_config)
+
+
+@pytest.fixture(scope="session")
+def artifact_dir(tmp_path_factory, serve_trained):
+    """The shared system saved to disk once per session."""
+    directory = tmp_path_factory.mktemp("artifact") / "system"
+    save_system(directory, serve_trained, metadata={"origin": "tests"})
+    return directory

@@ -1,0 +1,257 @@
+"""Artifact round-trip fidelity and load-time safety checks."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.backend.fusion import LdaMmiFusion
+from repro.serve import (
+    SCHEMA_VERSION,
+    ArtifactError,
+    ScoringEngine,
+    TrainedSystem,
+    config_fingerprint,
+    export_trained,
+    load_system,
+    save_system,
+)
+from repro.serve.artifacts import _config_from_dict
+from repro.svm.vsm import VSM
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _subprocess_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestRoundTripFidelity:
+    def test_loaded_test_scores_bitwise_identical(
+        self, artifact_dir, serve_system, serve_baseline
+    ):
+        # The acceptance bar: export → load → score reproduces the
+        # in-memory pipeline's fused test scores exactly.
+        loaded = load_system(artifact_dir)
+        utterances = list(serve_system.bundle.test[3.0].utterances)
+        with ScoringEngine(loaded) as engine:
+            scores = engine.score_utterances(utterances)
+        reference = serve_system.fused_scores([serve_baseline], 3.0)
+        assert np.array_equal(scores, reference)
+
+    def test_loaded_dev_scores_bitwise_identical(
+        self, artifact_dir, serve_system, serve_baseline
+    ):
+        loaded = load_system(artifact_dir)
+        utterances = list(serve_system.bundle.dev.utterances)
+        with ScoringEngine(loaded) as engine:
+            scores = engine.score_utterances(utterances)
+        reference = loaded.fusion.transform(
+            [sub.dev for sub in serve_baseline.subsystems]
+        )
+        assert np.array_equal(scores, reference)
+
+    def test_fresh_process_scores_identical(
+        self, artifact_dir, serve_system, serve_baseline, tmp_path
+    ):
+        # Reload in a genuinely fresh interpreter via the CLI and compare
+        # the saved score matrix bit for bit.
+        out = tmp_path / "scores.npz"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "score",
+                str(artifact_dir),
+                "--tag",
+                "test@3.0",
+                "-o",
+                str(out),
+            ],
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr
+        from repro.utils.io import load_scores
+
+        scores = load_scores(out)["scores"]
+        reference = serve_system.fused_scores([serve_baseline], 3.0)
+        assert np.array_equal(scores, reference)
+
+    def test_loaded_metadata_and_languages(self, artifact_dir, serve_trained):
+        loaded = load_system(artifact_dir)
+        assert loaded.language_names == serve_trained.language_names
+        assert [name for name, _ in loaded.subsystems] == [
+            name for name, _ in serve_trained.subsystems
+        ]
+        assert [fe.name for fe in loaded.frontends] == [
+            fe.name for fe in serve_trained.frontends
+        ]
+
+
+class TestManifest:
+    def test_manifest_shape(self, artifact_dir):
+        manifest = json.loads((artifact_dir / "manifest.json").read_text())
+        assert manifest["schema_version"] == SCHEMA_VERSION
+        assert manifest["metadata"] == {"origin": "tests"}
+        for name, digest in manifest["files"].items():
+            assert (artifact_dir / name).exists()
+            assert len(digest) == 64
+        assert "config.json" in manifest["files"]
+        assert "fusion.npz" in manifest["files"]
+
+    def test_config_fingerprint_survives_json_round_trip(
+        self, serve_config, artifact_dir
+    ):
+        stored = _config_from_dict(
+            json.loads((artifact_dir / "config.json").read_text())
+        )
+        assert config_fingerprint(stored) == config_fingerprint(serve_config)
+
+
+def _copy_artifact(artifact_dir, tmp_path) -> Path:
+    import shutil
+
+    dst = tmp_path / "copy"
+    shutil.copytree(artifact_dir, dst)
+    return dst
+
+
+class TestLoadSafety:
+    def test_rejects_unknown_schema_version(self, artifact_dir, tmp_path):
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        manifest_path = broken / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="schema version"):
+            load_system(broken)
+
+    def test_rejects_corrupted_payload(self, artifact_dir, tmp_path):
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        target = broken / "fusion.npz"
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_system(broken)
+
+    def test_rejects_missing_payload(self, artifact_dir, tmp_path):
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        (broken / "frontends.pkl").unlink()
+        with pytest.raises(ArtifactError, match="missing"):
+            load_system(broken)
+
+    def test_rejects_missing_manifest(self, tmp_path):
+        with pytest.raises(ArtifactError, match="manifest"):
+            load_system(tmp_path / "nowhere")
+
+    def test_hard_fails_on_config_hash_mismatch(self, artifact_dir, tmp_path):
+        # Tamper with config.json (different corpus seed) and re-stamp
+        # its file hash so only the *config fingerprint* check can catch
+        # the drift — that check must hard-fail.
+        import hashlib
+
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        config_path = broken / "config.json"
+        payload = json.loads(config_path.read_text())
+        payload["corpus"]["seed"] = payload["corpus"]["seed"] + 1
+        config_path.write_text(json.dumps(payload))
+        manifest_path = broken / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["files"]["config.json"] = hashlib.sha256(
+            config_path.read_bytes()
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(ArtifactError, match="config hash mismatch"):
+            load_system(broken)
+
+    def test_rejects_unexpected_caller_config(
+        self, artifact_dir, serve_config
+    ):
+        import dataclasses
+
+        other = dataclasses.replace(
+            serve_config,
+            corpus=dataclasses.replace(serve_config.corpus, seed=999),
+        )
+        with pytest.raises(ArtifactError, match="different experiment"):
+            load_system(artifact_dir, expected_config=other)
+
+    def test_accepts_matching_caller_config(self, artifact_dir, serve_config):
+        loaded = load_system(artifact_dir, expected_config=serve_config)
+        assert isinstance(loaded, TrainedSystem)
+
+
+class TestExportTrained:
+    def test_requires_fitted_vsms(
+        self, serve_system, serve_baseline, serve_config
+    ):
+        import copy
+
+        stripped = copy.copy(serve_baseline)
+        stripped.subsystems = [
+            copy.copy(sub) for sub in serve_baseline.subsystems
+        ]
+        stripped.subsystems[0].vsm = None
+        with pytest.raises(ValueError, match="no fitted VSM"):
+            export_trained(serve_system, [stripped], serve_config)
+
+    def test_rejects_unfitted_fusion(self, serve_trained, serve_config):
+        with pytest.raises(ValueError, match="fitted"):
+            TrainedSystem(
+                config=serve_config,
+                language_names=serve_trained.language_names,
+                frontends=serve_trained.frontends,
+                subsystems=serve_trained.subsystems,
+                fusion=LdaMmiFusion(),
+            )
+
+    def test_rejects_unknown_subsystem_frontend(
+        self, serve_trained, serve_config
+    ):
+        bad = [("NOT_A_FRONTEND", serve_trained.subsystems[0][1])] + list(
+            serve_trained.subsystems[1:]
+        )
+        with pytest.raises(ValueError, match="not in frontend battery"):
+            TrainedSystem(
+                config=serve_config,
+                language_names=serve_trained.language_names,
+                frontends=serve_trained.frontends,
+                subsystems=bad,
+                fusion=serve_trained.fusion,
+            )
+
+
+class TestStateDicts:
+    def test_vsm_state_round_trip(self, serve_system, serve_trained):
+        fe_name, vsm = serve_trained.subsystems[0]
+        frontend = serve_trained.frontend_by_name(fe_name)
+        raw = serve_system.raw_matrix(frontend, "dev")
+        rebuilt = VSM.from_state(vsm.state_dict())
+        assert np.array_equal(
+            rebuilt.score_matrix(raw), vsm.score_matrix(raw)
+        )
+
+    def test_fusion_state_round_trip(self, serve_trained, serve_baseline):
+        rebuilt = LdaMmiFusion.from_state(serve_trained.fusion.state_dict())
+        test_list = [sub.test[3.0] for sub in serve_baseline.subsystems]
+        assert np.array_equal(
+            rebuilt.transform(test_list),
+            serve_trained.fusion.transform(test_list),
+        )
+
+    def test_fusion_state_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            LdaMmiFusion().state_dict()

@@ -1,0 +1,75 @@
+"""JSON wire format and the cache-key digest."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    UNLABELLED,
+    utterance_digest,
+    utterance_from_json,
+    utterance_to_json,
+)
+
+
+@pytest.fixture()
+def utterance(serve_system):
+    """One dev utterance from the shared bundle."""
+    return serve_system.bundle.dev.utterances[0]
+
+
+class TestJsonRoundTrip:
+    def test_lossless_through_json_text(self, utterance):
+        payload = json.loads(json.dumps(utterance_to_json(utterance)))
+        rebuilt = utterance_from_json(payload)
+        assert rebuilt.utt_id == utterance.utt_id
+        assert rebuilt.language == utterance.language
+        assert np.array_equal(rebuilt.phones, utterance.phones)
+        assert np.array_equal(rebuilt.phone_frames, utterance.phone_frames)
+        session, orig = rebuilt.session, utterance.session
+        assert np.array_equal(session.speaker.offset, orig.speaker.offset)
+        assert session.speaker.rate == orig.speaker.rate
+        assert np.array_equal(session.channel.tilt, orig.channel.tilt)
+        assert session.channel.gain == orig.channel.gain
+        assert session.snr_db == orig.snr_db
+        assert rebuilt.frame_rate == utterance.frame_rate
+
+    def test_round_trip_preserves_digest(self, utterance):
+        payload = json.loads(json.dumps(utterance_to_json(utterance)))
+        assert utterance_digest(
+            utterance_from_json(payload)
+        ) == utterance_digest(utterance)
+
+    def test_language_defaults_to_unlabelled(self, utterance):
+        payload = utterance_to_json(utterance)
+        del payload["language"]
+        assert utterance_from_json(payload).language == UNLABELLED
+
+    def test_missing_field_raises_value_error(self, utterance):
+        payload = utterance_to_json(utterance)
+        del payload["phones"]
+        with pytest.raises(ValueError, match="missing field"):
+            utterance_from_json(payload)
+        with pytest.raises(ValueError, match="missing field"):
+            utterance_from_json({"utt_id": "x"})
+
+
+class TestDigest:
+    def test_digest_depends_on_utt_id(self, utterance):
+        # The decode RNG is keyed by utt_id, so the cache key must be too.
+        renamed = dataclasses.replace(utterance, utt_id="other-id")
+        assert utterance_digest(renamed) != utterance_digest(utterance)
+
+    def test_digest_ignores_language_label(self, utterance):
+        relabelled = dataclasses.replace(utterance, language=UNLABELLED)
+        assert utterance_digest(relabelled) == utterance_digest(utterance)
+
+    def test_digest_depends_on_content(self, utterance):
+        frames = utterance.phone_frames.copy()
+        frames[0] += 1
+        altered = dataclasses.replace(utterance, phone_frames=frames)
+        assert utterance_digest(altered) != utterance_digest(utterance)

@@ -1,0 +1,123 @@
+"""HTTP surface: /score, /healthz, /stats and error handling."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import ScoringEngine, make_server, utterance_to_json
+
+
+@pytest.fixture()
+def server(serve_trained):
+    """A live server on an ephemeral port; yields its base URL."""
+    engine = ScoringEngine(
+        serve_trained, batch_window=0.01, cache_entries=0
+    )
+    srv = make_server(engine, port=0)
+    thread = threading.Thread(target=srv.serve_forever, daemon=True)
+    thread.start()
+    host, port = srv.server_address[:2]
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        srv.shutdown()
+        srv.server_close()
+        engine.close()
+        thread.join(timeout=10)
+
+
+def _get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return json.loads(resp.read())
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server, serve_trained):
+        body = _get(server + "/healthz")
+        assert body["status"] == "ok"
+        assert body["languages"] == list(serve_trained.language_names)
+        assert body["subsystems"] == [
+            name for name, _ in serve_trained.subsystems
+        ]
+
+    def test_score_matches_engine(self, server, serve_trained,
+                                  serve_system):
+        utterances = list(serve_system.bundle.dev.utterances)[:3]
+        body = _post(
+            server + "/score",
+            {"utterances": [utterance_to_json(u) for u in utterances]},
+        )
+        reference = ScoringEngine(
+            serve_trained, cache_entries=0
+        ).score_utterances(utterances)
+        assert body["utt_ids"] == [u.utt_id for u in utterances]
+        assert np.array_equal(np.asarray(body["scores"]), reference)
+        assert body["predictions"] == [
+            serve_trained.language_names[k]
+            for k in np.argmax(reference, axis=1)
+        ]
+
+    def test_stats_reflect_traffic(self, server, serve_system):
+        utterances = list(serve_system.bundle.dev.utterances)[:2]
+        _post(
+            server + "/score",
+            {"utterances": [utterance_to_json(u) for u in utterances]},
+        )
+        stats = _get(server + "/stats")
+        assert stats["requests"] >= 2
+        assert stats["batches"] >= 1
+        assert "decoding" in stats["stages"]
+
+    def test_empty_utterance_list(self, server):
+        body = _post(server + "/score", {"utterances": []})
+        assert body["utt_ids"] == []
+        assert body["scores"] == []
+
+
+class TestErrors:
+    def _status_of(self, exc_info) -> int:
+        return exc_info.value.code
+
+    def test_unknown_get_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _get(server + "/nope")
+        assert exc_info.value.code == 404
+
+    def test_unknown_post_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _post(server + "/nope", {})
+        assert exc_info.value.code == 404
+
+    def test_malformed_body_400(self, server):
+        request = urllib.request.Request(
+            server + "/score", data=b"not json"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            urllib.request.urlopen(request, timeout=30)
+        assert exc_info.value.code == 400
+
+    def test_missing_utterances_key_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _post(server + "/score", {"wrong": []})
+        assert exc_info.value.code == 400
+
+    def test_bad_utterance_payload_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc_info:
+            _post(server + "/score", {"utterances": [{"utt_id": "x"}]})
+        assert exc_info.value.code == 400

@@ -88,3 +88,47 @@ class TestMatrixCache:
         assert cache.has("A", "test@3.0")
         # No '@' in the stored filename.
         assert all("@" not in p.name for p in cache.directory.iterdir())
+
+
+class TestMatrixCacheBound:
+    def test_put_evicts_least_recently_used(self, tmp_path):
+        cache = MatrixCache(tmp_path, max_entries=2)
+        cache.put("A", "train", sample_matrix())
+        cache.put("B", "train", sample_matrix())
+        cache.get("A", "train")  # refresh A; B becomes least recent
+        cache.put("C", "train", sample_matrix())
+        assert cache.has("A", "train")
+        assert not cache.has("B", "train")
+        assert cache.has("C", "train")
+        assert len(cache) == 2
+        assert len(list(cache.directory.glob("*.npz"))) == 2
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = MatrixCache(tmp_path)
+        for name in "ABCDE":
+            cache.put(name, "train", sample_matrix())
+        assert cache.max_entries is None
+        assert len(cache) == 5
+
+    def test_adopts_existing_directory(self, tmp_path):
+        import os
+
+        first = MatrixCache(tmp_path)
+        for i, name in enumerate(("A", "B", "C")):
+            first.put(name, "train", sample_matrix())
+            # Distinct mtimes so adoption order is deterministic.
+            path = first._path(name, "train")
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        reopened = MatrixCache(tmp_path, max_entries=2)
+        # Oldest-modified entry is evicted on open.
+        assert not reopened.has("A", "train")
+        assert reopened.has("B", "train")
+        assert reopened.has("C", "train")
+
+    def test_get_discards_externally_deleted_entries(self, tmp_path):
+        cache = MatrixCache(tmp_path, max_entries=3)
+        cache.put("A", "train", sample_matrix())
+        cache._path("A", "train").unlink()
+        with pytest.raises(KeyError):
+            cache.get("A", "train")
+        assert len(cache) == 0

@@ -63,3 +63,31 @@ class TestPmap:
     def test_order_preserved_parallel(self):
         items = list(range(64))
         assert pmap(_square, items, workers=2) == [x * x for x in items]
+
+
+class TestReproWorkersEnv:
+    def test_env_sets_auto_width(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert effective_workers(None) == 3
+        assert effective_workers(0) == 3
+
+    def test_explicit_request_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert effective_workers(2) == 2
+
+    def test_env_clamped_to_at_least_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-5")
+        assert effective_workers(None) == 1
+
+    def test_env_clamped_to_upper_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "100000")
+        assert effective_workers(None) == 256
+
+    def test_non_integer_env_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            effective_workers(None)
+
+    def test_unset_env_autodetects(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert effective_workers(None) >= 1
