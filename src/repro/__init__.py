@@ -12,6 +12,7 @@ The package layers:
 - :mod:`repro.metrics`   EER, NIST C_avg, DET curves
 - :mod:`repro.core`      the Discriminative Boosting Algorithm and pipelines
 - :mod:`repro.serve`     persisted-model online scoring service (export/serve)
+- :mod:`repro.obs`       tracing spans, metrics registry, runlog manifests
 
 Quickstart::
 
@@ -31,7 +32,7 @@ from repro.core import (
     smoke_scale,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ExperimentConfig",

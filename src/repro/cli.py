@@ -17,17 +17,27 @@ plus the serving vertical (:mod:`repro.serve`):
 - ``score``      score a corpus split or a JSON utterance file offline
 - ``serve``      run the JSON HTTP scoring service over an artifact
 
+and the observability vertical (:mod:`repro.obs`):
+
+- ``obs show``   render a runlog's stage tree and per-stage roll-up
+
 Experiment commands accept ``--scale smoke|bench`` and ``--seed``;
 ``score``/``serve`` read their configuration from the artifact itself.
+Setting ``REPRO_TRACE=1`` wraps any command (except ``obs``) in a trace
+and writes a runlog directory under ``runlogs/`` (override with
+``REPRO_RUNLOG_DIR``); inspect it with ``repro obs show <runlog>``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from typing import Sequence
 
+from repro.obs import trace
 from repro.core import (
     bench_scale,
     build_system,
@@ -43,8 +53,28 @@ from repro.core.analysis import format_table1
 __all__ = ["main", "build_parser"]
 
 
+def _registry():
+    """The process-wide metrics registry the CLI's engines publish into.
+
+    The CLI runs a single engine per process, so folding its ``serve.*``
+    instruments into :func:`repro.obs.metrics.default_registry` is safe
+    and lets traced runs capture cache hit rates in the runlog.
+    """
+    from repro.obs.metrics import default_registry
+
+    return default_registry()
+
+
 def _make_system(args):
     config = smoke_scale(args.seed) if args.scale == "smoke" else bench_scale(args.seed)
+    if trace.enabled():
+        from repro.serve.artifacts import config_fingerprint
+
+        trace.annotate_root(
+            config_sha256=config_fingerprint(config),
+            scale=args.scale,
+            seed=args.seed,
+        )
     return build_system(config), config
 
 
@@ -286,7 +316,7 @@ def cmd_score(args) -> int:
         if all(u.language in known for u in utterances):
             labels = corpus.label_indices(trained.language_names)
         source = f"regenerated corpus {args.tag!r}"
-    engine = ScoringEngine(trained, max_batch=args.max_batch)
+    engine = ScoringEngine(trained, max_batch=args.max_batch, registry=_registry())
     scores = engine.score_utterances(utterances)
     predictions = engine.predict_languages(scores)
     print(f"scored {len(utterances)} utterances from {source}")
@@ -322,6 +352,7 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         cache_entries=args.cache_entries,
         workers=args.workers,
+        registry=_registry(),
     )
     print(
         f"loaded system: {len(trained.subsystems)} subsystems over "
@@ -329,6 +360,22 @@ def cmd_serve(args) -> int:
         f"{len(trained.language_names)} languages"
     )
     run_server(engine, args.host, args.port)
+    return 0
+
+
+def cmd_obs_show(args) -> int:
+    """Render a runlog's stage tree and per-stage roll-up."""
+    from repro.obs import read_runlog, render_runlog
+
+    try:
+        run = read_runlog(args.runlog)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_runlog(run, max_depth=args.max_depth))
+    except BrokenPipeError:  # e.g. `obs show … | head`
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -445,12 +492,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser(
+        "obs", help="observability tools (runlog inspection)"
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    ps = obs_sub.add_parser(
+        "show", help="render a runlog stage tree + per-stage roll-up"
+    )
+    ps.add_argument(
+        "runlog", help="runlog directory (or its manifest.json)"
+    )
+    ps.add_argument(
+        "--max-depth", type=int, default=None,
+        help="bound the rendered span-tree depth",
+    )
+    ps.set_defaults(func=cmd_obs_show)
+
     return parser
 
 
+def _run_traced(args) -> int:
+    """Run one command under a trace and persist the runlog.
+
+    The trace covers the whole command; the runlog lands in a
+    ``<command>-<timestamp>-<pid>`` directory under
+    :func:`repro.obs.runlog.default_runlog_root` together with a
+    snapshot of the process-wide metrics registry (which carries the
+    decoder/supervector/pmap instruments and — for ``score``/``serve`` —
+    the engine's ``serve.*`` counters and cache hit rates).
+    """
+    from repro.obs import default_runlog_root, write_runlog
+    from repro.obs.metrics import default_registry
+
+    trace.start_trace(args.command)
+    trace.annotate_root(command=args.command)
+    try:
+        code = int(args.func(args))
+    finally:
+        root = trace.stop_trace()
+        if root is not None:
+            stamp = time.strftime("%Y%m%d-%H%M%S")
+            directory = (
+                default_runlog_root()
+                / f"{args.command}-{stamp}-{os.getpid()}"
+            )
+            path = write_runlog(
+                directory,
+                root,
+                metrics=default_registry().snapshot(),
+                extra={"argv": list(sys.argv[1:])},
+            )
+            print(f"runlog written to {path}")
+    return code
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    With ``REPRO_TRACE=1`` in the environment, every command except
+    ``obs`` itself runs under a trace and writes a runlog (see
+    :func:`_run_traced`); an already-active trace (embedding callers)
+    is left untouched.
+    """
     args = build_parser().parse_args(argv)
+    if (
+        trace.env_enabled()
+        and args.command != "obs"
+        and not trace.enabled()
+    ):
+        return _run_traced(args)
     return int(args.func(args))
 
 

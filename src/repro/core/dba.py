@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import trace
 from repro.utils.sparse import SparseMatrix
 from repro.utils.validation import check_in, check_positive
 
@@ -80,9 +81,25 @@ def select_pseudo_labels(
     counts = np.asarray(vote_counts)
     if counts.ndim != 2:
         raise ValueError("vote_counts must be (m, K)")
-    winner = np.argmax(counts, axis=1)
-    winner_votes = counts[np.arange(counts.shape[0]), winner]
-    selected = np.flatnonzero(winner_votes >= threshold)
+    with trace.span("dba_select", threshold=int(threshold)) as sp:
+        winner = np.argmax(counts, axis=1)
+        winner_votes = counts[np.arange(counts.shape[0]), winner]
+        selected = np.flatnonzero(winner_votes >= threshold)
+        sp.inc("selected", int(selected.size))
+        sp.inc("candidates", int(counts.shape[0]))
+        # Vote-margin statistics (winner minus runner-up) quantify how
+        # contested the Q-selection was; computed only under a live trace.
+        if trace.enabled() and counts.shape[0] and counts.shape[1] >= 2:
+            runner_up = np.partition(counts, -2, axis=1)[:, -2]
+            margin = winner_votes - runner_up
+            sp.set_attrs(
+                margin_mean=float(np.mean(margin)),
+                margin_min=int(np.min(margin)),
+                votes_mean=float(np.mean(winner_votes)),
+                selected_margin_mean=(
+                    float(np.mean(margin[selected])) if selected.size else None
+                ),
+            )
     return PseudoLabels(
         indices=selected,
         labels=winner[selected],

@@ -43,6 +43,7 @@ from repro.corpus.splits import CorpusBundle, make_corpus_bundle
 from repro.frontend.registry import build_frontends
 from repro.metrics.cavg import cavg
 from repro.metrics.eer import eer_from_matrix
+from repro.obs import trace
 from repro.svm.vsm import VSM
 from repro.utils.parallel import pmap
 from repro.utils.rng import child_rng
@@ -160,9 +161,10 @@ def calibrate_scores(
         use_lda=system.use_lda,
         mmi_iterations=system.mmi_iterations,
     )
-    return fusion.fit_transform(
-        dev_scores, dev_labels, test_scores, weights=weights
-    )
+    with trace.span("fusion", subsystems=len(dev_scores)):
+        return fusion.fit_transform(
+            dev_scores, dev_labels, test_scores, weights=weights
+        )
 
 
 class PhonotacticSystem:
@@ -250,17 +252,19 @@ class PhonotacticSystem:
         seed = self.system.seed
         audio = corpus.total_audio_seconds()
         decode = partial(_decode_utterance, frontend, seed)
-        with self.timer.stage("decoding", audio_seconds=audio):
-            sausages = pmap(
-                decode, corpus.utterances, workers=self.system.workers
+        with trace.span("phi", frontend=frontend.name, corpus=tag) as sp:
+            sp.inc("utterances", len(corpus))
+            with self.timer.stage("decoding", audio_seconds=audio):
+                sausages = pmap(
+                    decode, corpus.utterances, workers=self.system.workers
+                )
+            extractor = VSM(
+                len(frontend.phone_set),
+                self.n_classes,
+                orders=self.system.orders,
             )
-        extractor = VSM(
-            len(frontend.phone_set),
-            self.n_classes,
-            orders=self.system.orders,
-        )
-        with self.timer.stage("sv_generation", audio_seconds=audio):
-            matrix = extractor.extract(sausages)
+            with self.timer.stage("sv_generation", audio_seconds=audio):
+                matrix = extractor.extract(sausages)
         self._matrices[key] = matrix
         if self.matrix_cache is not None:
             self.matrix_cache.put(frontend.name, tag, matrix)
@@ -311,12 +315,14 @@ class PhonotacticSystem:
         """Train per-frontend VSMs on ``Tr`` and score dev + all tests."""
         y_train = self.labels_for("train")
         subsystems: list[SubsystemScores] = []
-        for q, frontend in enumerate(self.frontends):
-            x_train = self.raw_matrix(frontend, "train")
-            vsm = self._make_vsm(frontend, q)
-            with self.timer.stage("svm_training"):
-                vsm.fit_matrix(x_train, y_train)
-            subsystems.append(self._score_subsystem(frontend, vsm))
+        with trace.span("baseline", frontends=len(self.frontends)):
+            for q, frontend in enumerate(self.frontends):
+                with trace.span("subsystem", frontend=frontend.name):
+                    x_train = self.raw_matrix(frontend, "train")
+                    vsm = self._make_vsm(frontend, q)
+                    with self.timer.stage("svm_training"):
+                        vsm.fit_matrix(x_train, y_train)
+                    subsystems.append(self._score_subsystem(frontend, vsm))
         return BaselineResult(subsystems=subsystems, durations=self.durations)
 
     # ------------------------------------------------------------------
@@ -335,21 +341,25 @@ class PhonotacticSystem:
         """
         baseline = baseline or self.baseline()
         y_train = self.labels_for("train")
-        pooled_scores = baseline.pooled_test_scores()
-        vote_counts = vote_count_matrix(pooled_scores)
-        fit_counts = vote_fit_counts(pooled_scores)
-        pseudo = select_pseudo_labels(vote_counts, threshold)
-        subsystems: list[SubsystemScores] = []
-        for q, frontend in enumerate(self.frontends):
-            x_train = self.raw_matrix(frontend, "train")
-            x_test_pool = self.pooled_test_matrix(frontend)
-            x_dba, y_dba = build_dba_training_set(
-                variant, x_train, y_train, x_test_pool, pseudo
-            )
-            vsm = self._make_vsm(frontend, 100 + q)
-            with self.timer.stage("svm_training"):
-                vsm.fit_matrix(x_dba, y_dba)
-            subsystems.append(self._score_subsystem(frontend, vsm))
+        with trace.span("dba", threshold=threshold, variant=variant) as sp:
+            pooled_scores = baseline.pooled_test_scores()
+            vote_counts = vote_count_matrix(pooled_scores)
+            fit_counts = vote_fit_counts(pooled_scores)
+            pseudo = select_pseudo_labels(vote_counts, threshold)
+            sp.inc("pool", len(pseudo))
+            sp.inc("candidates", int(vote_counts.shape[0]))
+            subsystems: list[SubsystemScores] = []
+            for q, frontend in enumerate(self.frontends):
+                with trace.span("subsystem", frontend=frontend.name):
+                    x_train = self.raw_matrix(frontend, "train")
+                    x_test_pool = self.pooled_test_matrix(frontend)
+                    x_dba, y_dba = build_dba_training_set(
+                        variant, x_train, y_train, x_test_pool, pseudo
+                    )
+                    vsm = self._make_vsm(frontend, 100 + q)
+                    with self.timer.stage("svm_training"):
+                        vsm.fit_matrix(x_dba, y_dba)
+                    subsystems.append(self._score_subsystem(frontend, vsm))
         return DBAResult(
             subsystems=subsystems,
             durations=self.durations,
@@ -427,7 +437,8 @@ class PhonotacticSystem:
             use_lda=self.system.use_lda,
             mmi_iterations=self.system.mmi_iterations,
         )
-        fusion.fit(dev_list, dev_labels, weights=weights)
+        with trace.span("fusion", subsystems=len(dev_list)):
+            fusion.fit(dev_list, dev_labels, weights=weights)
         return fusion
 
     def fused_scores(

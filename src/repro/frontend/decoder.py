@@ -23,9 +23,19 @@ import numpy as np
 from repro.corpus.phoneset import PhoneSet
 from repro.frontend.am.hmm import PhoneHMMSet
 from repro.frontend.lattice import Sausage, SausageSlot
+from repro.obs.metrics import default_registry
 from repro.utils.validation import check_in, check_positive
 
 __all__ = ["ViterbiDecoder", "DecoderConfig", "estimate_phone_bigram"]
+
+# Always-on lightweight accounting of the hottest stage (paper Table 5
+# puts decoding ~two orders of magnitude above everything else).  Counts
+# recorded in process-pool workers stay in those workers; the span that
+# wraps the pmap fan-out accounts the parent-side wall time.
+_DECODES = default_registry().counter("frontend.decoder.decodes")
+_DECODE_FRAMES = default_registry().histogram(
+    "frontend.decoder.frames", maxlen=512
+)
 
 
 def estimate_phone_bigram(
@@ -241,6 +251,8 @@ class ViterbiDecoder:
     def decode(self, frames: np.ndarray) -> Sausage:
         """Decode feature frames into a posterior sausage."""
         frames = np.atleast_2d(np.asarray(frames, dtype=np.float64))
+        _DECODES.inc()
+        _DECODE_FRAMES.observe(float(frames.shape[0]))
         loglik = (
             self.config.acoustic_scale
             * self.hmms.emission.frame_log_likelihood(frames)

@@ -24,10 +24,17 @@ import numpy as np
 
 from repro.frontend.lattice import Sausage
 from repro.ngram.counts import expected_counts_sausage
+from repro.obs.metrics import default_registry
 from repro.utils.sparse import SparseMatrix, SparseVector
 from repro.utils.validation import check_positive
 
 __all__ = ["SupervectorExtractor", "TFLLRScaler"]
+
+# Always-on accounting of supervector generation (Table 5's
+# sv_generation stage): how many φ(x) maps were built and how dense
+# they came out — density is what the SVM product's cost tracks.
+_EXTRACTED = default_registry().counter("ngram.supervector.extracted")
+_NNZ = default_registry().histogram("ngram.supervector.nnz", maxlen=512)
 
 
 @dataclass(frozen=True)
@@ -98,6 +105,8 @@ class SupervectorExtractor:
             inv_total = 1.0 / total
             for code, value in counts.items():
                 items[offset + code] = value * inv_total
+        _EXTRACTED.inc()
+        _NNZ.observe(float(len(items)))
         return SparseVector.from_dict(self.layout.dim, items)
 
     def extract_matrix(self, sausages: list[Sausage]) -> SparseMatrix:

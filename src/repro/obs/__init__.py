@@ -1,0 +1,93 @@
+"""Structured observability for the PPRVSM pipeline and scoring service.
+
+Three stdlib-only layers, one instrument for every "where did the time
+go" question in this repository:
+
+- :mod:`repro.obs.trace` — hierarchical spans (context-manager +
+  decorator API) with wall/CPU time, attributes and counters.  Tracing
+  is **opt-in** (``REPRO_TRACE=1`` for the CLI, or
+  :func:`~repro.obs.trace.start_trace` programmatically) and
+  zero-overhead when disabled: instrumentation points receive a shared
+  no-op span.
+- :mod:`repro.obs.metrics` — process-wide named counters / gauges /
+  histograms with p50/p95/p99 snapshots; the serving engine and caches
+  publish through it, and the decoder / supervector extractor feed
+  always-on lightweight counts.
+- :mod:`repro.obs.runlog` — a per-run manifest (config fingerprint, git
+  revision, per-stage durations, metrics snapshot) plus a spans JSONL
+  export, rendered by ``repro obs show <runlog>``.
+
+Quickstart::
+
+    from repro.obs import metrics, trace
+    from repro.obs.runlog import write_runlog
+
+    trace.start_trace("experiment")
+    with trace.span("decoding", frontend="FE_A") as sp:
+        sp.inc("utterances", 64)
+    root = trace.stop_trace()
+    write_runlog("runlogs/experiment", root,
+                 metrics=metrics.default_registry().snapshot())
+
+See ``docs/observability.md`` for the full model and formats.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+from repro.obs.runlog import (
+    RunLog,
+    aggregate_stages,
+    default_runlog_root,
+    read_runlog,
+    render_runlog,
+    write_runlog,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    annotate,
+    annotate_root,
+    attach,
+    current_span,
+    enabled,
+    env_enabled,
+    get_tracer,
+    span,
+    start_trace,
+    stop_trace,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+    "RunLog",
+    "aggregate_stages",
+    "default_runlog_root",
+    "read_runlog",
+    "render_runlog",
+    "write_runlog",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "annotate",
+    "annotate_root",
+    "attach",
+    "current_span",
+    "enabled",
+    "env_enabled",
+    "get_tracer",
+    "span",
+    "start_trace",
+    "stop_trace",
+    "traced",
+]

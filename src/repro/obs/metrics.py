@@ -1,0 +1,264 @@
+"""Named counters, gauges and histograms with quantile snapshots.
+
+Where :mod:`repro.obs.trace` answers "where did this *run* spend its
+time", metrics answer "what is this *process* doing" — monotonically
+increasing counters (requests served, utterances decoded), last-value
+gauges (queue depth, worker count) and bounded-reservoir histograms with
+p50/p95/p99 snapshots (latencies, supervector sizes).
+
+A :class:`MetricsRegistry` maps names to instruments.  The process-wide
+default registry (:func:`default_registry`) is what library-level
+instrumentation points use — the decoder, the supervector extractor, the
+parallel map.  Components with per-instance accounting (one
+:class:`~repro.serve.engine.ScoringEngine` per loaded model, one
+:class:`~repro.serve.cache.ScoreCache` per engine) own private
+registries instead so that two instances in one process never mix
+counts; pass ``registry=default_registry()`` to fold them into the
+process view (the CLI does this for traced runs so runlogs capture
+cache hit rates).
+
+All instruments are thread-safe.  Everything here is stdlib-only;
+histogram quantiles use linear interpolation over a bounded reservoir
+(matching ``numpy.percentile``'s default method on the retained
+samples).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "default_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing, thread-safe counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated value."""
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (used by tests and registry resets)."""
+        with self._lock:
+            self._value = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state: ``{"type": "counter", "value": …}``."""
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins instrument (queue depth, pool width, …)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._value: float | None = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float | None:
+        """Most recently set value (``None`` if never set)."""
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Forget the recorded value."""
+        with self._lock:
+            self._value = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able state: ``{"type": "gauge", "value": …}``."""
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Bounded-reservoir value distribution with quantile snapshots.
+
+    The histogram keeps exact ``count``/``total``/``min``/``max`` over
+    *all* observations and a sliding reservoir of the most recent
+    ``maxlen`` samples for quantiles — the same recency semantics the
+    serving engine's latency deques had, now shared by every component.
+    """
+
+    __slots__ = ("name", "_samples", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(self, name: str, maxlen: int = 1024) -> None:
+        if maxlen < 1:
+            raise ValueError("histogram reservoir must hold >= 1 sample")
+        self.name = str(name)
+        self._samples: deque[float] = deque(maxlen=int(maxlen))
+        self._count = 0
+        self._total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._samples.append(value)
+            self._count += 1
+            self._total += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        """Number of observations ever recorded."""
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float | None:
+        """The ``q``-th percentile (0–100) of the retained reservoir.
+
+        Linear interpolation between closest ranks (numpy's default
+        ``percentile`` method); ``None`` when no samples were recorded.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("q must be in [0, 100]")
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return None
+        pos = (len(samples) - 1) * (q / 100.0)
+        lo = int(pos)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+
+    def reset(self) -> None:
+        """Drop every sample and zero the exact accumulators."""
+        with self._lock:
+            self._samples.clear()
+            self._count = 0
+            self._total = 0.0
+            self._min = None
+            self._max = None
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able summary with count/total/mean/min/max/p50/p95/p99."""
+        with self._lock:
+            count = self._count
+            total = self._total
+            lo, hi = self._min, self._max
+        return {
+            "type": "histogram",
+            "count": count,
+            "total": total,
+            "mean": (total / count) if count else None,
+            "min": lo,
+            "max": hi,
+            "p50": self.quantile(50.0),
+            "p95": self.quantile(95.0),
+            "p99": self.quantile(99.0),
+        }
+
+
+class MetricsRegistry:
+    """A thread-safe name → instrument map with get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument; asking
+    for an existing name with a different instrument type raises
+    ``TypeError`` (silent aliasing would corrupt both consumers).
+    :meth:`reset` zeroes every instrument *in place*, so module-level
+    instrument handles stay valid across test isolation resets.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = cls(name, *args)
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named :class:`Counter`."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named :class:`Gauge`."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str, maxlen: int = 1024) -> Histogram:
+        """Get or create the named :class:`Histogram`.
+
+        ``maxlen`` applies only on first creation.
+        """
+        return self._get_or_create(name, Histogram, maxlen)
+
+    def names(self) -> list[str]:
+        """Registered instrument names, sorted."""
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        """Iterate over registered instruments (name order)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        return iter([instrument for _, instrument in items])
+
+    def __len__(self) -> int:
+        """Number of registered instruments."""
+        with self._lock:
+            return len(self._instruments)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-able snapshot of every instrument, keyed by name."""
+        return {inst.name: inst.snapshot() for inst in self}
+
+    def reset(self) -> None:
+        """Zero every registered instrument in place (names persist)."""
+        for instrument in self:
+            instrument.reset()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry used by library instrumentation points."""
+    return _DEFAULT

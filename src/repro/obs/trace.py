@@ -1,0 +1,407 @@
+"""Hierarchical tracing spans over the PPRVSM pipeline.
+
+A *span* is one timed unit of work — a pipeline stage, one DBA pass, one
+micro-batch — carrying wall-clock and CPU time, free-form attributes and
+additive counters, and child spans.  A *trace* is the tree of spans of
+one run, rooted at the run itself; :mod:`repro.obs.runlog` persists it.
+
+Design constraints (why this module looks the way it does):
+
+- **Zero overhead when disabled.**  With no active tracer,
+  :func:`span` returns the stateless :data:`NULL_SPAN` singleton: no
+  allocation, no clock reads, no locks.  Hot paths therefore call
+  :func:`span` unconditionally and never branch on "is tracing on".
+- **Thread-safe attachment.**  The serving engine's batcher thread and
+  any worker threads create spans concurrently with the main thread.
+  Each thread keeps its own span stack; a worker adopts a parent from
+  another thread with :func:`attach`.  (Process-pool workers — the
+  :func:`repro.utils.parallel.pmap` fan-out — cannot share a tracer;
+  their work is accounted by the parent-side span that wraps the whole
+  fan-out.)
+- **Stdlib only.**  The observability layer must be importable before
+  (and without) numpy.
+
+Usage::
+
+    from repro.obs import trace
+
+    tracer = trace.start_trace("my-run")
+    with trace.span("decoding", frontend="FE_A") as sp:
+        sp.inc("utterances", 128)
+    root = trace.stop_trace()        # closed root span, ready for runlog
+
+Opt-in is environment-driven for the CLI: ``REPRO_TRACE=1 python -m
+repro …`` wraps the command in a trace and writes a runlog (see
+:func:`env_enabled` and :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "TRACE_ENV",
+    "Span",
+    "NULL_SPAN",
+    "Tracer",
+    "enabled",
+    "env_enabled",
+    "start_trace",
+    "stop_trace",
+    "get_tracer",
+    "span",
+    "current_span",
+    "annotate",
+    "annotate_root",
+    "attach",
+    "traced",
+]
+
+#: Environment variable that opts the CLI into tracing ("1"/"true"/…).
+TRACE_ENV = "REPRO_TRACE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+class Span:
+    """One timed, attributed unit of work in a trace tree.
+
+    Spans are created through :meth:`Tracer.span` (or the module-level
+    :func:`span` helper) and activated as context managers: entering
+    records start timestamps and links the span under the calling
+    thread's current span; exiting records wall/CPU durations.  A span
+    must be entered exactly once.
+
+    Attributes and counters are free-form: :meth:`set_attrs` overwrites
+    key/value annotations (config knobs, sizes, names), :meth:`inc`
+    accumulates additive quantities (items processed, audio seconds).
+    Counters of same-named sibling spans are summed by the runlog
+    renderer, so prefer counters for anything meaningful in aggregate.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attrs",
+        "counters",
+        "children",
+        "start_unix",
+        "wall_s",
+        "cpu_s",
+        "thread_name",
+        "_tracer",
+        "_t0",
+        "_c0",
+        "_entered",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer", **attrs: Any) -> None:
+        self.name = str(name)
+        self._tracer = tracer
+        self.span_id = tracer._next_id()
+        self.parent_id: int | None = None
+        self.attrs: dict[str, Any] = dict(attrs)
+        self.counters: dict[str, float] = {}
+        self.children: list["Span"] = []
+        self.start_unix: float | None = None
+        self.wall_s: float | None = None
+        self.cpu_s: float | None = None
+        self.thread_name: str | None = None
+        self._t0 = 0.0
+        self._c0 = 0.0
+        self._entered = False
+
+    # -- annotation ----------------------------------------------------
+    def set_attrs(self, **attrs: Any) -> "Span":
+        """Set (overwrite) key/value annotations; returns ``self``."""
+        with self._tracer._lock:
+            self.attrs.update(attrs)
+        return self
+
+    def inc(self, counter: str, amount: float = 1.0) -> "Span":
+        """Add ``amount`` to the named additive counter; returns ``self``."""
+        with self._tracer._lock:
+            self.counters[counter] = self.counters.get(counter, 0.0) + amount
+        return self
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "Span":
+        """Start the clock and link under the calling thread's span."""
+        if self._entered:
+            raise RuntimeError(f"span {self.name!r} entered twice")
+        self._entered = True
+        tracer = self._tracer
+        stack = tracer._stack()
+        parent = stack[-1] if stack else tracer.root
+        with tracer._lock:
+            if parent is not None and parent is not self:
+                self.parent_id = parent.span_id
+                parent.children.append(self)
+        stack.append(self)
+        self.thread_name = threading.current_thread().name
+        self.start_unix = time.time()
+        self._t0 = time.perf_counter()
+        self._c0 = time.thread_time()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Stop the clock and pop this thread's span stack."""
+        self.wall_s = time.perf_counter() - self._t0
+        self.cpu_s = time.thread_time() - self._c0
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+
+    # -- export --------------------------------------------------------
+    def to_record(self) -> dict[str, Any]:
+        """JSON-able flat record of this span (one runlog JSONL line)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_unix": self.start_unix,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "thread": self.thread_name,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+        }
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span then every descendant, depth-first preorder."""
+        yield self
+        for child in list(self.children):
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        """Debug form: name, id and wall time if closed."""
+        wall = f" wall={self.wall_s:.4f}s" if self.wall_s is not None else ""
+        return f"<Span {self.name!r} id={self.span_id}{wall}>"
+
+
+class _NullSpan:
+    """The do-nothing span returned while tracing is disabled.
+
+    A single stateless instance (:data:`NULL_SPAN`) stands in for every
+    span, so disabled tracing costs one global read and one identity
+    return per instrumentation point — no clocks, no locks, no records.
+    """
+
+    __slots__ = ()
+
+    #: mirror of :attr:`Span.wall_s` — always ``None`` (nothing measured)
+    wall_s: float | None = None
+    cpu_s: float | None = None
+    name = "<null>"
+
+    def set_attrs(self, **attrs: Any) -> "_NullSpan":
+        """No-op; returns ``self``."""
+        return self
+
+    def inc(self, counter: str, amount: float = 1.0) -> "_NullSpan":
+        """No-op; returns ``self``."""
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op context entry."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """No-op context exit."""
+
+    def __repr__(self) -> str:
+        """Debug form."""
+        return "<NullSpan>"
+
+
+#: The shared no-op span used whenever tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Owner of one trace: the root span, id allocation, thread stacks.
+
+    A tracer is normally managed through the module-level functions
+    (:func:`start_trace` / :func:`stop_trace`), which maintain the
+    process-wide active tracer that :func:`span` consults.  Independent
+    tracers can also be constructed directly for embedding.
+    """
+
+    def __init__(self, name: str = "run") -> None:
+        self._lock = threading.RLock()
+        self._local = threading.local()
+        self._counter = itertools.count(1)
+        self.root: Span | None = None  # so Span.__enter__ sees no parent
+        root = Span(name, tracer=self)
+        root.thread_name = threading.current_thread().name
+        root.start_unix = time.time()
+        root._t0 = time.perf_counter()
+        root._c0 = time.thread_time()
+        root._entered = True
+        self.root = root
+
+    def _next_id(self) -> int:
+        return next(self._counter)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """Create a span (not yet entered) parented at activation time."""
+        return Span(name, tracer=self, **attrs)
+
+    def current(self) -> Span:
+        """The calling thread's innermost open span (the root if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root
+
+    @contextmanager
+    def attach(self, parent: Span) -> Iterator[None]:
+        """Adopt ``parent`` as this thread's current span for the block.
+
+        Lets a worker thread file its spans under a span owned by the
+        submitting thread (e.g. the serving batcher attaching batches to
+        the request span that queued them).
+        """
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+
+    def finish(self) -> Span:
+        """Close the root span and return it (idempotent)."""
+        root = self.root
+        if root.wall_s is None:
+            root.wall_s = time.perf_counter() - root._t0
+            root.cpu_s = time.thread_time() - root._c0
+        return root
+
+
+# ----------------------------------------------------------------------
+# module-level active tracer
+# ----------------------------------------------------------------------
+_active: Tracer | None = None
+_state_lock = threading.Lock()
+
+
+def enabled() -> bool:
+    """True when a trace is currently active in this process."""
+    return _active is not None
+
+
+def env_enabled() -> bool:
+    """True when the ``REPRO_TRACE`` environment variable opts in."""
+    return os.environ.get(TRACE_ENV, "").strip().lower() in _TRUTHY
+
+
+def start_trace(name: str = "run") -> Tracer:
+    """Activate a new process-wide trace; errors if one is active."""
+    global _active
+    with _state_lock:
+        if _active is not None:
+            raise RuntimeError(
+                "a trace is already active; call stop_trace() first"
+            )
+        _active = Tracer(name)
+        return _active
+
+
+def stop_trace() -> Span | None:
+    """Deactivate the current trace and return its closed root span.
+
+    Returns ``None`` when no trace was active, so teardown paths can
+    call it unconditionally.
+    """
+    global _active
+    with _state_lock:
+        tracer = _active
+        _active = None
+    if tracer is None:
+        return None
+    return tracer.finish()
+
+
+def get_tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when tracing is disabled."""
+    return _active
+
+
+def span(name: str, **attrs: Any) -> Span | _NullSpan:
+    """A span under the active trace, or :data:`NULL_SPAN` when disabled.
+
+    This is the instrumentation entry point: always call it, never guard
+    it — the disabled path is a single global read.
+    """
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def current_span() -> Span | _NullSpan:
+    """The calling thread's innermost open span (NULL_SPAN if disabled)."""
+    tracer = _active
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.current()
+
+
+def annotate(**attrs: Any) -> None:
+    """Set attributes on the calling thread's current span (no-op off)."""
+    current_span().set_attrs(**attrs)
+
+
+def annotate_root(**attrs: Any) -> None:
+    """Set attributes on the trace's root span (no-op when disabled).
+
+    The runlog manifest copies root attributes verbatim — use this for
+    run-level provenance such as the config fingerprint.
+    """
+    tracer = _active
+    if tracer is not None:
+        tracer.root.set_attrs(**attrs)
+
+
+@contextmanager
+def attach(parent: Span | _NullSpan) -> Iterator[None]:
+    """Module-level :meth:`Tracer.attach`; no-op when tracing is off."""
+    tracer = _active
+    if tracer is None or parent is NULL_SPAN:
+        yield
+        return
+    with tracer.attach(parent):  # type: ignore[arg-type]
+        yield
+
+
+def traced(name: str | None = None, **attrs: Any) -> Callable:
+    """Decorator wrapping a callable in a span named after it.
+
+    ``@traced()`` uses the function's qualified name; ``@traced("x")``
+    overrides it.  Attribute kwargs are attached to every span.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            with span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

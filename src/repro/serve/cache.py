@@ -15,6 +15,12 @@ Eviction policy is shared with the disk-backed
 :class:`repro.utils.io.MatrixCache` through
 :class:`repro.utils.lru.LruTracker`.  All methods are thread-safe — the
 HTTP server scores from multiple threads.
+
+Hit/miss accounting lives in :mod:`repro.obs.metrics` counters
+(``serve.cache.hits`` / ``serve.cache.misses``); by default each cache
+owns a private registry so two caches in one process never mix counts,
+and the owning engine passes its registry in so ``/stats`` and runlogs
+see one coherent snapshot.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ import threading
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.lru import LruTracker
 
 __all__ = ["ScoreCache"]
@@ -36,14 +43,24 @@ class ScoreCache:
     max_entries:
         Size bound; ``None`` disables eviction.  Stored values are
         ``(n_subsystems, n_classes)`` float arrays.
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` to publish
+        hit/miss counters into; ``None`` creates a private one.
     """
 
-    def __init__(self, max_entries: int | None = 512) -> None:
+    def __init__(
+        self,
+        max_entries: int | None = 512,
+        *,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._store: dict[str, np.ndarray] = {}
         self._lru = LruTracker(max_entries)
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._hits = self.metrics.counter("serve.cache.hits")
+        self._misses = self.metrics.counter("serve.cache.misses")
+        self._entries = self.metrics.gauge("serve.cache.entries")
 
     @property
     def max_entries(self) -> int | None:
@@ -63,9 +80,9 @@ class ScoreCache:
         with self._lock:
             value = self._store.get(key)
             if value is None:
-                self._misses += 1
+                self._misses.inc()
                 return None
-            self._hits += 1
+            self._hits.inc()
             self._lru.touch(key)
             return value
 
@@ -77,6 +94,7 @@ class ScoreCache:
             self._lru.touch(key)
             for evicted in self._lru.pop_excess():
                 self._store.pop(evicted, None)
+            self._entries.set(len(self._store))
 
     def clear(self) -> None:
         """Drop every entry (hit/miss counters are kept)."""
@@ -84,15 +102,24 @@ class ScoreCache:
             self._store.clear()
             for key in self._lru.keys():
                 self._lru.discard(key)
+            self._entries.set(0)
 
     def stats(self) -> dict:
-        """Snapshot of size and hit/miss accounting."""
+        """Snapshot of size and hit/miss accounting.
+
+        The keys are unchanged from earlier releases; the counts are now
+        read from the :mod:`repro.obs.metrics` instruments, so the same
+        numbers also appear under ``serve.cache.*`` in a full metrics
+        snapshot.
+        """
         with self._lock:
-            total = self._hits + self._misses
+            hits = int(self._hits.value)
+            misses = int(self._misses.value)
+            total = hits + misses
             return {
                 "entries": len(self._store),
                 "max_entries": self._lru.max_entries,
-                "hits": self._hits,
-                "misses": self._misses,
-                "hit_rate": (self._hits / total) if total else 0.0,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / total) if total else 0.0,
             }

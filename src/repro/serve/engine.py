@@ -23,9 +23,11 @@ digest, so repeated scoring (the DBA/transductive access pattern) skips
 decode + φ(x) + SVM product entirely and only reruns calibration.
 
 Per-stage wall-clock accounting uses the Table 5 stage names
-(``decoding`` / ``sv_generation`` / ``sv_product`` plus ``fusion``);
-:meth:`ScoringEngine.stats` snapshots counters, cache accounting and
-p50/p95 latencies per stage.
+(``decoding`` / ``sv_generation`` / ``sv_product`` plus ``fusion``).
+All counters and latency reservoirs live in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``serve.*`` namespace);
+:meth:`ScoringEngine.stats` snapshots them in the historical key layout
+and additionally exposes the raw registry snapshot under ``"metrics"``.
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.corpus.generator import Utterance
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.artifacts import TrainedSystem
 from repro.serve.cache import ScoreCache
 from repro.serve.protocol import utterance_digest
@@ -73,13 +76,6 @@ class _Request:
         self.enqueued = time.monotonic()
 
 
-def _percentile_ms(samples: Sequence[float], q: float) -> float | None:
-    """Percentile of second-valued samples in ms; None (JSON null) if empty."""
-    if not samples:
-        return None
-    return float(np.percentile(np.asarray(samples), q) * 1e3)
-
-
 class ScoringEngine:
     """Batched, cached scoring over a trained system.
 
@@ -100,6 +96,14 @@ class ScoringEngine:
     workers:
         Decode fan-out width for :func:`repro.utils.parallel.pmap`;
         ``None`` auto-sizes (honouring ``REPRO_WORKERS``).
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` that receives the
+        engine's (and its cache's) ``serve.*`` instruments.  ``None``
+        (default) creates a private registry, so several engines in one
+        process never mix counts; pass
+        :func:`repro.obs.metrics.default_registry` to fold serving
+        metrics into the process-wide view (the CLI does this under
+        ``REPRO_TRACE=1`` so runlogs capture cache hit rates).
     """
 
     def __init__(
@@ -110,6 +114,7 @@ class ScoringEngine:
         max_batch: int = 32,
         cache_entries: int | None = 512,
         workers: int | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
@@ -119,8 +124,12 @@ class ScoringEngine:
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
         self.workers = workers
+        self.metrics = registry if registry is not None else MetricsRegistry()
         self._cache_enabled = cache_entries != 0
-        self.cache = ScoreCache(cache_entries if self._cache_enabled else None)
+        self.cache = ScoreCache(
+            cache_entries if self._cache_enabled else None,
+            registry=self.metrics,
+        )
         self.timer = StageTimer()
         # Decode/extract once per *unique* frontend; subsystems (possibly
         # several per frontend, e.g. a DBA-M1+M2 export) share the raw
@@ -139,12 +148,19 @@ class ScoringEngine:
         self._cv = threading.Condition()
         self._thread: threading.Thread | None = None
         self._closed = False
-        self._stats_lock = threading.Lock()
-        self._requests = 0
-        self._batches = 0
-        self._batched_requests = 0
-        self._samples: dict[str, deque[float]] = {
-            name: deque(maxlen=512) for name in ("request", *STAGE_NAMES)
+        self._requests = self.metrics.counter("serve.requests")
+        self._batches = self.metrics.counter("serve.batches")
+        self._batched_requests = self.metrics.counter("serve.batched_requests")
+        self._queue_depth = self.metrics.gauge("serve.queue_depth")
+        self._queue_depth.set(0)
+        self._request_latency = self.metrics.histogram(
+            "serve.request_latency_s", maxlen=512
+        )
+        self._stage_hist = {
+            name: self.metrics.histogram(
+                f"serve.stage.{name}.seconds", maxlen=512
+            )
+            for name in STAGE_NAMES
         }
 
     # ------------------------------------------------------------------
@@ -203,6 +219,7 @@ class ScoringEngine:
                 )
                 self._thread.start()
             self._queue.append(request)
+            self._queue_depth.set(len(self._queue))
             self._cv.notify_all()
         return request.future
 
@@ -219,11 +236,11 @@ class ScoringEngine:
             t0 = time.monotonic()
             rows.append(self._score_batch(chunk))
             dt = time.monotonic() - t0
-            with self._stats_lock:
-                self._requests += len(chunk)
-                self._batches += 1
-                self._batched_requests += len(chunk)
-                self._samples["request"].extend([dt] * len(chunk))
+            self._requests.inc(len(chunk))
+            self._batches.inc()
+            self._batched_requests.inc(len(chunk))
+            for _ in chunk:
+                self._request_latency.observe(dt)
         if not rows:
             return np.zeros((0, len(self.languages)))
         return np.vstack(rows)
@@ -254,6 +271,7 @@ class ScoringEngine:
                     self._queue.popleft()
                     for _ in range(min(self.max_batch, len(self._queue)))
                 ]
+                self._queue_depth.set(len(self._queue))
             if batch:
                 self._resolve(batch)
 
@@ -265,12 +283,11 @@ class ScoringEngine:
                 request.future.set_exception(exc)
             return
         now = time.monotonic()
-        with self._stats_lock:
-            self._requests += len(batch)
-            self._batches += 1
-            self._batched_requests += len(batch)
-            for request in batch:
-                self._samples["request"].append(now - request.enqueued)
+        self._requests.inc(len(batch))
+        self._batches.inc()
+        self._batched_requests.inc(len(batch))
+        for request in batch:
+            self._request_latency.observe(now - request.enqueued)
         for i, request in enumerate(batch):
             request.future.set_result(scores[i].copy())
 
@@ -284,7 +301,7 @@ class ScoringEngine:
             try:
                 yield
             finally:
-                self._samples[name].append(time.perf_counter() - start)
+                self._stage_hist[name].observe(time.perf_counter() - start)
 
     def _score_batch(self, utterances: list[Utterance]) -> np.ndarray:
         """One matrix-level pass: cache → decode/φ/SVM for misses → fuse."""
@@ -331,6 +348,12 @@ class ScoringEngine:
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    @staticmethod
+    def _quantile_ms(hist, q: float) -> float | None:
+        """A histogram-of-seconds quantile in ms; ``None`` when empty."""
+        value = hist.quantile(q)
+        return None if value is None else value * 1e3
+
     def stats(self) -> dict:
         """Snapshot of request/batch/cache counters and stage latencies.
 
@@ -338,25 +361,23 @@ class ScoringEngine:
         with total elapsed seconds, call counts and p50/p95 per-batch
         latency in milliseconds; ``latency_ms`` is the end-to-end
         per-request distribution (queue wait included for the submitted
-        path).
+        path).  These flat keys are kept for compatibility — they are
+        views over the ``serve.*`` instruments whose full registry
+        snapshot (p50/p95/p99, counts, totals) sits under ``metrics``.
         """
-        with self._stats_lock:
-            request_samples = list(self._samples["request"])
-            stage_samples = {
-                name: list(self._samples[name]) for name in STAGE_NAMES
-            }
-            requests = self._requests
-            batches = self._batches
-            batched = self._batched_requests
+        requests = int(self._requests.value)
+        batches = int(self._batches.value)
+        batched = self._batched_requests.value
         with self._cv:
             queue_depth = len(self._queue)
         stages = {}
         for name in STAGE_NAMES:
+            hist = self._stage_hist[name]
             stages[name] = {
                 "calls": self.timer.calls(name),
                 "elapsed_s": self.timer.elapsed(name),
-                "p50_ms": _percentile_ms(stage_samples[name], 50.0),
-                "p95_ms": _percentile_ms(stage_samples[name], 95.0),
+                "p50_ms": self._quantile_ms(hist, 50.0),
+                "p95_ms": self._quantile_ms(hist, 95.0),
             }
         return {
             "requests": requests,
@@ -368,8 +389,9 @@ class ScoringEngine:
             "cache": self.cache.stats(),
             "stages": stages,
             "latency_ms": {
-                "p50": _percentile_ms(request_samples, 50.0),
-                "p95": _percentile_ms(request_samples, 95.0),
+                "p50": self._quantile_ms(self._request_latency, 50.0),
+                "p95": self._quantile_ms(self._request_latency, 95.0),
             },
             "languages": list(self.languages),
+            "metrics": self.metrics.snapshot(),
         }

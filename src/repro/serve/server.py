@@ -14,7 +14,11 @@ endpoints:
     Liveness + a summary of the loaded system.
 ``GET /stats``
     The engine's :meth:`~repro.serve.engine.ScoringEngine.stats`
-    snapshot (requests, batches, cache hits/misses, per-stage p50/p95).
+    snapshot.  The historical flat keys (requests, batches, cache
+    hits/misses, per-stage p50/p95) are kept as compatibility views;
+    the full :mod:`repro.obs.metrics` registry snapshot — every
+    ``serve.*`` counter/gauge/histogram with p50/p95/p99 — is nested
+    under ``"metrics"``.  See ``docs/serving.md``.
 
 Only the standard library is used (``http.server`` + ``json``), so the
 service runs anywhere the package does.  This is an internal-tier

@@ -16,10 +16,19 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.obs.metrics import default_registry
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = ["pmap", "effective_workers", "chunked"]
+
+# Process-level accounting of the scatter/gather fan-out; worker-side
+# metrics stay in the workers, so these parent-side counts are the
+# authoritative record of how much work was fanned out and how wide.
+_PMAP_CALLS = default_registry().counter("parallel.pmap.calls")
+_PMAP_ITEMS = default_registry().counter("parallel.pmap.items")
+_PMAP_WORKERS = default_registry().gauge("parallel.pmap.workers")
 
 #: Below this many items the pool overhead is never worth paying.
 _MIN_PARALLEL_ITEMS = 32
@@ -98,6 +107,9 @@ def pmap(
     """
     items = list(items)
     n_workers = effective_workers(workers) if workers != 1 else 1
+    _PMAP_CALLS.inc()
+    _PMAP_ITEMS.inc(len(items))
+    _PMAP_WORKERS.set(n_workers)
     if n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS:
         return [fn(item) for item in items]
     chunks = chunked(items, n_workers * 4)

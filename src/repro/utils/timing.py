@@ -1,5 +1,16 @@
 """Stage timing and real-time-factor accounting (paper §5.4–5.5, Table 5).
 
+.. deprecated:: 1.2
+    :class:`StageTimer` is now a thin wrapper over
+    :mod:`repro.obs.trace` spans — each :meth:`StageTimer.stage` block
+    opens a span named after the stage (with the processed audio as an
+    ``audio_s`` counter), so there is **one timing source of truth** and
+    traced runs see every stage in their runlog.  New instrumentation
+    should use :func:`repro.obs.trace.span` (structure + attributes) or
+    :mod:`repro.obs.metrics` (process-level accounting) directly;
+    ``StageTimer`` remains for the Table 5 real-time-factor reports and
+    for existing callers.
+
 The paper reports per-stage *real-time factors* — wall-clock seconds of
 compute per second of processed speech — for decoding, supervector
 generation and supervector product, and argues analytically (Eqs. 16–19)
@@ -17,6 +28,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro.obs import trace
+
 __all__ = ["StageTimer", "CostLedger"]
 
 
@@ -27,6 +40,10 @@ class StageTimer:
     :meth:`add_audio` to record how many seconds of (synthetic) speech the
     work covered; :meth:`real_time_factor` then reports seconds-of-compute
     per second-of-speech, the unit of Table 5.
+
+    Every :meth:`stage` block also emits a :mod:`repro.obs.trace` span
+    named after the stage; when tracing is disabled the span is the
+    shared no-op singleton, so the overhead is one global read.
     """
 
     def __init__(self) -> None:
@@ -39,13 +56,21 @@ class StageTimer:
         """Time one unit of work under ``name``.
 
         ``audio_seconds`` is the amount of speech the unit processed, used
-        as the denominator of the real-time factor.
+        as the denominator of the real-time factor.  The block is also
+        recorded as a trace span named ``name`` when tracing is active;
+        the span's measured wall time is then reused verbatim for the
+        accumulators (one clock, one truth).
         """
+        sp = trace.span(name)
+        if audio_seconds:
+            sp.inc("audio_s", float(audio_seconds))
         start = time.perf_counter()
         try:
-            yield
+            with sp:
+                yield
         finally:
-            dt = time.perf_counter() - start
+            wall = sp.wall_s
+            dt = wall if wall is not None else time.perf_counter() - start
             self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
             self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
             self._calls[name] = self._calls.get(name, 0) + 1

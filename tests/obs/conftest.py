@@ -1,0 +1,15 @@
+"""obs test fixtures: every test starts and ends with no active trace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import trace
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_trace():
+    """Guard the process-wide tracer against cross-test leakage."""
+    trace.stop_trace()
+    yield
+    trace.stop_trace()

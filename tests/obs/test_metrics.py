@@ -1,0 +1,157 @@
+"""Counters, gauges, histogram quantiles and registry semantics."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        c = Counter("c")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("c")
+        c.inc(9)
+        c.reset()
+        assert c.value == 0.0
+
+    def test_thread_safety(self):
+        c = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_none_until_set(self):
+        g = Gauge("g")
+        assert g.value is None
+        g.set(4)
+        assert g.value == 4.0
+        g.reset()
+        assert g.value is None
+
+
+class TestHistogram:
+    def test_exact_accumulators(self):
+        h = Histogram("h", maxlen=4)
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):  # 5.0 falls out of reservoir
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["total"] == 15.0
+        assert snap["min"] == 1.0 and snap["max"] == 5.0  # exact, not windowed
+        assert snap["mean"] == 3.0
+
+    @pytest.mark.parametrize("q", [0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0])
+    def test_quantile_matches_numpy_linear_interpolation(self, q):
+        values = [0.3, 1.7, 2.2, 5.0, 9.1, 0.01, 4.4]
+        h = Histogram("h")
+        for v in values:
+            h.observe(v)
+        assert h.quantile(q) == pytest.approx(np.percentile(values, q))
+
+    def test_quantile_empty_is_none(self):
+        assert Histogram("h").quantile(50.0) is None
+
+    def test_quantile_range_checked(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.quantile(101.0)
+
+    def test_reservoir_is_recency_bounded(self):
+        h = Histogram("h", maxlen=2)
+        for v in (100.0, 1.0, 2.0):
+            h.observe(v)
+        # Quantiles only see the last 2 samples.
+        assert h.quantile(100.0) == 2.0
+
+    def test_bad_maxlen_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", maxlen=0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_names_and_len(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert reg.names() == ["a", "b"]
+        assert len(reg) == 2
+
+    def test_reset_zeroes_in_place(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        h = reg.histogram("h")
+        c.inc(5)
+        h.observe(1.0)
+        reg.reset()
+        # Same objects, zeroed — module-level handles stay registered.
+        assert reg.counter("c") is c
+        assert c.value == 0.0
+        assert h.count == 0
+
+    def test_snapshot_is_strict_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g")  # never set: value None
+        reg.histogram("h").observe(2.0)
+        decoded = json.loads(json.dumps(reg.snapshot()))
+        assert decoded["c"] == {"type": "counter", "value": 1.0}
+        assert decoded["g"]["value"] is None
+        assert decoded["h"]["p50"] == 2.0
+
+    def test_default_registry_is_singleton(self):
+        assert default_registry() is default_registry()
+
+    def test_library_instruments_registered(self):
+        # Importing the instrumented modules registers their handles.
+        import repro.frontend.decoder  # noqa: F401
+        import repro.ngram.supervector  # noqa: F401
+        import repro.utils.parallel  # noqa: F401
+
+        names = default_registry().names()
+        assert "frontend.decoder.decodes" in names
+        assert "ngram.supervector.extracted" in names
+        assert "parallel.pmap.calls" in names

@@ -1,0 +1,226 @@
+"""Span lifecycle, nesting, thread attachment and the no-op path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+
+
+class TestSpanTree:
+    def test_nesting_builds_parent_child_links(self):
+        trace.start_trace("run")
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                pass
+        root = trace.stop_trace()
+        assert outer.parent_id == root.span_id
+        assert inner.parent_id == outer.span_id
+        assert [sp.name for sp in root.walk()] == ["run", "outer", "inner"]
+
+    def test_siblings_share_parent(self):
+        trace.start_trace("run")
+        with trace.span("a") as a:
+            pass
+        with trace.span("b") as b:
+            pass
+        root = trace.stop_trace()
+        assert a.parent_id == b.parent_id == root.span_id
+        assert len(root.children) == 2
+
+    def test_timings_recorded_on_exit(self):
+        trace.start_trace("run")
+        with trace.span("work") as sp:
+            assert sp.wall_s is None  # still open
+        root = trace.stop_trace()
+        assert sp.wall_s is not None and sp.wall_s >= 0.0
+        assert sp.cpu_s is not None
+        assert root.wall_s is not None
+
+    def test_exception_still_closes_span(self):
+        trace.start_trace("run")
+        with pytest.raises(RuntimeError):
+            with trace.span("fails") as sp:
+                raise RuntimeError("boom")
+        root = trace.stop_trace()
+        assert sp.wall_s is not None
+        # The stack was popped: a later span is a sibling, not a child.
+        assert sp.parent_id == root.span_id
+
+    def test_double_entry_rejected(self):
+        trace.start_trace("run")
+        sp = trace.span("once")
+        with sp:
+            pass
+        with pytest.raises(RuntimeError):
+            sp.__enter__()
+
+
+class TestAttrsAndCounters:
+    def test_attrs_and_counters(self):
+        trace.start_trace("run")
+        with trace.span("stage", kind="test") as sp:
+            sp.set_attrs(size=7)
+            sp.inc("items", 3)
+            sp.inc("items", 2)
+        trace.stop_trace()
+        assert sp.attrs == {"kind": "test", "size": 7}
+        assert sp.counters == {"items": 5.0}
+
+    def test_annotate_helpers(self):
+        trace.start_trace("run")
+        with trace.span("stage"):
+            trace.annotate(note="inner")
+        trace.annotate_root(config_sha256="abc123")
+        root = trace.stop_trace()
+        assert root.attrs["config_sha256"] == "abc123"
+        assert root.children[0].attrs["note"] == "inner"
+
+    def test_to_record_is_flat_and_jsonable(self):
+        import json
+
+        trace.start_trace("run")
+        with trace.span("stage", frontend="FE_A") as sp:
+            sp.inc("utterances", 4)
+        trace.stop_trace()
+        rec = json.loads(json.dumps(sp.to_record()))
+        assert rec["name"] == "stage"
+        assert rec["attrs"] == {"frontend": "FE_A"}
+        assert rec["counters"] == {"utterances": 4.0}
+        assert rec["parent"] is not None
+
+
+class TestDecorator:
+    def test_traced_wraps_function_in_span(self):
+        @trace.traced("labelled", layer="test")
+        def work(x):
+            return x * 2
+
+        trace.start_trace("run")
+        assert work(21) == 42
+        root = trace.stop_trace()
+        (child,) = root.children
+        assert child.name == "labelled"
+        assert child.attrs == {"layer": "test"}
+
+    def test_traced_defaults_to_qualname(self):
+        @trace.traced()
+        def named_function():
+            return 1
+
+        trace.start_trace("run")
+        named_function()
+        root = trace.stop_trace()
+        assert "named_function" in root.children[0].name
+
+    def test_traced_is_noop_without_trace(self):
+        @trace.traced()
+        def work():
+            return "ok"
+
+        assert work() == "ok"
+        assert trace.stop_trace() is None
+
+
+class TestThreads:
+    def test_worker_attaches_under_foreign_parent(self):
+        trace.start_trace("run")
+        results = []
+
+        def worker(parent):
+            with trace.attach(parent):
+                with trace.span("worker-stage") as sp:
+                    results.append(sp)
+
+        with trace.span("batch") as batch:
+            t = threading.Thread(target=worker, args=(batch,))
+            t.start()
+            t.join()
+        trace.stop_trace()
+        (worker_span,) = results
+        assert worker_span.parent_id == batch.span_id
+        assert worker_span in batch.children
+        assert worker_span.thread_name != batch.thread_name
+
+    def test_unattached_thread_parents_at_root(self):
+        trace.start_trace("run")
+        seen = []
+
+        def worker():
+            with trace.span("orphan") as sp:
+                seen.append(sp)
+
+        with trace.span("main-stage"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        root = trace.stop_trace()
+        # Thread stacks are independent: the worker span files under the
+        # root, not under the main thread's open span.
+        assert seen[0].parent_id == root.span_id
+
+
+class TestDisabled:
+    def test_span_returns_null_singleton(self):
+        assert not trace.enabled()
+        sp = trace.span("anything", attr=1)
+        assert sp is trace.NULL_SPAN
+        assert trace.current_span() is trace.NULL_SPAN
+
+    def test_null_span_absorbs_all_calls(self):
+        with trace.span("x") as sp:
+            assert sp.inc("c", 5) is sp
+            assert sp.set_attrs(a=1) is sp
+        assert sp.wall_s is None
+
+    def test_annotate_is_noop(self):
+        trace.annotate(ignored=True)
+        trace.annotate_root(ignored=True)
+        with trace.attach(trace.NULL_SPAN):
+            pass
+
+    def test_stop_without_start_returns_none(self):
+        assert trace.stop_trace() is None
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        trace.start_trace("one")
+        try:
+            with pytest.raises(RuntimeError):
+                trace.start_trace("two")
+        finally:
+            trace.stop_trace()
+
+    def test_enabled_tracks_active_trace(self):
+        assert not trace.enabled()
+        trace.start_trace("run")
+        assert trace.enabled()
+        trace.stop_trace()
+        assert not trace.enabled()
+
+    def test_finish_is_idempotent(self):
+        tracer = trace.start_trace("run")
+        root_a = tracer.finish()
+        wall_a = root_a.wall_s
+        root_b = trace.stop_trace()
+        assert root_b is root_a
+        assert root_b.wall_s == wall_a
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            ("1", True),
+            ("true", True),
+            ("YES", True),
+            ("on", True),
+            ("0", False),
+            ("", False),
+            ("off", False),
+        ],
+    )
+    def test_env_enabled_parsing(self, monkeypatch, value, expected):
+        monkeypatch.setenv(trace.TRACE_ENV, value)
+        assert trace.env_enabled() is expected

@@ -68,6 +68,37 @@ class TestStageTimer:
         assert set(a.stages()) == {"s", "t"}
 
 
+class TestStageTimerEmitsSpans:
+    """StageTimer is now a thin wrapper over repro.obs.trace spans."""
+
+    def test_stage_emits_span_with_audio_counter(self):
+        from repro.obs import trace
+
+        trace.stop_trace()
+        trace.start_trace("timing-test")
+        try:
+            timer = StageTimer()
+            with timer.stage("decoding", audio_seconds=2.5):
+                pass
+        finally:
+            root = trace.stop_trace()
+        (span,) = root.children
+        assert span.name == "decoding"
+        assert span.counters["audio_s"] == pytest.approx(2.5)
+        # One timing source of truth: the timer reads the span's clock.
+        assert timer.elapsed("decoding") == pytest.approx(span.wall_s)
+
+    def test_timer_works_without_active_trace(self):
+        from repro.obs import trace
+
+        assert not trace.enabled()
+        timer = StageTimer()
+        with timer.stage("decoding"):
+            pass
+        assert timer.calls("decoding") == 1
+        assert timer.elapsed("decoding") >= 0.0
+
+
 class TestCostLedger:
     def test_total(self):
         ledger = CostLedger(phi=10.0, modeling=2.0, test=1.0)

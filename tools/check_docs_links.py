@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Markdown link integrity checker (stdlib only; run by the CI docs job).
+
+Checks, over README.md and every ``*.md`` under ``docs/``:
+
+1. every relative markdown link ``[text](target)`` resolves to an
+   existing file or directory (anchors and external URLs are skipped);
+2. every file in ``docs/`` is reachable from the README's documentation
+   index — no orphan pages.
+
+Fenced code blocks and inline code spans are stripped before link
+extraction so constructs like ``callbacks[name](args)`` in code are not
+mistaken for links.
+
+Exit status: 0 when clean, 1 with a per-problem report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose links are validated.
+SOURCES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^(```|~~~).*?^\1\s*$", re.DOTALL | re.MULTILINE)
+INLINE_CODE_RE = re.compile(r"`[^`\n]*`")
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def extract_links(text: str) -> list[str]:
+    """Relative link targets in ``text``, code blocks/spans stripped."""
+    text = FENCE_RE.sub("", text)
+    text = INLINE_CODE_RE.sub("", text)
+    links = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        links.append(target)
+    return links
+
+
+def check_file(path: Path) -> list[str]:
+    """Problems in one markdown file (empty list = clean)."""
+    problems = []
+    for target in extract_links(path.read_text()):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(REPO)}: broken link -> {target}"
+            )
+    return problems
+
+
+def check_docs_indexed(readme: Path) -> list[str]:
+    """Every docs/*.md must be referenced from the README."""
+    text = readme.read_text()
+    problems = []
+    for page in sorted((REPO / "docs").glob("*.md")):
+        if f"docs/{page.name}" not in text:
+            problems.append(
+                f"docs/{page.name} is not linked from README.md's "
+                "documentation index"
+            )
+    return problems
+
+
+def main() -> int:
+    """Run all checks; print problems; return the exit status."""
+    problems: list[str] = []
+    for source in SOURCES:
+        if not source.exists():
+            problems.append(f"missing expected file: {source}")
+            continue
+        problems.extend(check_file(source))
+    problems.extend(check_docs_indexed(REPO / "README.md"))
+    if problems:
+        print(f"{len(problems)} documentation problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    n_links = sum(len(extract_links(s.read_text())) for s in SOURCES)
+    print(
+        f"docs links OK: {len(SOURCES)} files, {n_links} relative links "
+        "checked, all docs/ pages indexed"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
