@@ -1,0 +1,101 @@
+"""Exec-layer resume economics — cold vs warm campaign wall-clock.
+
+The artifact store (:mod:`repro.exec`) claims that a re-run campaign
+costs almost nothing: every stage product — φ(x) supervector matrices,
+fitted VSMs, score matrices, vote selections, fused scores — reloads
+from content-addressed storage instead of recomputing, so the warm pass
+skips Table 5's dominant stages (decoding + supervector generation)
+entirely.  This bench runs the same campaign twice against one store
+with *fresh* systems (empty in-memory caches, so all reuse flows through
+the store) and asserts:
+
+- the warm pass performs **zero** φ stage executions and zero ``pmap``
+  decode fan-outs (obs metrics);
+- warm wall-clock is at least 3x faster than cold at smoke scale
+  (decode dominates cold; the warm pass only re-derives table cells from
+  loaded score matrices);
+- the regenerated tables are bitwise identical.
+
+Results land in ``benchmarks/results/exec_resume.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import bench_scale, build_system, run_campaign, smoke_scale
+from repro.exec import ArtifactStore
+from repro.obs.metrics import default_registry
+
+#: Sweep a single variant/threshold pair: resume economics are per-stage,
+#: so a minimal grid measures the same mechanism in a fraction of the time.
+VARIANTS = ("M2",)
+FUSION_THRESHOLD = 2
+
+
+@pytest.fixture(scope="module")
+def campaign_config():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    config = smoke_scale() if scale == "smoke" else bench_scale()
+    from dataclasses import replace
+
+    return replace(config, vote_thresholds=(FUSION_THRESHOLD,))
+
+
+def test_exec_resume_cold_vs_warm(
+    campaign_config, tmp_path_factory, report, benchmark
+):
+    """Warm campaign must be >= 3x faster with zero decode executions."""
+    registry = default_registry()
+    store_dir = tmp_path_factory.mktemp("exec-store")
+
+    def run_once() -> tuple[float, object]:
+        system = build_system(
+            campaign_config, store=ArtifactStore(store_dir)
+        )
+        t0 = time.perf_counter()
+        result = run_campaign(
+            campaign_config,
+            system=system,
+            variants=VARIANTS,
+            fusion_threshold=FUSION_THRESHOLD,
+        )
+        return time.perf_counter() - t0, result
+
+    def cold_then_warm():
+        registry.reset()
+        cold_s, cold = run_once()
+        cold_phi = registry.counter("exec.stage.phi.executed").value
+        registry.reset()
+        warm_s, warm = run_once()
+        warm_phi = registry.counter("exec.stage.phi.executed").value
+        warm_pmap = registry.counter("parallel.pmap.calls").value
+        hits = registry.counter("exec.store.hits").value
+        assert warm.to_text() == cold.to_text()
+        return cold_s, warm_s, cold_phi, warm_phi, warm_pmap, hits
+
+    cold_s, warm_s, cold_phi, warm_phi, warm_pmap, hits = benchmark.pedantic(
+        cold_then_warm, rounds=1, iterations=1
+    )
+    speedup = cold_s / warm_s
+    lines = [
+        "Exec-layer resume (one campaign, cold store vs warm store)",
+        "",
+        f"{'pass':<12}{'wall s':>10}{'phi runs':>10}",
+        f"{'cold':<12}{cold_s:>10.3f}{cold_phi:>10.0f}",
+        f"{'warm':<12}{warm_s:>10.3f}{warm_phi:>10.0f}",
+        "",
+        f"warm/cold speedup: {speedup:.1f}x",
+        f"warm store hits {hits:.0f}  warm pmap calls {warm_pmap:.0f}",
+    ]
+    report("exec_resume", "\n".join(lines))
+    benchmark.extra_info["speedup"] = speedup
+    # The acceptance bar: resuming skips every decode/φ stage …
+    assert cold_phi > 0 and warm_phi == 0
+    assert warm_pmap == 0
+    assert hits > 0
+    # … which is where the wall-clock lives.
+    assert speedup >= 3.0

@@ -75,7 +75,8 @@ def _make_system(args):
             scale=args.scale,
             seed=args.seed,
         )
-    return build_system(config), config
+    store = getattr(args, "store", None)
+    return build_system(config, store=store), config
 
 
 def _print_metrics(system, result, label: str) -> None:
@@ -237,6 +238,7 @@ def cmd_replicate(args) -> int:
         config_factory=factory,
         threshold=args.threshold,
         variant=args.variant,
+        store=args.store,
         progress=lambda msg: print(f"... {msg}"),
     )
     print()
@@ -394,16 +396,25 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=2009)
 
+    def with_store(p):
+        p.add_argument(
+            "--store", metavar="DIR", default=None,
+            help="artifact-store directory: persist every stage product "
+            "and resume from it on re-runs",
+        )
+
     p = sub.add_parser("info", help="corpus/frontend summary")
     common(p)
     p.set_defaults(func=cmd_info)
 
     p = sub.add_parser("baseline", help="PPRVSM baseline metrics")
     common(p)
+    with_store(p)
     p.set_defaults(func=cmd_baseline)
 
     p = sub.add_parser("dba", help="one DBA pass vs baseline")
     common(p)
+    with_store(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--variant", choices=("M1", "M2"), default="M2")
     p.set_defaults(func=cmd_dba)
@@ -414,11 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="threshold sweep (paper Tables 2/3)")
     common(p)
+    with_store(p)
     p.add_argument("--variant", choices=("M1", "M2"), default="M1")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table4", help="baseline vs DBA + fusion (Table 4)")
     common(p)
+    with_store(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.set_defaults(func=cmd_table4)
 
@@ -426,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="full protocol: Tables 1-4 in one run"
     )
     common(p)
+    with_store(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--output", "-o", default=None, help="save tables here")
     p.set_defaults(func=cmd_campaign)
@@ -434,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         "replicate", help="baseline vs DBA over several corpus seeds"
     )
     common(p)
+    with_store(p)
     p.add_argument("--n-seeds", type=int, default=3)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--variant", choices=("M1", "M2"), default="M2")

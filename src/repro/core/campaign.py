@@ -128,6 +128,7 @@ def run_campaign(
     system: PhonotacticSystem | None = None,
     variants: tuple[str, ...] = ("M1", "M2"),
     fusion_threshold: int = 3,
+    store=None,
     progress: Callable[[str], None] | None = None,
 ) -> CampaignResult:
     """Run the paper's full evaluation protocol.
@@ -143,6 +144,11 @@ def run_campaign(
         Which DBA variants to sweep over all ``config.vote_thresholds``.
     fusion_threshold:
         The V used for the Table 4 DBA block ((M1)+(M2) fusion).
+    store:
+        Optional :class:`~repro.exec.store.ArtifactStore` (or directory
+        path) persisting every stage product, so a killed or re-run
+        campaign resumes instead of recomputing (ignored when ``system``
+        is given — attach the store to the system instead).
     progress:
         Optional callback receiving one line per completed stage.
     """
@@ -150,7 +156,7 @@ def run_campaign(
     say = progress or (lambda msg: None)
     if system is None:
         say("building corpus + frontends")
-        system = build_system(config)
+        system = build_system(config, store=store)
     thresholds = config.vote_thresholds
     names = [fe.name for fe in system.frontends]
     result = CampaignResult(

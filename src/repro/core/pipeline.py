@@ -22,6 +22,17 @@ one frontend battery:
    (N = 1) and across frontends and DBA variants (Table 4's
    "(DBA-M1)+(DBA-M2)" fusion).
 
+Since 1.3 the flow is factored onto the :mod:`repro.exec` stage layer:
+each step above is a declared stage of a
+:class:`~repro.exec.graph.StageGraph` — ``phi`` (decode + supervector
+extraction), ``svm_train``, ``score``, ``vote``, ``dba_train`` and
+``fuse`` — keyed by the experiment config fingerprint and memoized
+against an optional :class:`~repro.exec.store.ArtifactStore`.  With a
+store attached, a killed campaign resumes from its persisted stage
+products, a re-run with an unchanged config executes zero decode work,
+and independent per-frontend stages fan out over a thread pool (a layer
+above the utterance-level :func:`~repro.utils.parallel.pmap`).
+
 Every stage is timed under a :class:`~repro.utils.timing.StageTimer` with
 the stage names of Table 5 (decoding / sv_generation / svm_training /
 sv_product).
@@ -29,6 +40,10 @@ sv_product).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import threading
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -40,6 +55,8 @@ from repro.core.dba import PseudoLabels, build_dba_training_set, select_pseudo_l
 from repro.core.voting import vote_count_matrix, vote_fit_counts
 from repro.corpus.generator import Corpus
 from repro.corpus.splits import CorpusBundle, make_corpus_bundle
+from repro.exec.graph import Stage, StageGraph, run_stage
+from repro.exec.store import ArtifactStore, stage_key
 from repro.frontend.registry import build_frontends
 from repro.metrics.cavg import cavg
 from repro.metrics.eer import eer_from_matrix
@@ -86,6 +103,11 @@ class SystemResult:
     durations: tuple[float, ...]
 
     @property
+    def model_id(self) -> str:
+        """Stable identity used in stage keys (``fuse`` members)."""
+        return "system"
+
+    @property
     def names(self) -> list[str]:
         return [s.name for s in self.subsystems]
 
@@ -114,6 +136,10 @@ class SystemResult:
 class BaselineResult(SystemResult):
     """PPRVSM baseline scores."""
 
+    @property
+    def model_id(self) -> str:
+        return "baseline"
+
 
 @dataclass
 class DBAResult(SystemResult):
@@ -124,6 +150,10 @@ class DBAResult(SystemResult):
     pseudo: PseudoLabels | None = None
     vote_counts: np.ndarray | None = None
     fit_counts: np.ndarray = field(default_factory=lambda: np.zeros(0, np.int64))
+
+    @property
+    def model_id(self) -> str:
+        return f"dba-{self.variant}-V{self.threshold}"
 
 
 def _decode_utterance(frontend, seed: int, utterance):
@@ -167,8 +197,50 @@ def calibrate_scores(
         )
 
 
+def _encode_vote(value) -> dict:
+    vote_counts, fit_counts, pseudo = value
+    return {
+        "vote_counts": vote_counts,
+        "fit_counts": fit_counts,
+        "indices": pseudo.indices,
+        "labels": pseudo.labels,
+        "votes": pseudo.votes,
+    }
+
+
+def _decode_vote(stored: dict):
+    pseudo = PseudoLabels(
+        indices=stored["indices"],
+        labels=stored["labels"],
+        votes=stored["votes"],
+    )
+    return stored["vote_counts"], stored["fit_counts"], pseudo
+
+
 class PhonotacticSystem:
-    """The full PPRVSM + DBA pipeline over one corpus bundle."""
+    """The full PPRVSM + DBA pipeline over one corpus bundle.
+
+    Parameters
+    ----------
+    bundle / frontends / system / timer:
+        As before: the corpus bundle, recognizer battery, classifier
+        stack configuration and Table 5 stage timer.
+    matrix_cache:
+        Legacy :class:`repro.utils.io.MatrixCache` persisting only the
+        supervector matrices; superseded by ``store`` but still honoured
+        (consulted before decoding, and written through on compute).
+    store:
+        Optional :class:`~repro.exec.store.ArtifactStore`.  When given,
+        every stage product — φ(x) matrices, fitted VSM states, score
+        matrices, vote selections, fused scores — persists under
+        content-addressed keys and later runs resume from it.
+    fingerprint:
+        The config fingerprint namespacing the stage keys; normally
+        supplied by :func:`build_system` as
+        :func:`repro.serve.artifacts.config_fingerprint` of the full
+        experiment config.  When omitted, a fingerprint is derived from
+        the corpus config, the system config and the frontend battery.
+    """
 
     def __init__(
         self,
@@ -178,6 +250,8 @@ class PhonotacticSystem:
         *,
         timer: StageTimer | None = None,
         matrix_cache=None,
+        store: ArtifactStore | None = None,
+        fingerprint: str | None = None,
     ) -> None:
         if not frontends:
             raise ValueError("need at least one frontend")
@@ -195,6 +269,53 @@ class PhonotacticSystem:
         #: optional repro.utils.io.MatrixCache persisting supervectors
         #: across processes (the φ(x) work of Eqs. 16-19)
         self.matrix_cache = matrix_cache
+        #: optional repro.exec.store.ArtifactStore persisting all stage
+        #: products (resumable campaigns)
+        self.store = store
+        self.fingerprint = fingerprint or self._derived_fingerprint()
+        self._cache_lock = threading.Lock()
+        self._matrix_locks: dict[tuple[str, str], threading.Lock] = {}
+
+    def _derived_fingerprint(self) -> str:
+        """Fallback stage-key namespace for directly constructed systems.
+
+        :func:`build_system` passes the canonical experiment-config
+        fingerprint instead; this derivation covers systems assembled
+        from a bare bundle + frontend battery, hashing everything that
+        determines stage products: corpus config, system config and the
+        frontend identities.
+        """
+        payload = json.dumps(
+            {
+                "corpus": dataclasses.asdict(self.bundle.config),
+                "system": dataclasses.asdict(self.system),
+                "frontends": [
+                    (fe.name, len(fe.phone_set)) for fe in self.frontends
+                ],
+            },
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def _stage_key(
+        self,
+        stage: str,
+        *,
+        frontend: str | None = None,
+        corpus: str | None = None,
+        **params,
+    ) -> str | None:
+        """Store key of one stage execution (``None`` without a store)."""
+        if self.store is None:
+            return None
+        return stage_key(
+            stage,
+            fingerprint=self.fingerprint,
+            frontend=frontend,
+            corpus=corpus,
+            params=params,
+        )
 
     # ------------------------------------------------------------------
     # labels and corpora
@@ -218,11 +339,15 @@ class PhonotacticSystem:
 
     def labels_for(self, tag: str) -> np.ndarray:
         """Integer language labels of a corpus tag (cached)."""
-        if tag not in self._labels:
-            self._labels[tag] = self.corpus_for(tag).label_indices(
+        with self._cache_lock:
+            labels = self._labels.get(tag)
+        if labels is None:
+            labels = self.corpus_for(tag).label_indices(
                 self.bundle.language_names
             )
-        return self._labels[tag]
+            with self._cache_lock:
+                self._labels[tag] = labels
+        return labels
 
     def pooled_test_labels(self) -> np.ndarray:
         """True labels of the all-durations test pool, in duration order."""
@@ -234,20 +359,44 @@ class PhonotacticSystem:
     # decode + supervector extraction (cached)
     # ------------------------------------------------------------------
     def raw_matrix(self, frontend, tag: str) -> SparseMatrix:
-        """Decode + extract the raw supervector matrix (cached).
+        """Decode + extract the raw supervector matrix (the ``phi`` stage).
 
-        With a ``matrix_cache`` configured, matrices also persist to disk
-        and are reloaded on subsequent runs.
+        Results are cached in memory per (frontend, tag); with a
+        ``store`` (or the legacy ``matrix_cache``) configured, matrices
+        also persist to disk and are reloaded on subsequent runs.
+        Thread-safe: per-key locks let the stage graph decode different
+        (frontend, corpus) pairs concurrently without duplicating work.
         """
-        key = (frontend.name, tag)
-        if key in self._matrices:
-            return self._matrices[key]
+        mkey = (frontend.name, tag)
+        with self._cache_lock:
+            matrix = self._matrices.get(mkey)
+            if matrix is not None:
+                return matrix
+            lock = self._matrix_locks.setdefault(mkey, threading.Lock())
+        with lock:
+            with self._cache_lock:
+                matrix = self._matrices.get(mkey)
+            if matrix is None:
+                matrix = run_stage(
+                    partial(self._compute_raw_matrix, frontend, tag),
+                    family="phi",
+                    store=self.store,
+                    key=self._stage_key(
+                        "phi", frontend=frontend.name, corpus=tag
+                    ),
+                    kind="sparse",
+                    meta={"frontend": frontend.name, "corpus": tag},
+                )
+                with self._cache_lock:
+                    self._matrices[mkey] = matrix
+        return matrix
+
+    def _compute_raw_matrix(self, frontend, tag: str) -> SparseMatrix:
+        """The uncached φ(x) work: decode every utterance and extract."""
         if self.matrix_cache is not None and self.matrix_cache.has(
             frontend.name, tag
         ):
-            matrix = self.matrix_cache.get(frontend.name, tag)
-            self._matrices[key] = matrix
-            return matrix
+            return self.matrix_cache.get(frontend.name, tag)
         corpus = self.corpus_for(tag)
         seed = self.system.seed
         audio = corpus.total_audio_seconds()
@@ -265,7 +414,6 @@ class PhonotacticSystem:
             )
             with self.timer.stage("sv_generation", audio_seconds=audio):
                 matrix = extractor.extract(sausages)
-        self._matrices[key] = matrix
         if self.matrix_cache is not None:
             self.matrix_cache.put(frontend.name, tag, matrix)
         return matrix
@@ -293,37 +441,167 @@ class PhonotacticSystem:
             seed=self.system.seed + seed_offset,
         )
 
-    def _score_subsystem(
-        self, frontend, vsm: VSM
-    ) -> SubsystemScores:
-        """Score dev + every test duration with a fitted VSM."""
-        dev_scores = vsm.score_matrix(self.raw_matrix(frontend, "dev"))
-        test: dict[float, np.ndarray] = {}
-        for duration in self.durations:
-            tag = f"test@{duration}"
-            audio = self.corpus_for(tag).total_audio_seconds()
-            with self.timer.stage("sv_product", audio_seconds=audio):
-                test[duration] = vsm.score_matrix(
-                    self.raw_matrix(frontend, tag)
+    # ------------------------------------------------------------------
+    # stage-graph construction helpers
+    # ------------------------------------------------------------------
+    def _phi_stage(self, graph: StageGraph, frontend, tag: str) -> str:
+        """Declare (once) the φ stage of one (frontend, corpus) pair.
+
+        The stage delegates to :meth:`raw_matrix`, which owns the store
+        round-trip and the ``phi`` accounting; the graph node only
+        contributes ordering and parallel fan-out (``instrument=False``
+        keeps one logical stage from being counted twice).
+        """
+        name = f"phi/{frontend.name}/{tag}"
+        if name not in graph:
+            graph.stage(
+                name,
+                lambda deps, fe=frontend, t=tag: self.raw_matrix(fe, t),
+                instrument=False,
+            )
+        return name
+
+    def _score_stages(
+        self,
+        graph: StageGraph,
+        frontend,
+        fit_stage: str,
+        model_id: str,
+    ) -> dict[str, str]:
+        """Declare dev + per-duration score stages for one fitted VSM.
+
+        Returns ``{corpus_tag: stage_name}`` for result assembly.
+        """
+        names: dict[str, str] = {}
+        for tag in ["dev", *[f"test@{d}" for d in self.durations]]:
+            phi_stage = self._phi_stage(graph, frontend, tag)
+
+            def score(
+                deps, tag=tag, fit_stage=fit_stage, phi_stage=phi_stage
+            ) -> np.ndarray:
+                vsm = deps[fit_stage]
+                raw = deps[phi_stage]
+                if tag == "dev":
+                    return vsm.score_matrix(raw)
+                audio = self.corpus_for(tag).total_audio_seconds()
+                with self.timer.stage("sv_product", audio_seconds=audio):
+                    return vsm.score_matrix(raw)
+
+            name = f"score/{frontend.name}/{model_id}/{tag}"
+            graph.stage(
+                name,
+                score,
+                deps=(fit_stage, phi_stage),
+                key=self._stage_key(
+                    "score",
+                    frontend=frontend.name,
+                    corpus=tag,
+                    model=model_id,
+                ),
+                kind="array",
+                family="score",
+                meta={
+                    "frontend": frontend.name,
+                    "corpus": tag,
+                    "model": model_id,
+                },
+            )
+            names[tag] = name
+        return names
+
+    @staticmethod
+    def _result_targets(
+        fit_stages: dict[str, str],
+        score_names: dict[str, dict[str, str]],
+    ) -> list[str]:
+        """The graph leaves result assembly needs (fits + all scores)."""
+        targets = list(fit_stages.values())
+        for names in score_names.values():
+            targets.extend(names.values())
+        return targets
+
+    def _assemble_subsystems(
+        self,
+        results: dict,
+        fit_stages: dict[str, str],
+        score_names: dict[str, dict[str, str]],
+    ) -> list[SubsystemScores]:
+        """Collect graph outputs into per-frontend score bundles."""
+        subsystems: list[SubsystemScores] = []
+        for frontend in self.frontends:
+            names = score_names[frontend.name]
+            subsystems.append(
+                SubsystemScores(
+                    frontend.name,
+                    dev=results[names["dev"]],
+                    test={
+                        d: results[names[f"test@{d}"]]
+                        for d in self.durations
+                    },
+                    vsm=results[fit_stages[frontend.name]],
                 )
-        return SubsystemScores(frontend.name, dev_scores, test, vsm=vsm)
+            )
+        return subsystems
 
     # ------------------------------------------------------------------
     # baseline (PPRVSM)
     # ------------------------------------------------------------------
     def baseline(self) -> BaselineResult:
-        """Train per-frontend VSMs on ``Tr`` and score dev + all tests."""
+        """Train per-frontend VSMs on ``Tr`` and score dev + all tests.
+
+        Declared as a stage graph — per-frontend chains
+        ``phi/train → svm_train → score/{dev,test@d}`` are independent
+        and fan out in parallel when ``system.workers`` allows; with a
+        store attached, cached ``svm_train``/``score`` products prune
+        the decode stages entirely.
+        """
         y_train = self.labels_for("train")
-        subsystems: list[SubsystemScores] = []
+        graph = StageGraph()
+        fit_stages: dict[str, str] = {}
+        score_names: dict[str, dict[str, str]] = {}
+        for q, frontend in enumerate(self.frontends):
+            phi_train = self._phi_stage(graph, frontend, "train")
+
+            def fit(deps, frontend=frontend, q=q, phi_train=phi_train) -> VSM:
+                vsm = self._make_vsm(frontend, q)
+                with self.timer.stage("svm_training"):
+                    vsm.fit_matrix(deps[phi_train], y_train)
+                return vsm
+
+            fit_name = f"svm_train/{frontend.name}"
+            graph.stage(
+                fit_name,
+                fit,
+                deps=(phi_train,),
+                key=self._stage_key(
+                    "svm_train",
+                    frontend=frontend.name,
+                    model="baseline",
+                    seed_offset=q,
+                ),
+                kind="arrays",
+                family="svm_train",
+                encode=lambda vsm: vsm.state_dict(),
+                decode=VSM.from_state,
+                meta={"frontend": frontend.name, "model": "baseline"},
+            )
+            fit_stages[frontend.name] = fit_name
+            score_names[frontend.name] = self._score_stages(
+                graph, frontend, fit_name, "baseline"
+            )
+        # Target only the leaves we assemble results from: φ stages then
+        # run exactly when a live (non-cached) stage still needs them.
+        targets = self._result_targets(fit_stages, score_names)
         with trace.span("baseline", frontends=len(self.frontends)):
-            for q, frontend in enumerate(self.frontends):
-                with trace.span("subsystem", frontend=frontend.name):
-                    x_train = self.raw_matrix(frontend, "train")
-                    vsm = self._make_vsm(frontend, q)
-                    with self.timer.stage("svm_training"):
-                        vsm.fit_matrix(x_train, y_train)
-                    subsystems.append(self._score_subsystem(frontend, vsm))
-        return BaselineResult(subsystems=subsystems, durations=self.durations)
+            results = graph.run(
+                targets, store=self.store, workers=self.system.workers
+            )
+        return BaselineResult(
+            subsystems=self._assemble_subsystems(
+                results, fit_stages, score_names
+            ),
+            durations=self.durations,
+        )
 
     # ------------------------------------------------------------------
     # DBA
@@ -338,30 +616,94 @@ class PhonotacticSystem:
 
         Pseudo-labels are selected from the pooled (all-durations) test
         set; each subsystem retrains once and rescores every duration.
+        The ``vote`` selection and every per-frontend
+        ``dba_train``/``score`` stage memoize against the store, so a
+        threshold change re-executes only the DBA-and-later stages.
         """
         baseline = baseline or self.baseline()
         y_train = self.labels_for("train")
+        model_id = f"dba-{variant}-V{threshold}"
         with trace.span("dba", threshold=threshold, variant=variant) as sp:
-            pooled_scores = baseline.pooled_test_scores()
-            vote_counts = vote_count_matrix(pooled_scores)
-            fit_counts = vote_fit_counts(pooled_scores)
-            pseudo = select_pseudo_labels(vote_counts, threshold)
+
+            def compute_vote():
+                pooled_scores = baseline.pooled_test_scores()
+                vote_counts = vote_count_matrix(pooled_scores)
+                fit_counts = vote_fit_counts(pooled_scores)
+                pseudo = select_pseudo_labels(vote_counts, threshold)
+                return vote_counts, fit_counts, pseudo
+
+            vote_counts, fit_counts, pseudo = run_stage(
+                compute_vote,
+                family="vote",
+                store=self.store,
+                key=self._stage_key("vote", threshold=int(threshold)),
+                kind="arrays",
+                encode=_encode_vote,
+                decode=_decode_vote,
+                meta={"threshold": int(threshold)},
+            )
             sp.inc("pool", len(pseudo))
             sp.inc("candidates", int(vote_counts.shape[0]))
-            subsystems: list[SubsystemScores] = []
+
+            graph = StageGraph()
+            fit_stages: dict[str, str] = {}
+            score_names: dict[str, dict[str, str]] = {}
+            test_tags = [f"test@{d}" for d in self.durations]
             for q, frontend in enumerate(self.frontends):
-                with trace.span("subsystem", frontend=frontend.name):
-                    x_train = self.raw_matrix(frontend, "train")
-                    x_test_pool = self.pooled_test_matrix(frontend)
+                phi_train = self._phi_stage(graph, frontend, "train")
+                phi_tests = tuple(
+                    self._phi_stage(graph, frontend, tag)
+                    for tag in test_tags
+                )
+
+                def fit(
+                    deps,
+                    frontend=frontend,
+                    q=q,
+                    phi_train=phi_train,
+                    phi_tests=phi_tests,
+                ) -> VSM:
+                    pooled = deps[phi_tests[0]]
+                    for name in phi_tests[1:]:
+                        pooled = pooled.vstack(deps[name])
                     x_dba, y_dba = build_dba_training_set(
-                        variant, x_train, y_train, x_test_pool, pseudo
+                        variant, deps[phi_train], y_train, pooled, pseudo
                     )
                     vsm = self._make_vsm(frontend, 100 + q)
                     with self.timer.stage("svm_training"):
                         vsm.fit_matrix(x_dba, y_dba)
-                    subsystems.append(self._score_subsystem(frontend, vsm))
+                    return vsm
+
+                fit_name = f"dba_train/{frontend.name}"
+                graph.stage(
+                    fit_name,
+                    fit,
+                    deps=(phi_train, *phi_tests),
+                    key=self._stage_key(
+                        "dba_train",
+                        frontend=frontend.name,
+                        threshold=int(threshold),
+                        variant=variant,
+                        seed_offset=100 + q,
+                    ),
+                    kind="arrays",
+                    family="dba_train",
+                    encode=lambda vsm: vsm.state_dict(),
+                    decode=VSM.from_state,
+                    meta={"frontend": frontend.name, "model": model_id},
+                )
+                fit_stages[frontend.name] = fit_name
+                score_names[frontend.name] = self._score_stages(
+                    graph, frontend, fit_name, model_id
+                )
+            targets = self._result_targets(fit_stages, score_names)
+            results = graph.run(
+                targets, store=self.store, workers=self.system.workers
+            )
         return DBAResult(
-            subsystems=subsystems,
+            subsystems=self._assemble_subsystems(
+                results, fit_stages, score_names
+            ),
             durations=self.durations,
             threshold=threshold,
             variant=variant,
@@ -381,8 +723,23 @@ class PhonotacticSystem:
         test_labels = self.labels_for(f"test@{duration}")
         out: dict[str, tuple[float, float]] = {}
         for sub in result.subsystems:
-            calibrated = calibrate_scores(
-                [sub.dev], dev_labels, [sub.test[duration]], system=self.system
+            calibrated = run_stage(
+                lambda sub=sub: calibrate_scores(
+                    [sub.dev],
+                    dev_labels,
+                    [sub.test[duration]],
+                    system=self.system,
+                ),
+                family="fuse",
+                store=self.store,
+                key=self._stage_key(
+                    "fuse",
+                    frontend=sub.name,
+                    corpus=f"test@{duration}",
+                    members=[result.model_id],
+                ),
+                kind="array",
+                meta={"members": [result.model_id], "frontend": sub.name},
             )
             out[sub.name] = evaluate_scores(calibrated, test_labels)
         return out
@@ -448,29 +805,68 @@ class PhonotacticSystem:
         *,
         use_fit_count_weights: bool = True,
     ) -> np.ndarray:
-        """Calibrated fused test scores (for DET curves, Fig. 3)."""
-        fusion = self.fit_fusion(
-            results, use_fit_count_weights=use_fit_count_weights
+        """Calibrated fused test scores (for DET curves, Fig. 3).
+
+        Memoized as a ``fuse`` stage keyed by the member results'
+        :attr:`~SystemResult.model_id` identities.
+        """
+
+        def compute() -> np.ndarray:
+            fusion = self.fit_fusion(
+                results, use_fit_count_weights=use_fit_count_weights
+            )
+            test_list = [
+                sub.test[duration]
+                for result in results
+                for sub in result.subsystems
+            ]
+            return fusion.transform(test_list)
+
+        return run_stage(
+            compute,
+            family="fuse",
+            store=self.store,
+            key=self._stage_key(
+                "fuse",
+                corpus=f"test@{duration}",
+                members=[r.model_id for r in results],
+                fit_count_weights=bool(use_fit_count_weights),
+            ),
+            kind="array",
+            meta={"members": [r.model_id for r in results]},
         )
-        test_list = [
-            sub.test[duration]
-            for result in results
-            for sub in result.subsystems
-        ]
-        return fusion.transform(test_list)
 
 
 def build_system(
     config: ExperimentConfig | None = None,
     *,
     timer: StageTimer | None = None,
+    store: ArtifactStore | str | None = None,
+    matrix_cache=None,
 ) -> PhonotacticSystem:
-    """Construct bundle + frontends + system from an experiment config."""
+    """Construct bundle + frontends + system from an experiment config.
+
+    ``store`` (an :class:`~repro.exec.store.ArtifactStore` or a
+    directory path to open one at) attaches persistent stage memoization
+    keyed by the config's fingerprint; ``matrix_cache`` wires the legacy
+    supervector-only :class:`repro.utils.io.MatrixCache` for callers not
+    yet migrated to the store.
+    """
+    from repro.serve.artifacts import config_fingerprint
+
     config = config or ExperimentConfig()
     bundle = make_corpus_bundle(config.corpus)
     frontends = build_frontends(
         bundle, mode=config.frontend_mode, top_k=config.system.top_k
     )
+    if store is not None and not isinstance(store, ArtifactStore):
+        store = ArtifactStore(store)
     return PhonotacticSystem(
-        bundle, frontends, config.system, timer=timer
+        bundle,
+        frontends,
+        config.system,
+        timer=timer,
+        matrix_cache=matrix_cache,
+        store=store,
+        fingerprint=config_fingerprint(config),
     )

@@ -82,6 +82,7 @@ def replicate_headline(
     config_factory: Callable[[int], ExperimentConfig] = smoke_scale,
     threshold: int = 3,
     variant: str = "M2",
+    store=None,
     progress: Callable[[str], None] | None = None,
 ) -> ReplicationSummary:
     """Baseline vs DBA mean-frontend EER across corpus seeds.
@@ -95,14 +96,25 @@ def replicate_headline(
         (:func:`~repro.core.config.smoke_scale` by default).
     threshold / variant:
         The DBA operating point to replicate.
+    store:
+        Optional :class:`~repro.exec.store.ArtifactStore` (or directory
+        path) shared by all seeds.  Stage keys embed each seed's config
+        fingerprint, so seeds never collide — but a re-run (or a second
+        operating point over the same seeds) reuses every per-seed
+        decode/φ product instead of recomputing it.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     say = progress or (lambda msg: None)
+    if store is not None:
+        from repro.exec.store import ArtifactStore
+
+        if not isinstance(store, ArtifactStore):
+            store = ArtifactStore(store)
     summary = ReplicationSummary(threshold=threshold, variant=variant)
     for seed in seeds:
         say(f"seed {seed}")
-        system = build_system(config_factory(seed))
+        system = build_system(config_factory(seed), store=store)
         baseline = system.baseline()
         boosted = system.dba(threshold, variant, baseline)
         per_duration: dict[float, tuple[float, float]] = {}

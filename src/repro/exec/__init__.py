@@ -1,0 +1,40 @@
+"""Deterministic stage execution: content-addressed store + stage graph.
+
+``repro.exec`` is the layer that makes long experiment campaigns
+*resumable* and *shareable*:
+
+- :class:`~repro.exec.store.ArtifactStore` persists every stage product
+  (supervector matrices, fitted VSM states, score matrices, vote
+  selections, fused scores) under content-addressed keys with
+  SHA-256-verified payloads;
+- :func:`~repro.exec.store.stage_key` derives those keys from the
+  experiment config fingerprint
+  (:func:`repro.serve.artifacts.config_fingerprint`), the frontend
+  name, the corpus tag and free-form stage parameters;
+- :class:`~repro.exec.graph.StageGraph` executes the paper's stage DAG
+  (decode/φ → svm_train → score → vote → dba_train → fuse) with
+  store memoization, dependency pruning and frontend-level thread
+  fan-out.
+
+See ``docs/execution.md`` for the keying scheme and resume guarantees.
+"""
+
+from repro.exec.graph import Stage, StageGraph, run_stage
+from repro.exec.store import (
+    PAYLOAD_KINDS,
+    ArtifactStore,
+    StoreCorruptionError,
+    StoreError,
+    stage_key,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "PAYLOAD_KINDS",
+    "Stage",
+    "StageGraph",
+    "StoreCorruptionError",
+    "StoreError",
+    "run_stage",
+    "stage_key",
+]

@@ -1,0 +1,313 @@
+"""Deterministic, memoized execution of the pipeline's stage DAG.
+
+The paper's flow is a small directed acyclic graph per frontend —
+decode/φ → svm_train → score → vote/select → dba_train → fuse — where
+the expensive φ(x) stages are shared between the baseline and every DBA
+variant (the fact behind the paper's Eq. 18–19 cost claim).  This module
+makes that graph explicit:
+
+- a :class:`Stage` declares one unit of work: its dependencies, the
+  compute function, and (optionally) a content-addressed store key under
+  which its product persists;
+- :class:`StageGraph` resolves a set of target stages *demand-driven*
+  against an :class:`~repro.exec.store.ArtifactStore`: a stage whose
+  product is already in the store is loaded instead of executed, **and
+  its dependencies are pruned** — so a fully warm campaign never touches
+  the decode stages at all;
+- independent stages (different frontends, different corpora) fan out
+  over a thread pool sized by
+  :func:`~repro.utils.parallel.effective_workers` — a threaded layer
+  *above* the utterance-level process fan-out of
+  :func:`~repro.utils.parallel.pmap`.
+
+Every stage runs under an ``exec.<family>`` trace span and increments
+``exec.stage.<family>.executed`` or ``.cached`` in the process metrics
+registry, so runlogs show exactly which stages a resumed campaign
+skipped.
+
+:func:`run_stage` is the single-stage primitive (span + counters + store
+round-trip); the graph runner and direct callers such as
+:meth:`repro.core.pipeline.PhonotacticSystem.raw_matrix` both use it, so
+cache accounting is identical whichever path executed a stage.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exec.store import ArtifactStore
+from repro.obs import trace
+from repro.obs.metrics import default_registry
+from repro.utils.parallel import effective_workers
+
+__all__ = ["Stage", "StageGraph", "run_stage"]
+
+_GRAPH_RUNS = default_registry().counter("exec.graph.runs")
+_GRAPH_WORKERS = default_registry().gauge("exec.graph.workers")
+
+
+def run_stage(
+    compute: Callable[[], Any],
+    *,
+    family: str,
+    store: ArtifactStore | None = None,
+    key: str | None = None,
+    kind: str = "arrays",
+    encode: Callable[[Any], Any] | None = None,
+    decode: Callable[[Any], Any] | None = None,
+    meta: dict[str, Any] | None = None,
+) -> Any:
+    """Execute one stage with store memoization and obs accounting.
+
+    With a ``store`` and ``key``, a present payload is loaded (through
+    ``decode`` when given) and counted as ``exec.stage.<family>.cached``;
+    otherwise ``compute()`` runs, its result persists (through
+    ``encode``) and ``exec.stage.<family>.executed`` increments.  A
+    corrupted payload raises
+    :class:`~repro.exec.store.StoreCorruptionError` — it never falls
+    back to recomputation, because silently healing corruption would
+    mask storage problems.
+    """
+    registry = default_registry()
+    if store is not None and key is not None:
+        try:
+            stored = store.get(key)
+        except KeyError:
+            pass
+        else:
+            with trace.span(f"exec.{family}", cached=True):
+                value = decode(stored) if decode is not None else stored
+            registry.counter(f"exec.stage.{family}.cached").inc()
+            return value
+    with trace.span(f"exec.{family}", cached=False):
+        value = compute()
+    registry.counter(f"exec.stage.{family}.executed").inc()
+    if store is not None and key is not None:
+        store.put(
+            key,
+            kind,
+            encode(value) if encode is not None else value,
+            meta=meta,
+        )
+    return value
+
+
+@dataclass
+class Stage:
+    """One node of the stage graph.
+
+    Attributes
+    ----------
+    name:
+        Unique node id, conventionally ``family/frontend/corpus`` (e.g.
+        ``"score/FE_A/test@3.0"``).
+    compute:
+        Called with ``{dep_name: dep_value}`` when the stage executes.
+    deps:
+        Names of stages whose values ``compute`` needs.  Dependencies of
+        a store-satisfied stage are pruned from the run.
+    key / kind / encode / decode / meta:
+        Store memoization contract (see :func:`run_stage`); ``key=None``
+        disables persistence for this stage.
+    family:
+        Metric/span family; defaults to the first ``/`` segment of
+        ``name``.
+    instrument:
+        ``False`` for thin delegation stages whose compute function does
+        its own :func:`run_stage` accounting (e.g. ``raw_matrix``) —
+        avoids double-counting one logical stage.
+    """
+
+    name: str
+    compute: Callable[[dict[str, Any]], Any]
+    deps: tuple[str, ...] = ()
+    key: str | None = None
+    kind: str = "arrays"
+    encode: Callable[[Any], Any] | None = None
+    decode: Callable[[Any], Any] | None = None
+    meta: dict[str, Any] | None = None
+    family: str = ""
+    instrument: bool = True
+
+    def __post_init__(self) -> None:
+        self.deps = tuple(self.deps)
+        if not self.family:
+            self.family = self.name.split("/", 1)[0]
+
+
+class StageGraph:
+    """A DAG of :class:`Stage` nodes with demand-driven memoized runs."""
+
+    def __init__(self) -> None:
+        self._stages: dict[str, Stage] = {}
+
+    def add(self, stage: Stage) -> Stage:
+        """Register a stage; names must be unique."""
+        if stage.name in self._stages:
+            raise ValueError(f"stage {stage.name!r} already declared")
+        self._stages[stage.name] = stage
+        return stage
+
+    def stage(self, name: str, compute, **kwargs: Any) -> Stage:
+        """Declare-and-register shorthand for :meth:`add`."""
+        return self.add(Stage(name, compute, **kwargs))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def names(self) -> list[str]:
+        """Declared stage names, in declaration order."""
+        return list(self._stages)
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def _plan(
+        self, targets: list[str], store: ArtifactStore | None
+    ) -> tuple[list[str], dict[str, set[str]]]:
+        """The needed sub-DAG: execution order seeds + live dep edges.
+
+        A stage already satisfied by the store keeps its node (it still
+        must be *loaded*) but contributes no dependency edges, pruning
+        everything upstream that no other live stage needs.
+        """
+        needed: dict[str, bool] = {}  # name -> satisfied-by-store
+        visiting: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in needed:
+                return
+            if name in visiting:
+                raise ValueError(f"stage dependency cycle through {name!r}")
+            stage = self._stages.get(name)
+            if stage is None:
+                raise KeyError(f"unknown stage {name!r}")
+            visiting.add(name)
+            satisfied = (
+                store is not None
+                and stage.key is not None
+                and store.has(stage.key)
+            )
+            if not satisfied:
+                for dep in stage.deps:
+                    visit(dep)
+            visiting.discard(name)
+            needed[name] = satisfied
+
+        for target in targets:
+            visit(target)
+        live_deps = {
+            name: (set() if satisfied else set(self._stages[name].deps))
+            for name, satisfied in needed.items()
+        }
+        return list(needed), live_deps
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        targets: list[str] | None = None,
+        *,
+        store: ArtifactStore | None = None,
+        workers: int | None = 1,
+    ) -> dict[str, Any]:
+        """Resolve ``targets`` (default: every stage); returns all values.
+
+        ``workers`` follows :func:`~repro.utils.parallel.effective_workers`
+        semantics: ``1`` (default) executes serially in dependency
+        order, ``None``/``0`` auto-sizes a thread pool.  Stages are
+        pure functions of their declared inputs, so concurrent waves
+        produce the same values as the serial order.
+        """
+        targets = list(targets) if targets is not None else self.names()
+        order, live_deps = self._plan(targets, store)
+        n_workers = effective_workers(workers) if workers != 1 else 1
+        n_workers = min(n_workers, max(1, len(order)))
+        _GRAPH_RUNS.inc()
+        _GRAPH_WORKERS.set(n_workers)
+
+        values: dict[str, Any] = {}
+        values_lock = threading.Lock()
+        parent = trace.current_span()
+
+        def execute(name: str) -> Any:
+            stage = self._stages[name]
+            # Only the *live* deps have values: a store-satisfied stage
+            # had its edges pruned and loads without touching them.
+            with values_lock:
+                deps = {dep: values[dep] for dep in live_deps[name]}
+
+            def compute() -> Any:
+                return stage.compute(deps)
+
+            if not stage.instrument:
+                return compute()
+            return run_stage(
+                compute,
+                family=stage.family,
+                store=store,
+                key=stage.key,
+                kind=stage.kind,
+                encode=stage.encode,
+                decode=stage.decode,
+                meta=stage.meta,
+            )
+
+        if n_workers <= 1:
+            remaining = {name: set(deps) for name, deps in live_deps.items()}
+            pending = list(order)
+            while pending:
+                name = next(
+                    (n for n in pending if not remaining[n]), None
+                )
+                if name is None:  # pragma: no cover - cycles caught in plan
+                    raise RuntimeError("stage graph deadlocked")
+                pending.remove(name)
+                values[name] = execute(name)
+                for other in pending:
+                    remaining[other].discard(name)
+            return values
+
+        # Wave scheduling (Kahn's algorithm) over a thread pool: stages
+        # are submitted as soon as their live dependencies resolve, so a
+        # slow frontend never blocks an independent one.
+        remaining = {name: set(deps) for name, deps in live_deps.items()}
+        dependents: dict[str, list[str]] = {name: [] for name in order}
+        for name, deps in live_deps.items():
+            for dep in deps:
+                dependents[dep].append(name)
+
+        def worker(name: str) -> Any:
+            with trace.attach(parent):
+                return execute(name)
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            futures = {}
+            ready = [name for name in order if not remaining[name]]
+            for name in ready:
+                futures[pool.submit(worker, name)] = name
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    name = futures.pop(future)
+                    value = future.result()  # re-raises stage errors
+                    with values_lock:
+                        values[name] = value
+                    for dependent in dependents[name]:
+                        remaining[dependent].discard(name)
+                        if not remaining[dependent] and dependent not in values:
+                            if not any(
+                                dependent == queued
+                                for queued in futures.values()
+                            ):
+                                futures[pool.submit(worker, dependent)] = (
+                                    dependent
+                                )
+        return values

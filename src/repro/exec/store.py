@@ -1,0 +1,301 @@
+"""Content-addressed persistence for pipeline stage products.
+
+The :class:`ArtifactStore` generalizes :class:`repro.utils.io.MatrixCache`
+from "supervector matrices keyed by (frontend, tag)" to *every* stage
+product the pipeline produces — raw φ(x) supervector matrices, fitted
+:class:`~repro.svm.vsm.VSM` state dicts, dense score matrices, vote/
+pseudo-label selections and fused score vectors.  Keys are
+content-addressed: :func:`stage_key` hashes the experiment config
+fingerprint (the same
+:func:`repro.serve.artifacts.config_fingerprint` the serving artifacts
+pin), the frontend name, the corpus tag and the free-form stage
+parameters, so two runs agree on a key exactly when they would compute
+the same value.
+
+Layout of a store directory::
+
+    index.json                      key -> {kind, file, sha256, size, …}
+    objects/<kk>/<key>.<ext>        payload files, sharded by key prefix
+
+Every payload is verified against its recorded SHA-256 on read; a
+mismatch raises :class:`StoreCorruptionError` rather than returning
+stale or tampered data (the same hard-fail posture as
+:mod:`repro.serve.artifacts`).  The index is rewritten atomically
+(temp file + ``os.replace``) after each put, so a killed run leaves a
+loadable store behind — the basis of resumable campaigns.
+
+Store traffic is accounted in the process-wide metrics registry under
+``exec.store.hits`` / ``exec.store.misses`` / ``exec.store.bytes``, so
+traced runs (``REPRO_TRACE=1``) show cache behaviour in their runlogs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs.metrics import default_registry
+from repro.utils.io import load_sparse, save_sparse
+from repro.utils.sparse import SparseMatrix
+
+__all__ = [
+    "StoreError",
+    "StoreCorruptionError",
+    "stage_key",
+    "ArtifactStore",
+    "PAYLOAD_KINDS",
+]
+
+#: Parent-side accounting of store traffic (see module docstring).
+_STORE_HITS = default_registry().counter("exec.store.hits")
+_STORE_MISSES = default_registry().counter("exec.store.misses")
+_STORE_BYTES = default_registry().counter("exec.store.bytes")
+
+#: Payload kinds the store can (de)serialise.
+PAYLOAD_KINDS = ("sparse", "array", "arrays", "json")
+
+_INDEX = "index.json"
+_OBJECTS = "objects"
+_EXT = {"sparse": "npz", "array": "npz", "arrays": "npz", "json": "json"}
+
+
+class StoreError(RuntimeError):
+    """The store or one of its payloads cannot be used safely."""
+
+
+class StoreCorruptionError(StoreError):
+    """A payload file does not match the checksum recorded at put time."""
+
+
+def stage_key(
+    stage: str,
+    *,
+    fingerprint: str,
+    frontend: str | None = None,
+    corpus: str | None = None,
+    params: dict[str, Any] | None = None,
+) -> str:
+    """Content-addressed key of one stage execution.
+
+    The key is the SHA-256 of the canonical JSON form of
+    ``(stage, fingerprint, frontend, corpus, params)`` — sorted keys,
+    tuples as arrays — so any change to the experiment config (via the
+    fingerprint), the frontend battery, the corpus split or the stage's
+    own parameters produces a different key and therefore a store miss.
+    """
+    payload = json.dumps(
+        {
+            "stage": str(stage),
+            "fingerprint": str(fingerprint),
+            "frontend": frontend,
+            "corpus": corpus,
+            "params": params or {},
+        },
+        sort_keys=True,
+        default=list,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _file_sha256(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for block in iter(lambda: fh.read(1 << 20), b""):
+            h.update(block)
+    return h.hexdigest()
+
+
+class ArtifactStore:
+    """Directory-backed, checksum-verified store of stage products.
+
+    Parameters
+    ----------
+    directory:
+        Store root; created if missing.  An existing ``index.json`` is
+        adopted, so stores persist across processes and runs.
+
+    The store is thread-safe: the stage-graph runner executes
+    independent per-frontend stages concurrently and all of them read
+    and write one store.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        (self.directory / _OBJECTS).mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        self._index: dict[str, dict[str, Any]] = {}
+        index_path = self.directory / _INDEX
+        if index_path.exists():
+            try:
+                raw = json.loads(index_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise StoreError(
+                    f"store index {index_path} is not valid JSON: {exc}"
+                ) from None
+            if not isinstance(raw, dict) or not isinstance(
+                raw.get("entries"), dict
+            ):
+                raise StoreError(
+                    f"store index {index_path} has an unexpected layout"
+                )
+            self._index = raw["entries"]
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return self.has(key)
+
+    def has(self, key: str) -> bool:
+        """Whether the index records a payload under ``key``."""
+        with self._lock:
+            return key in self._index
+
+    def entry(self, key: str) -> dict[str, Any]:
+        """The index entry for ``key`` (a copy; raises ``KeyError``)."""
+        with self._lock:
+            return dict(self._index[key])
+
+    def keys(self) -> list[str]:
+        """All recorded keys (sorted)."""
+        with self._lock:
+            return sorted(self._index)
+
+    def _object_path(self, key: str, kind: str) -> Path:
+        return self.directory / _OBJECTS / key[:2] / f"{key}.{_EXT[kind]}"
+
+    def _write_index(self) -> None:
+        payload = json.dumps(
+            {"version": 1, "entries": self._index}, indent=2, sort_keys=True
+        )
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=".index-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.directory / _INDEX)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+
+    # ------------------------------------------------------------------
+    # put / get
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        key: str,
+        kind: str,
+        value: Any,
+        *,
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        """Persist ``value`` under ``key`` as payload kind ``kind``.
+
+        ``meta`` (JSON-able) is stored in the index entry for
+        provenance (stage name, frontend, corpus tag, …) and is never
+        used for lookup.
+        """
+        if kind not in PAYLOAD_KINDS:
+            raise ValueError(
+                f"unknown payload kind {kind!r}; expected one of "
+                f"{PAYLOAD_KINDS}"
+            )
+        path = self._object_path(key, kind)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if kind == "sparse":
+            if not isinstance(value, SparseMatrix):
+                raise TypeError("kind 'sparse' requires a SparseMatrix")
+            save_sparse(path, value)
+        elif kind == "array":
+            np.savez_compressed(
+                path, value=np.asarray(value, dtype=np.float64)
+            )
+        elif kind == "arrays":
+            if not isinstance(value, dict) or not value:
+                raise TypeError(
+                    "kind 'arrays' requires a non-empty dict of arrays"
+                )
+            np.savez_compressed(
+                path, **{k: np.asarray(v) for k, v in value.items()}
+            )
+        else:  # json
+            path.write_text(json.dumps(value, sort_keys=True, default=list))
+        size = path.stat().st_size
+        _STORE_BYTES.inc(size)
+        with self._lock:
+            self._index[key] = {
+                "kind": kind,
+                "file": str(path.relative_to(self.directory)),
+                "sha256": _file_sha256(path),
+                "size": size,
+                "created_unix": time.time(),
+                "meta": meta or {},
+            }
+            self._write_index()
+
+    def get(self, key: str) -> Any:
+        """Load and return the payload under ``key``.
+
+        Raises ``KeyError`` when the key is unknown (a *miss*) and
+        :class:`StoreCorruptionError` when the payload file is missing
+        or fails checksum verification (never stale data).
+        """
+        with self._lock:
+            entry = self._index.get(key)
+        if entry is None:
+            _STORE_MISSES.inc()
+            raise KeyError(f"no artifact stored under key {key[:12]}…")
+        path = self.directory / entry["file"]
+        if not path.exists():
+            raise StoreCorruptionError(
+                f"artifact payload {entry['file']} is missing from disk"
+            )
+        actual = _file_sha256(path)
+        if actual != entry["sha256"]:
+            raise StoreCorruptionError(
+                f"artifact payload {entry['file']} failed checksum "
+                f"verification (sha256 {actual[:12]}… != index "
+                f"{entry['sha256'][:12]}…)"
+            )
+        kind = entry["kind"]
+        if kind == "sparse":
+            value: Any = load_sparse(path)
+        elif kind == "array":
+            with np.load(path) as data:
+                value = data["value"].copy()
+        elif kind == "arrays":
+            with np.load(path) as data:
+                value = {name: data[name].copy() for name in data.files}
+        else:  # json
+            value = json.loads(path.read_text())
+        _STORE_HITS.inc()
+        return value
+
+    def get_or_compute(
+        self,
+        key: str,
+        kind: str,
+        compute: Callable[[], Any],
+        *,
+        meta: dict[str, Any] | None = None,
+    ) -> Any:
+        """Load if present, else compute, persist and return."""
+        try:
+            return self.get(key)
+        except KeyError:
+            value = compute()
+            self.put(key, kind, value, meta=meta)
+            return value

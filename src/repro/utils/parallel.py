@@ -107,10 +107,13 @@ def pmap(
     """
     items = list(items)
     n_workers = effective_workers(workers) if workers != 1 else 1
+    serial = n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS
     _PMAP_CALLS.inc()
     _PMAP_ITEMS.inc(len(items))
-    _PMAP_WORKERS.set(n_workers)
-    if n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS:
+    # The gauge reports the workers actually used: a small batch that
+    # falls back to serial execution is 1 worker, whatever was requested.
+    _PMAP_WORKERS.set(1 if serial else n_workers)
+    if serial:
         return [fn(item) for item in items]
     chunks = chunked(items, n_workers * 4)
     results: list[R] = []

@@ -23,6 +23,7 @@ against measured time.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -50,6 +51,9 @@ class StageTimer:
         self._elapsed: Dict[str, float] = {}
         self._audio: Dict[str, float] = {}
         self._calls: Dict[str, int] = {}
+        # The stage graph (repro.exec.graph) times concurrent stages
+        # against one shared timer; the accumulators need a lock.
+        self._lock = threading.Lock()
 
     @contextmanager
     def stage(self, name: str, audio_seconds: float = 0.0) -> Iterator[None]:
@@ -71,13 +75,17 @@ class StageTimer:
         finally:
             wall = sp.wall_s
             dt = wall if wall is not None else time.perf_counter() - start
-            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
-            self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
-            self._calls[name] = self._calls.get(name, 0) + 1
+            with self._lock:
+                self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+                self._audio[name] = (
+                    self._audio.get(name, 0.0) + audio_seconds
+                )
+                self._calls[name] = self._calls.get(name, 0) + 1
 
     def add_audio(self, name: str, audio_seconds: float) -> None:
         """Attribute additional processed audio to stage ``name``."""
-        self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
+        with self._lock:
+            self._audio[name] = self._audio.get(name, 0.0) + audio_seconds
 
     def elapsed(self, name: str) -> float:
         """Total wall-clock seconds spent in ``name``."""
@@ -103,12 +111,17 @@ class StageTimer:
 
     def merge(self, other: "StageTimer") -> None:
         """Fold another timer's accumulators into this one."""
-        for name, dt in other._elapsed.items():
-            self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
-        for name, au in other._audio.items():
-            self._audio[name] = self._audio.get(name, 0.0) + au
-        for name, c in other._calls.items():
-            self._calls[name] = self._calls.get(name, 0) + c
+        with other._lock:
+            elapsed = dict(other._elapsed)
+            audio = dict(other._audio)
+            calls = dict(other._calls)
+        with self._lock:
+            for name, dt in elapsed.items():
+                self._elapsed[name] = self._elapsed.get(name, 0.0) + dt
+            for name, au in audio.items():
+                self._audio[name] = self._audio.get(name, 0.0) + au
+            for name, c in calls.items():
+                self._calls[name] = self._calls.get(name, 0) + c
 
 
 @dataclass

@@ -55,3 +55,35 @@ class TestCommands:
         assert main(["dba", "--scale", "smoke", "-V", "3"]) == 0
         out = capsys.readouterr().out
         assert "PPRVSM" in out and "DBA-M2" in out and "pool:" in out
+
+
+class TestStoreFlag:
+    @pytest.mark.parametrize(
+        "command",
+        ["baseline", "dba", "sweep", "table4", "campaign", "replicate"],
+    )
+    def test_store_flag_available(self, command):
+        args = build_parser().parse_args([command, "--store", "/tmp/s"])
+        assert args.store == "/tmp/s"
+
+    @pytest.mark.parametrize("command", ["baseline", "campaign"])
+    def test_store_defaults_to_none(self, command):
+        assert build_parser().parse_args([command]).store is None
+
+    def test_info_has_no_store_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "--store", "/tmp/s"])
+
+    @pytest.mark.slow
+    def test_baseline_resumes_from_store(self, tmp_path, capsys):
+        from repro.obs.metrics import default_registry
+
+        store_dir = str(tmp_path / "store")
+        assert main(["baseline", "--scale", "smoke", "--store", store_dir]) == 0
+        registry = default_registry()
+        registry.reset()
+        assert main(["baseline", "--scale", "smoke", "--store", store_dir]) == 0
+        assert registry.counter("exec.stage.phi.executed").value == 0
+        assert registry.counter("exec.store.hits").value > 0
+        out = capsys.readouterr().out
+        assert "PPRVSM" in out

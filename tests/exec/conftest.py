@@ -1,0 +1,43 @@
+"""exec test fixtures: metric isolation + tiny pipeline factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.pipeline import PhonotacticSystem
+from repro.obs.metrics import default_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Zero the process-wide registry so per-test deltas are absolute.
+
+    The registry resets *in place*, so module-level instrument handles
+    (store hit/miss counters, pmap gauges) stay valid.
+    """
+    default_registry().reset()
+    yield default_registry()
+    default_registry().reset()
+
+
+@pytest.fixture()
+def make_system(tiny_bundle, tiny_frontends):
+    """Factory for tiny pipelines sharing the session corpus/frontends.
+
+    Each call returns a *fresh* :class:`PhonotacticSystem` (empty
+    in-memory caches) so cold-vs-warm semantics are exercised purely
+    through the supplied store.
+    """
+
+    def factory(store=None, **overrides) -> PhonotacticSystem:
+        params = dict(orders=(1, 2), svm_max_epochs=10, mmi_iterations=5)
+        params.update(overrides)
+        return PhonotacticSystem(
+            tiny_bundle,
+            tiny_frontends,
+            SystemConfig(**params),
+            store=store,
+        )
+
+    return factory

@@ -1,0 +1,200 @@
+"""StageGraph mechanics: ordering, memoization, pruning, parallelism."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exec.graph import Stage, StageGraph, run_stage
+from repro.exec.store import ArtifactStore
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _chain_graph(log: list[str]) -> StageGraph:
+    """a → b → c, each appending its name to ``log`` when executed."""
+    graph = StageGraph()
+    graph.stage("a", lambda deps: (log.append("a"), 1)[1])
+    graph.stage("b", lambda deps: (log.append("b"), deps["a"] + 1)[1], deps=("a",))
+    graph.stage("c", lambda deps: (log.append("c"), deps["b"] + 1)[1], deps=("b",))
+    return graph
+
+
+class TestRunStage:
+    def test_executes_and_persists(self, store, fresh_metrics):
+        value = run_stage(
+            lambda: {"x": 41},
+            family="vote",
+            store=store,
+            key="1" * 64,
+            kind="json",
+        )
+        assert value == {"x": 41}
+        assert fresh_metrics.counter("exec.stage.vote.executed").value == 1
+        assert store.get("1" * 64) == {"x": 41}
+
+    def test_loads_instead_of_recomputing(self, store, fresh_metrics):
+        store.put("1" * 64, "json", {"x": 41})
+
+        def explode():
+            raise AssertionError("must not recompute")
+
+        value = run_stage(
+            explode, family="vote", store=store, key="1" * 64, kind="json"
+        )
+        assert value == {"x": 41}
+        assert fresh_metrics.counter("exec.stage.vote.cached").value == 1
+        assert fresh_metrics.counter("exec.stage.vote.executed").value == 0
+
+    def test_encode_decode(self, store):
+        run_stage(
+            lambda: 5,
+            family="vote",
+            store=store,
+            key="2" * 64,
+            kind="json",
+            encode=lambda v: {"wrapped": v},
+        )
+        value = run_stage(
+            lambda: None,
+            family="vote",
+            store=store,
+            key="2" * 64,
+            kind="json",
+            decode=lambda stored: stored["wrapped"],
+        )
+        assert value == 5
+
+    def test_no_store_always_executes(self, fresh_metrics):
+        assert run_stage(lambda: 3, family="fuse") == 3
+        assert run_stage(lambda: 4, family="fuse") == 4
+        assert fresh_metrics.counter("exec.stage.fuse.executed").value == 2
+
+
+class TestGraphBasics:
+    def test_serial_chain(self):
+        log: list[str] = []
+        values = _chain_graph(log).run()
+        assert values == {"a": 1, "b": 2, "c": 3}
+        assert log == ["a", "b", "c"]
+
+    def test_targets_subset(self):
+        log: list[str] = []
+        values = _chain_graph(log).run(["b"])
+        assert values == {"a": 1, "b": 2}
+        assert "c" not in log
+
+    def test_duplicate_name_rejected(self):
+        graph = StageGraph()
+        graph.stage("a", lambda deps: 1)
+        with pytest.raises(ValueError, match="already declared"):
+            graph.stage("a", lambda deps: 2)
+
+    def test_unknown_dep_rejected(self):
+        graph = StageGraph()
+        graph.stage("a", lambda deps: 1, deps=("ghost",))
+        with pytest.raises(KeyError, match="ghost"):
+            graph.run()
+
+    def test_cycle_rejected(self):
+        graph = StageGraph()
+        graph.add(Stage("a", lambda deps: 1, deps=("b",)))
+        graph.add(Stage("b", lambda deps: 1, deps=("a",)))
+        with pytest.raises(ValueError, match="cycle"):
+            graph.run()
+
+    def test_family_defaults_to_prefix(self):
+        stage = Stage("score/FE_A/dev", lambda deps: 1)
+        assert stage.family == "score"
+
+    def test_names_and_len(self):
+        graph = _chain_graph([])
+        assert graph.names() == ["a", "b", "c"]
+        assert len(graph) == 3
+        assert "a" in graph and "z" not in graph
+
+
+class TestGraphMemoization:
+    def _keyed_graph(self, log: list[str]) -> StageGraph:
+        graph = StageGraph()
+        graph.stage(
+            "up", lambda deps: (log.append("up"), [1])[1], key="a" * 64,
+            kind="json",
+        )
+        graph.stage(
+            "down",
+            lambda deps: (log.append("down"), deps["up"] + [2])[1],
+            deps=("up",),
+            key="b" * 64,
+            kind="json",
+        )
+        return graph
+
+    def test_warm_run_loads(self, store):
+        cold_log: list[str] = []
+        cold = self._keyed_graph(cold_log).run(store=store)
+        warm_log: list[str] = []
+        warm = self._keyed_graph(warm_log).run(store=store)
+        assert warm == cold == {"up": [1], "down": [1, 2]}
+        assert cold_log == ["up", "down"]
+        assert warm_log == []
+
+    def test_satisfied_stage_prunes_upstream(self, store, fresh_metrics):
+        """A store-satisfied stage must not pull its dependencies in."""
+        store.put("b" * 64, "json", [1, 2])
+        log: list[str] = []
+        values = self._keyed_graph(log).run(["down"], store=store)
+        assert values == {"down": [1, 2]}
+        assert log == []  # the upstream stage never ran
+        assert "up" not in values
+        assert fresh_metrics.counter("exec.stage.down.cached").value == 1
+
+    def test_graph_metrics(self, store, fresh_metrics):
+        self._keyed_graph([]).run(store=store)
+        assert fresh_metrics.counter("exec.graph.runs").value == 1
+        assert fresh_metrics.gauge("exec.graph.workers").value == 1
+
+
+class TestGraphParallel:
+    def test_parallel_matches_serial(self):
+        def fanout(workers: int) -> dict:
+            graph = StageGraph()
+            graph.stage("root", lambda deps: 1)
+            for i in range(6):
+                graph.stage(
+                    f"leaf/{i}",
+                    lambda deps, i=i: deps["root"] + i,
+                    deps=("root",),
+                )
+            graph.stage(
+                "join",
+                lambda deps: sum(deps[f"leaf/{i}"] for i in range(6)),
+                deps=tuple(f"leaf/{i}" for i in range(6)),
+            )
+            return graph.run(workers=workers)
+
+        assert fanout(1) == fanout(4)
+
+    def test_parallel_actually_overlaps(self):
+        barrier = threading.Barrier(2, timeout=10)
+        graph = StageGraph()
+        graph.stage("x", lambda deps: barrier.wait())
+        graph.stage("y", lambda deps: barrier.wait())
+        # Both stages block until the other arrives: only a concurrent
+        # run can finish (a serial run would trip the barrier timeout).
+        values = graph.run(workers=2)
+        assert set(values) == {"x", "y"}
+
+    def test_worker_errors_propagate(self):
+        graph = StageGraph()
+
+        def boom(deps):
+            raise RuntimeError("stage exploded")
+
+        graph.stage("bad", boom)
+        with pytest.raises(RuntimeError, match="stage exploded"):
+            graph.run(workers=2)

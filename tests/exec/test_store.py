@@ -1,0 +1,181 @@
+"""ArtifactStore mechanics: keying, payload kinds, persistence, metrics."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exec.store import (
+    PAYLOAD_KINDS,
+    ArtifactStore,
+    StoreError,
+    stage_key,
+)
+from repro.utils.sparse import SparseMatrix, SparseVector
+
+
+@pytest.fixture()
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _tiny_sparse() -> SparseMatrix:
+    rows = [
+        SparseVector(8, np.array([0, 3]), np.array([1.0, 2.5])),
+        SparseVector(8, np.array([1, 7]), np.array([0.5, -1.0])),
+    ]
+    return SparseMatrix.from_rows(rows)
+
+
+class TestStageKey:
+    def test_deterministic(self):
+        a = stage_key("phi", fingerprint="f", frontend="FE_A", corpus="dev")
+        b = stage_key("phi", fingerprint="f", frontend="FE_A", corpus="dev")
+        assert a == b
+        assert len(a) == 64 and set(a) <= set("0123456789abcdef")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fingerprint": "other"},
+            {"frontend": "FE_B"},
+            {"corpus": "train"},
+            {"params": {"threshold": 3}},
+        ],
+    )
+    def test_any_component_changes_key(self, kwargs):
+        base = dict(
+            fingerprint="f", frontend="FE_A", corpus="dev", params={}
+        )
+        assert stage_key("phi", **base) != stage_key(
+            "phi", **{**base, **kwargs}
+        )
+
+    def test_stage_name_changes_key(self):
+        assert stage_key("phi", fingerprint="f") != stage_key(
+            "score", fingerprint="f"
+        )
+
+    def test_param_order_irrelevant(self):
+        a = stage_key("vote", fingerprint="f", params={"a": 1, "b": 2})
+        b = stage_key("vote", fingerprint="f", params={"b": 2, "a": 1})
+        assert a == b
+
+
+class TestRoundTrips:
+    def test_sparse(self, store):
+        matrix = _tiny_sparse()
+        store.put("k" * 64, "sparse", matrix)
+        loaded = store.get("k" * 64)
+        assert isinstance(loaded, SparseMatrix)
+        assert loaded.dim == matrix.dim
+        np.testing.assert_array_equal(loaded.indptr, matrix.indptr)
+        np.testing.assert_array_equal(loaded.indices, matrix.indices)
+        np.testing.assert_array_equal(loaded.values, matrix.values)
+
+    def test_array_bitwise(self, store):
+        scores = np.linspace(-3.0, 3.0, 12).reshape(4, 3)
+        store.put("a" * 64, "array", scores)
+        loaded = store.get("a" * 64)
+        assert loaded.dtype == np.float64
+        np.testing.assert_array_equal(loaded, scores)
+
+    def test_arrays(self, store):
+        value = {
+            "weights": np.eye(3),
+            "labels": np.array([1, 2, 3], dtype=np.int64),
+        }
+        store.put("b" * 64, "arrays", value)
+        loaded = store.get("b" * 64)
+        assert set(loaded) == {"weights", "labels"}
+        np.testing.assert_array_equal(loaded["labels"], value["labels"])
+        assert loaded["labels"].dtype == np.int64
+
+    def test_json(self, store):
+        value = {"threshold": 3, "variant": "M2"}
+        store.put("c" * 64, "json", value)
+        assert store.get("c" * 64) == value
+
+    def test_unknown_kind_rejected(self, store):
+        with pytest.raises(ValueError, match="kind"):
+            store.put("d" * 64, "pickle", {})
+        assert "pickle" not in PAYLOAD_KINDS
+
+    def test_sparse_requires_sparse(self, store):
+        with pytest.raises(TypeError):
+            store.put("e" * 64, "sparse", np.eye(2))
+
+    def test_arrays_requires_dict(self, store):
+        with pytest.raises(TypeError):
+            store.put("f" * 64, "arrays", np.eye(2))
+
+
+class TestPersistence:
+    def test_index_survives_reopen(self, store):
+        store.put("a" * 64, "json", [1, 2, 3])
+        reopened = ArtifactStore(store.directory)
+        assert reopened.has("a" * 64)
+        assert reopened.get("a" * 64) == [1, 2, 3]
+        assert reopened.keys() == ["a" * 64]
+        assert len(reopened) == 1
+
+    def test_entry_metadata(self, store):
+        store.put("a" * 64, "json", 42, meta={"stage": "vote"})
+        entry = store.entry("a" * 64)
+        assert entry["kind"] == "json"
+        assert entry["meta"] == {"stage": "vote"}
+        assert entry["size"] > 0
+        assert len(entry["sha256"]) == 64
+
+    def test_index_is_valid_json(self, store):
+        store.put("a" * 64, "json", 1)
+        raw = json.loads((store.directory / "index.json").read_text())
+        assert raw["version"] == 1
+        assert "a" * 64 in raw["entries"]
+
+    def test_bad_index_rejected(self, tmp_path):
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / "index.json").write_text("{not json")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            ArtifactStore(root)
+
+    def test_wrong_layout_rejected(self, tmp_path):
+        root = tmp_path / "layout"
+        root.mkdir()
+        (root / "index.json").write_text('{"entries": []}')
+        with pytest.raises(StoreError, match="unexpected layout"):
+            ArtifactStore(root)
+
+    def test_objects_sharded_by_prefix(self, store):
+        key = "ab" + "0" * 62
+        store.put(key, "json", 1)
+        assert (store.directory / "objects" / "ab").is_dir()
+
+
+class TestAccounting:
+    def test_hit_miss_byte_counters(self, store, fresh_metrics):
+        hits = fresh_metrics.counter("exec.store.hits")
+        misses = fresh_metrics.counter("exec.store.misses")
+        nbytes = fresh_metrics.counter("exec.store.bytes")
+        with pytest.raises(KeyError):
+            store.get("0" * 64)
+        assert misses.value == 1
+        store.put("0" * 64, "json", {"x": 1})
+        assert nbytes.value > 0
+        store.get("0" * 64)
+        assert hits.value == 1
+
+    def test_get_or_compute(self, store):
+        calls: list[int] = []
+
+        def compute():
+            calls.append(1)
+            return {"n": 7}
+
+        first = store.get_or_compute("9" * 64, "json", compute)
+        second = store.get_or_compute("9" * 64, "json", compute)
+        assert first == second == {"n": 7}
+        assert len(calls) == 1

@@ -91,3 +91,26 @@ class TestReproWorkersEnv:
     def test_unset_env_autodetects(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert effective_workers(None) >= 1
+
+
+class TestWorkersGauge:
+    """`parallel.pmap.workers` reports the width actually used."""
+
+    def _gauge(self):
+        from repro.obs.metrics import default_registry
+
+        return default_registry().gauge("parallel.pmap.workers")
+
+    def test_serial_fallback_reports_one(self):
+        # Too few items for the pool: execution is serial, and the gauge
+        # must say so even though 4 workers were requested.
+        pmap(_square, [1, 2, 3], workers=4)
+        assert self._gauge().value == 1
+
+    def test_explicit_serial_reports_one(self):
+        pmap(_square, list(range(64)), workers=1)
+        assert self._gauge().value == 1
+
+    def test_parallel_reports_pool_width(self):
+        pmap(_square, list(range(64)), workers=2)
+        assert self._gauge().value == 2
