@@ -354,6 +354,8 @@ def cmd_serve(args) -> int:
         max_batch=args.max_batch,
         cache_entries=args.cache_entries,
         workers=args.workers,
+        max_queue=args.max_queue if args.max_queue > 0 else None,
+        deadline=args.deadline if args.deadline > 0 else None,
         registry=_registry(),
     )
     print(
@@ -504,6 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--workers", type=int, default=None,
         help="decode pool width (default: auto / REPRO_WORKERS)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="admission-control bound on queued requests; a full queue "
+        "returns HTTP 429 (0 = unbounded; default: 1024)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="per-request deadline in seconds; requests that cannot "
+        "finish in time return HTTP 503 (0 disables; default: 30)",
     )
     p.set_defaults(func=cmd_serve)
 

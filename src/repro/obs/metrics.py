@@ -86,6 +86,17 @@ class Gauge:
         with self._lock:
             self._value = float(value)
 
+    def add(self, delta: float) -> float:
+        """Shift the value by ``delta`` (an unset gauge counts as 0).
+
+        Returns the new value.  This makes a gauge usable as an
+        up/down occupancy counter (in-flight requests, open breakers)
+        without callers racing a read-modify-write around :meth:`set`.
+        """
+        with self._lock:
+            self._value = (self._value or 0.0) + float(delta)
+            return self._value
+
     @property
     def value(self) -> float | None:
         """Most recently set value (``None`` if never set)."""

@@ -13,7 +13,18 @@ service:
 - :mod:`repro.serve.protocol` — the JSON wire format for utterances and
   the digest function behind cache keys;
 - :mod:`repro.serve.server` — a stdlib-only JSON HTTP API
-  (``/score``, ``/healthz``, ``/stats``).
+  (``/score``, ``/healthz``, ``/stats``) with backpressure (429) and
+  deadline (503) semantics;
+- :mod:`repro.serve.faults` — fault injection (``REPRO_FAULTS``) used
+  to exercise the overload/partial-failure contract in tests and
+  benchmarks.
+
+The engine is supervised and admission-controlled: the batcher thread
+restarts on unexpected exceptions, the queue is bounded
+(:class:`QueueFullError`), requests carry deadlines
+(:class:`DeadlineExceededError`), and per-frontend circuit breakers
+degrade fusion to the surviving subsystems instead of failing the whole
+service (see ``docs/serving.md``, "Operations & failure modes").
 
 CLI entry points: ``repro export``, ``repro score``, ``repro serve``.
 
@@ -42,7 +53,14 @@ from repro.serve.artifacts import (
     save_system,
 )
 from repro.serve.cache import ScoreCache
-from repro.serve.engine import ScoringEngine
+from repro.serve.engine import (
+    AllFrontendsDownError,
+    DeadlineExceededError,
+    EngineClosedError,
+    QueueFullError,
+    ScoringEngine,
+)
+from repro.serve.faults import FaultPlan, InjectedFault
 from repro.serve.protocol import (
     utterance_digest,
     utterance_from_json,
@@ -60,6 +78,12 @@ __all__ = [
     "save_system",
     "ScoreCache",
     "ScoringEngine",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "EngineClosedError",
+    "AllFrontendsDownError",
+    "FaultPlan",
+    "InjectedFault",
     "utterance_digest",
     "utterance_from_json",
     "utterance_to_json",

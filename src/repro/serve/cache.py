@@ -87,8 +87,17 @@ class ScoreCache:
             return value
 
     def put(self, key: str, value: np.ndarray) -> None:
-        """Insert a score stack, evicting the least recently used."""
-        value = np.asarray(value, dtype=np.float64)
+        """Insert a score stack, evicting the least recently used.
+
+        The value is copied and frozen (``writeable=False``): callers
+        often hand in views of a large batch matrix, and storing the
+        view would both pin the whole batch in memory for the cache
+        entry's lifetime and let a later in-place edit silently corrupt
+        every future hit.  :meth:`get` returns the frozen array, so the
+        bitwise-exactness guarantee cannot be mutated away downstream.
+        """
+        value = np.array(value, dtype=np.float64)  # defensive copy
+        value.setflags(write=False)
         with self._lock:
             self._store[key] = value
             self._lru.touch(key)

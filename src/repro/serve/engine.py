@@ -22,6 +22,39 @@ memoised in a :class:`~repro.serve.cache.ScoreCache` keyed by utterance
 digest, so repeated scoring (the DBA/transductive access pattern) skips
 decode + φ(x) + SVM product entirely and only reruns calibration.
 
+Four hardening mechanisms keep the engine answering under overload and
+partial failure:
+
+**Batcher supervision.**  The batcher loop is supervised: an unexpected
+exception in batch formation or resolution fails the in-flight batch,
+bumps ``serve.batcher.restarts`` and re-enters the loop, instead of
+silently killing the thread and hanging every subsequent request.
+Cancelled futures are detected per request (``serve.cancelled``) so a
+client abandoning a queued request can never poison the batch it rode
+in.
+
+**Admission control.**  ``max_queue`` bounds the submit queue; a full
+queue raises :class:`QueueFullError` immediately (``serve.rejected``)
+rather than buffering unboundedly — the HTTP server maps this to 429.
+
+**Deadlines.**  ``submit(deadline=...)`` (or the engine-wide
+``deadline``) stamps an expiry on the request; requests that expire
+while queued fail with :class:`DeadlineExceededError`
+(``serve.expired``) instead of occupying a batch slot, and the HTTP
+handler bounds ``future.result`` by the same deadline so a stalled
+decode can never pin handler threads indefinitely (503).
+
+**Per-frontend circuit breakers.**  A frontend whose decode/extract
+raises is marked failed for that batch; after ``breaker_threshold``
+consecutive failures its breaker opens (``serve.breaker.trips``) and
+the frontend is skipped outright until ``breaker_cooldown`` elapses,
+when one probe batch is allowed through (half-open).  Batches scored
+with dead subsystems fall back to the paper's Eq. 20 *linear* fusion
+restricted to the surviving subsystems, with the fitted fusion weights
+renormalised over the survivors; such responses are flagged degraded
+and their partial score stacks are **not** cached, so recovery restores
+bitwise-identical output.
+
 Per-stage wall-clock accounting uses the Table 5 stage names
 (``decoding`` / ``sv_generation`` / ``sv_product`` plus ``fusion``).
 All counters and latency reservoirs live in a
@@ -35,7 +68,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 from contextlib import contextmanager
 from functools import partial
 from typing import Iterator, Sequence
@@ -46,16 +79,51 @@ from repro.corpus.generator import Utterance
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.artifacts import TrainedSystem
 from repro.serve.cache import ScoreCache
+from repro.serve.faults import FaultPlan
 from repro.serve.protocol import utterance_digest
 from repro.utils.parallel import pmap
 from repro.utils.rng import child_rng
 from repro.utils.timing import StageTimer
 
-__all__ = ["ScoringEngine", "STAGE_NAMES"]
+__all__ = [
+    "ScoringEngine",
+    "STAGE_NAMES",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "EngineClosedError",
+    "AllFrontendsDownError",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
 
 #: Table 5 stage names plus the serving-only calibration stage, in
 #: pipeline order (used to order the stats() output).
 STAGE_NAMES = ("decoding", "sv_generation", "sv_product", "fusion")
+
+#: Circuit-breaker state labels (also the ``/stats`` wire values).
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: Numeric encoding of breaker states for the ``serve.breaker.*`` gauges.
+_BREAKER_GAUGE = {BREAKER_CLOSED: 0.0, BREAKER_HALF_OPEN: 1.0, BREAKER_OPEN: 2.0}
+
+
+class QueueFullError(RuntimeError):
+    """``submit`` refused a request because the queue is at ``max_queue``."""
+
+
+class DeadlineExceededError(TimeoutError):
+    """A queued request expired before the batcher could score it."""
+
+
+class EngineClosedError(RuntimeError):
+    """The engine is closed; no further requests are accepted."""
+
+
+class AllFrontendsDownError(RuntimeError):
+    """Every frontend failed or is circuit-broken; nothing can score."""
 
 
 def _decode_one(frontend, seed: int, utterance: Utterance):
@@ -65,15 +133,50 @@ def _decode_one(frontend, seed: int, utterance: Utterance):
     )
 
 
+def _settle(future: Future, *, result=None, exception=None) -> bool:
+    """Resolve ``future`` if still possible; never raise.
+
+    A client may cancel its future at any moment between enqueue and
+    resolution, making ``set_result``/``set_exception`` raise
+    :class:`concurrent.futures.InvalidStateError` — the exact failure
+    that used to kill the batcher thread.  Returns ``True`` when the
+    future actually received the outcome.
+    """
+    try:
+        if exception is not None:
+            future.set_exception(exception)
+        else:
+            future.set_result(result)
+        return True
+    except InvalidStateError:
+        return False
+
+
 class _Request:
-    """One queued utterance with its future and enqueue timestamp."""
+    """One queued utterance with its future, enqueue time and expiry."""
 
-    __slots__ = ("utterance", "future", "enqueued")
+    __slots__ = ("utterance", "future", "enqueued", "expires")
 
-    def __init__(self, utterance: Utterance) -> None:
+    def __init__(
+        self, utterance: Utterance, deadline: float | None = None
+    ) -> None:
         self.utterance = utterance
         self.future: Future = Future()
         self.enqueued = time.monotonic()
+        self.expires = (
+            None if deadline is None else self.enqueued + float(deadline)
+        )
+
+
+class _Breaker:
+    """Per-frontend circuit-breaker state (guarded by the engine lock)."""
+
+    __slots__ = ("failures", "state", "opened_at")
+
+    def __init__(self) -> None:
+        self.failures = 0
+        self.state = BREAKER_CLOSED
+        self.opened_at = 0.0
 
 
 class ScoringEngine:
@@ -96,6 +199,23 @@ class ScoringEngine:
     workers:
         Decode fan-out width for :func:`repro.utils.parallel.pmap`;
         ``None`` auto-sizes (honouring ``REPRO_WORKERS``).
+    max_queue:
+        Admission-control bound on the submit queue; once this many
+        requests are waiting, :meth:`submit` raises
+        :class:`QueueFullError` (``None`` disables the bound).
+    deadline:
+        Default per-request deadline in seconds for :meth:`submit`
+        (overridable per call); requests still queued past their
+        deadline fail with :class:`DeadlineExceededError`.  ``None``
+        disables deadlines.
+    breaker_threshold:
+        Consecutive frontend failures that open its circuit breaker.
+    breaker_cooldown:
+        Seconds an open breaker waits before admitting a probe batch.
+    faults:
+        A :class:`~repro.serve.faults.FaultPlan` for fault injection;
+        ``None`` reads the ``REPRO_FAULTS`` environment variable (empty
+        plan — zero overhead — when unset).
     registry:
         The :class:`~repro.obs.metrics.MetricsRegistry` that receives the
         engine's (and its cache's) ``serve.*`` instruments.  ``None``
@@ -114,16 +234,34 @@ class ScoringEngine:
         max_batch: int = 32,
         cache_entries: int | None = 512,
         workers: int | None = None,
+        max_queue: int | None = 1024,
+        deadline: float | None = None,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 30.0,
+        faults: FaultPlan | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if batch_window < 0:
             raise ValueError("batch_window must be >= 0")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be >= 1 (None disables)")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 seconds (None disables)")
+        if breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
         self.trained = trained
         self.batch_window = float(batch_window)
         self.max_batch = int(max_batch)
         self.workers = workers
+        self.max_queue = None if max_queue is None else int(max_queue)
+        self.deadline = None if deadline is None else float(deadline)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown = float(breaker_cooldown)
+        self.faults = faults if faults is not None else FaultPlan.from_env()
         self.metrics = registry if registry is not None else MetricsRegistry()
         self._cache_enabled = cache_entries != 0
         self.cache = ScoreCache(
@@ -148,9 +286,33 @@ class ScoringEngine:
         self._cv = threading.Condition()
         self._thread: threading.Thread | None = None
         self._closed = False
+        # Circuit-breaker state: one breaker per active frontend plus the
+        # set of frontends dead in the most recent scoring pass.  The
+        # sync path and the batcher thread share this state, so it has
+        # its own lock (held only for bookkeeping, never while scoring).
+        self._breaker_lock = threading.Lock()
+        self._breakers = {fe.name: _Breaker() for fe in self._active}
+        self._last_dead: frozenset[str] = frozenset()
         self._requests = self.metrics.counter("serve.requests")
         self._batches = self.metrics.counter("serve.batches")
         self._batched_requests = self.metrics.counter("serve.batched_requests")
+        self._rejected = self.metrics.counter("serve.rejected")
+        self._expired = self.metrics.counter("serve.expired")
+        self._cancelled = self.metrics.counter("serve.cancelled")
+        self._batcher_restarts = self.metrics.counter("serve.batcher.restarts")
+        self._frontend_failures = self.metrics.counter(
+            "serve.frontend_failures"
+        )
+        self._breaker_trips = self.metrics.counter("serve.breaker.trips")
+        self._breaker_open = self.metrics.gauge("serve.breaker.open")
+        self._breaker_open.set(0)
+        self._breaker_gauges = {
+            fe.name: self.metrics.gauge(f"serve.breaker.{fe.name}.state")
+            for fe in self._active
+        }
+        for gauge in self._breaker_gauges.values():
+            gauge.set(_BREAKER_GAUGE[BREAKER_CLOSED])
+        self._degraded_batches = self.metrics.counter("serve.degraded_batches")
         self._queue_depth = self.metrics.gauge("serve.queue_depth")
         self._queue_depth.set(0)
         self._request_latency = self.metrics.histogram(
@@ -170,22 +332,40 @@ class ScoringEngine:
         """Start the batcher thread (idempotent)."""
         with self._cv:
             if self._closed:
-                raise RuntimeError("engine is closed")
-            if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._run, name="repro-serve-batcher", daemon=True
-                )
-                self._thread.start()
+                raise EngineClosedError("engine is closed")
+            self._start_locked()
         return self
 
+    def _start_locked(self) -> None:
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-batcher", daemon=True
+            )
+            self._thread.start()
+
     def close(self) -> None:
-        """Flush pending requests and stop the batcher thread."""
+        """Stop the batcher thread; settle every still-pending request.
+
+        Queued requests are normally drained (scored) by the batcher on
+        its way out.  Anything still queued after the thread has exited
+        — the batcher was never started, or died mid-crash — is failed
+        with :class:`EngineClosedError` rather than silently dropped, so
+        no caller is ever left waiting on a future nobody owns.
+        """
         with self._cv:
             self._closed = True
             self._cv.notify_all()
         if self._thread is not None:
             self._thread.join()
             self._thread = None
+        with self._cv:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._queue_depth.set(0)
+        for request in leftovers:
+            _settle(
+                request.future, exception=EngineClosedError("engine is closed")
+            )
 
     def __enter__(self) -> "ScoringEngine":
         """Context manager entry: start the batcher."""
@@ -203,21 +383,34 @@ class ScoringEngine:
         """Score-column order: the trained system's language names."""
         return self.trained.language_names
 
-    def submit(self, utterance: Utterance) -> Future:
+    def submit(
+        self, utterance: Utterance, *, deadline: float | None = None
+    ) -> Future:
         """Queue one utterance; the future resolves to its ``(K,)`` scores.
 
         Requests from concurrent callers coalesce into shared matrix
-        batches.  The engine is started on first use.
+        batches.  The engine is started on first use.  ``deadline``
+        (seconds, default: the engine's ``deadline``) bounds how long
+        the request may wait: expired requests fail with
+        :class:`DeadlineExceededError` instead of occupying batch
+        capacity.  Raises :class:`QueueFullError` without enqueueing
+        when ``max_queue`` requests are already waiting.
         """
-        request = _Request(utterance)
+        request = _Request(
+            utterance, deadline if deadline is not None else self.deadline
+        )
         with self._cv:
             if self._closed:
-                raise RuntimeError("engine is closed")
-            if self._thread is None:
-                self._thread = threading.Thread(
-                    target=self._run, name="repro-serve-batcher", daemon=True
+                raise EngineClosedError("engine is closed")
+            if (
+                self.max_queue is not None
+                and len(self._queue) >= self.max_queue
+            ):
+                self._rejected.inc()
+                raise QueueFullError(
+                    f"scoring queue is full ({self.max_queue} waiting)"
                 )
-                self._thread.start()
+            self._start_locked()
             self._queue.append(request)
             self._queue_depth.set(len(self._queue))
             self._cv.notify_all()
@@ -229,6 +422,8 @@ class ScoringEngine:
         The batch is processed in ``max_batch``-sized matrix chunks
         through the same cached path as the queued API.
         """
+        if self._closed:
+            raise EngineClosedError("engine is closed")
         utterances = list(utterances)
         rows: list[np.ndarray] = []
         for start in range(0, len(utterances), self.max_batch):
@@ -253,34 +448,77 @@ class ScoringEngine:
     # batcher
     # ------------------------------------------------------------------
     def _run(self) -> None:
+        """Supervised batcher loop.
+
+        Everything per iteration runs under a catch-all: an unexpected
+        exception (an injected batcher fault, a future settled from a
+        path `_settle` does not guard, a scoring bug) fails the in-flight
+        batch, increments ``serve.batcher.restarts`` and re-enters the
+        loop — the engine keeps serving instead of wedging every future
+        request behind a dead thread.
+        """
         while True:
-            with self._cv:
-                while not self._queue and not self._closed:
-                    self._cv.wait()
-                if not self._queue:
-                    return  # closed and drained
-                deadline = self._queue[0].enqueued + self.batch_window
-                while len(self._queue) < self.max_batch and not self._closed:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    self._cv.wait(timeout=remaining)
+            batch: list[_Request] = []
+            try:
+                with self._cv:
+                    while not self._queue and not self._closed:
+                        self._cv.wait()
                     if not self._queue:
-                        break
-                batch = [
-                    self._queue.popleft()
-                    for _ in range(min(self.max_batch, len(self._queue)))
-                ]
-                self._queue_depth.set(len(self._queue))
-            if batch:
-                self._resolve(batch)
+                        return  # closed and drained
+                    deadline = self._queue[0].enqueued + self.batch_window
+                    while len(self._queue) < self.max_batch and not self._closed:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(timeout=remaining)
+                        if not self._queue:
+                            break
+                    batch = [
+                        self._queue.popleft()
+                        for _ in range(min(self.max_batch, len(self._queue)))
+                    ]
+                    self._queue_depth.set(len(self._queue))
+                self.faults.apply("batcher")
+                batch = self._admit(batch)
+                if batch:
+                    self._resolve(batch)
+            except Exception as exc:
+                self._batcher_restarts.inc()
+                for request in batch:
+                    _settle(request.future, exception=exc)
+
+    def _admit(self, batch: list[_Request]) -> list[_Request]:
+        """Drop cancelled and deadline-expired requests from a batch.
+
+        Survivors are transitioned to RUNNING (via
+        ``set_running_or_notify_cancel``), after which a client cancel
+        can no longer race the batcher's ``set_result``.
+        """
+        now = time.monotonic()
+        admitted: list[_Request] = []
+        for request in batch:
+            if request.expires is not None and now >= request.expires:
+                self._expired.inc()
+                _settle(
+                    request.future,
+                    exception=DeadlineExceededError(
+                        "request expired after "
+                        f"{now - request.enqueued:.3f}s in queue"
+                    ),
+                )
+                continue
+            if not request.future.set_running_or_notify_cancel():
+                self._cancelled.inc()
+                continue
+            admitted.append(request)
+        return admitted
 
     def _resolve(self, batch: list[_Request]) -> None:
         try:
             scores = self._score_batch([r.utterance for r in batch])
         except Exception as exc:  # propagate to every waiter
             for request in batch:
-                request.future.set_exception(exc)
+                _settle(request.future, exception=exc)
             return
         now = time.monotonic()
         self._requests.inc(len(batch))
@@ -289,7 +527,83 @@ class ScoringEngine:
         for request in batch:
             self._request_latency.observe(now - request.enqueued)
         for i, request in enumerate(batch):
-            request.future.set_result(scores[i].copy())
+            _settle(request.future, result=scores[i].copy())
+
+    # ------------------------------------------------------------------
+    # circuit breakers
+    # ------------------------------------------------------------------
+    def _breaker_allows(self, name: str, now: float) -> bool:
+        """Whether the frontend may be called (open breakers block it).
+
+        An open breaker past its cooldown moves to half-open and admits
+        one probe; success closes it, failure re-opens it for another
+        cooldown.
+        """
+        with self._breaker_lock:
+            breaker = self._breakers[name]
+            if breaker.state == BREAKER_CLOSED:
+                return True
+            if now - breaker.opened_at >= self.breaker_cooldown:
+                breaker.state = BREAKER_HALF_OPEN
+                self._breaker_gauges[name].set(
+                    _BREAKER_GAUGE[BREAKER_HALF_OPEN]
+                )
+                return True
+            return False
+
+    def _breaker_record(self, name: str, ok: bool, now: float) -> None:
+        """Fold one frontend call outcome into its breaker."""
+        with self._breaker_lock:
+            breaker = self._breakers[name]
+            if ok:
+                breaker.failures = 0
+                if breaker.state != BREAKER_CLOSED:
+                    breaker.state = BREAKER_CLOSED
+                breaker_state = BREAKER_CLOSED
+            else:
+                breaker.failures += 1
+                tripping = (
+                    breaker.state == BREAKER_CLOSED
+                    and breaker.failures >= self.breaker_threshold
+                )
+                if tripping or breaker.state == BREAKER_HALF_OPEN:
+                    if breaker.state == BREAKER_CLOSED:
+                        self._breaker_trips.inc()
+                    breaker.state = BREAKER_OPEN
+                    breaker.opened_at = now
+                breaker_state = breaker.state
+            self._breaker_gauges[name].set(_BREAKER_GAUGE[breaker_state])
+            self._breaker_open.set(
+                sum(
+                    1
+                    for b in self._breakers.values()
+                    if b.state == BREAKER_OPEN
+                )
+            )
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per active frontend."""
+        with self._breaker_lock:
+            return {name: b.state for name, b in self._breakers.items()}
+
+    @property
+    def degraded(self) -> bool:
+        """Whether responses are currently produced without all subsystems.
+
+        True while any breaker is non-closed or the most recent scoring
+        pass had to drop a frontend.
+        """
+        with self._breaker_lock:
+            if self._last_dead:
+                return True
+            return any(
+                b.state != BREAKER_CLOSED for b in self._breakers.values()
+            )
+
+    def degraded_frontends(self) -> list[str]:
+        """Frontends excluded from the most recent scoring pass, sorted."""
+        with self._breaker_lock:
+            return sorted(self._last_dead)
 
     # ------------------------------------------------------------------
     # the scoring pass
@@ -304,7 +618,16 @@ class ScoringEngine:
                 self._stage_hist[name].observe(time.perf_counter() - start)
 
     def _score_batch(self, utterances: list[Utterance]) -> np.ndarray:
-        """One matrix-level pass: cache → decode/φ/SVM for misses → fuse."""
+        """One matrix-level pass: cache → decode/φ/SVM for misses → fuse.
+
+        Frontends whose decode/extract fails (or whose breaker is open)
+        are dropped for the batch; if any subsystem is missing, fusion
+        falls back to the Eq. 20 linear combination of the surviving
+        subsystems' scores under renormalised fusion weights, the batch
+        is flagged degraded and its partial stacks stay out of the
+        cache.  With every frontend healthy the pass is byte-for-byte
+        the historical one (full LDA-MMI calibration, cache writes).
+        """
         n_sub = len(self.trained.subsystems)
         n_classes = self.trained.n_classes
         if not utterances:
@@ -316,34 +639,98 @@ class ScoringEngine:
             else [None] * len(digests)
         )
         miss_idx = [i for i, s in enumerate(stacks) if s is None]
+        dead: set[str] = set()
         if miss_idx:
             miss_utts = [utterances[i] for i in miss_idx]
             audio = float(sum(u.duration for u in miss_utts))
             seed = self.trained.config.system.seed
             raw_by_frontend = {}
             for frontend in self._active:
-                decode = partial(_decode_one, frontend, seed)
-                with self._stage("decoding", audio_seconds=audio):
-                    sausages = pmap(decode, miss_utts, workers=self.workers)
-                with self._stage("sv_generation", audio_seconds=audio):
-                    raw_by_frontend[frontend.name] = self._extractors[
-                        frontend.name
-                    ].extract(sausages)
-            computed = np.empty((len(miss_utts), n_sub, n_classes))
+                if not self._breaker_allows(frontend.name, time.monotonic()):
+                    dead.add(frontend.name)
+                    continue
+                try:
+                    self.faults.apply(frontend.name)
+                    decode = partial(_decode_one, frontend, seed)
+                    with self._stage("decoding", audio_seconds=audio):
+                        sausages = pmap(
+                            decode, miss_utts, workers=self.workers
+                        )
+                    with self._stage("sv_generation", audio_seconds=audio):
+                        raw_by_frontend[frontend.name] = self._extractors[
+                            frontend.name
+                        ].extract(sausages)
+                except Exception:
+                    self._frontend_failures.inc()
+                    self._breaker_record(
+                        frontend.name, ok=False, now=time.monotonic()
+                    )
+                    dead.add(frontend.name)
+                else:
+                    self._breaker_record(
+                        frontend.name, ok=True, now=time.monotonic()
+                    )
+            if not raw_by_frontend:
+                with self._breaker_lock:
+                    self._last_dead = frozenset(dead)
+                raise AllFrontendsDownError(
+                    "no frontend could score the batch "
+                    f"(failed/open: {sorted(dead)})"
+                )
+            computed = np.full((len(miss_utts), n_sub, n_classes), np.nan)
             for q, (fe_name, vsm) in enumerate(self.trained.subsystems):
+                if fe_name in dead:
+                    continue
                 with self._stage("sv_product", audio_seconds=audio):
                     computed[:, q, :] = vsm.score_matrix(
                         raw_by_frontend[fe_name]
                     )
             for row, i in enumerate(miss_idx):
                 stacks[i] = computed[row]
-                if self._cache_enabled:
+                # Partial stacks would poison warm requests after the
+                # frontend recovers — only complete stacks are cached.
+                if self._cache_enabled and not dead:
                     self.cache.put(digests[i], computed[row])
+        with self._breaker_lock:
+            self._last_dead = frozenset(dead)
         full = np.stack(stacks)  # (m, N, K)
+        if dead:
+            self._degraded_batches.inc()
+            with self._stage("fusion"):
+                return self._degraded_fusion(full, dead)
         with self._stage("fusion"):
             return self.trained.fusion.transform(
                 [full[:, q, :] for q in range(n_sub)]
             )
+
+    def _degraded_fusion(
+        self, full: np.ndarray, dead: set[str]
+    ) -> np.ndarray:
+        """Eq. 20 linear fusion restricted to the live subsystems.
+
+        The fitted LDA-MMI backend needs all N subsystem score blocks,
+        so with frontends down the engine falls back to the weighted
+        linear combination :math:`Σ_q w_q s_q` over surviving
+        subsystems, with the fitted weights renormalised to sum to one
+        over the survivors.
+        """
+        live = [
+            q
+            for q, (fe_name, _) in enumerate(self.trained.subsystems)
+            if fe_name not in dead
+        ]
+        weights = self.trained.fusion.weights_
+        if weights is None:
+            weights = np.full(
+                len(self.trained.subsystems),
+                1.0 / len(self.trained.subsystems),
+            )
+        live_weights = np.asarray(weights, dtype=np.float64)[live]
+        live_weights = live_weights / live_weights.sum()
+        fused = np.zeros((full.shape[0], full.shape[2]))
+        for w, q in zip(live_weights, live):
+            fused += w * full[:, q, :]
+        return fused
 
     # ------------------------------------------------------------------
     # observability
@@ -361,7 +748,9 @@ class ScoringEngine:
         with total elapsed seconds, call counts and p50/p95 per-batch
         latency in milliseconds; ``latency_ms`` is the end-to-end
         per-request distribution (queue wait included for the submitted
-        path).  These flat keys are kept for compatibility — they are
+        path).  The overload/degradation keys (``rejected``,
+        ``expired``, ``cancelled``, ``batcher_restarts``, ``degraded``,
+        ``breaker``) surface the hardening counters; all flat keys are
         views over the ``serve.*`` instruments whose full registry
         snapshot (p50/p95/p99, counts, totals) sits under ``metrics``.
         """
@@ -386,6 +775,14 @@ class ScoringEngine:
             "queue_depth": queue_depth,
             "batch_window_s": self.batch_window,
             "max_batch": self.max_batch,
+            "max_queue": self.max_queue,
+            "deadline_s": self.deadline,
+            "rejected": int(self._rejected.value),
+            "expired": int(self._expired.value),
+            "cancelled": int(self._cancelled.value),
+            "batcher_restarts": int(self._batcher_restarts.value),
+            "degraded": self.degraded,
+            "breaker": self.breaker_states(),
             "cache": self.cache.stats(),
             "stages": stages,
             "latency_ms": {

@@ -60,35 +60,62 @@ def utterance_to_json(utterance: Utterance) -> dict:
     }
 
 
+def _finite_scalar(name: str, value) -> float:
+    """Parse a float field, rejecting NaN/inf (JSON admits them)."""
+    value = float(value)
+    if not np.isfinite(value):
+        raise ValueError(f"utterance field {name!r} must be finite")
+    return value
+
+
+def _finite_vector(name: str, value) -> np.ndarray:
+    """Parse a float-vector field, rejecting NaN/inf elements."""
+    array = np.asarray(value, dtype=np.float64)
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"utterance field {name!r} must be finite")
+    return array
+
+
 def utterance_from_json(payload: dict) -> Utterance:
     """Rebuild an :class:`Utterance` from :func:`utterance_to_json` output.
 
     ``language`` is optional (defaults to :data:`UNLABELLED`) since
     scoring requests normally do not know the true label.
+
+    Float fields are validated to be finite: the wire format reaches
+    this parser from untrusted clients, and a smuggled NaN/infinity in
+    a session parameter would flow through decode → supervectors →
+    scores and be *cached* under the utterance's digest — one poisoned
+    request corrupting every warm repeat.  Bad values fail here with
+    ``ValueError`` (HTTP 400), before they touch the scoring path.
     """
     try:
         sess = payload["session"]
         session = Session(
             speaker=Speaker(
                 speaker_id=int(sess["speaker_id"]),
-                offset=np.asarray(sess["speaker_offset"], dtype=np.float64),
-                rate=float(sess["speaker_rate"]),
+                offset=_finite_vector(
+                    "speaker_offset", sess["speaker_offset"]
+                ),
+                rate=_finite_scalar("speaker_rate", sess["speaker_rate"]),
             ),
             channel=Channel(
                 channel_id=int(sess["channel_id"]),
-                tilt=np.asarray(sess["channel_tilt"], dtype=np.float64),
-                gain=float(sess["channel_gain"]),
+                tilt=_finite_vector("channel_tilt", sess["channel_tilt"]),
+                gain=_finite_scalar("channel_gain", sess["channel_gain"]),
             ),
-            snr_db=float(sess["snr_db"]),
+            snr_db=_finite_scalar("snr_db", sess["snr_db"]),
         )
         return Utterance(
             utt_id=str(payload["utt_id"]),
             language=str(payload.get("language", UNLABELLED)),
-            nominal_duration=float(payload["nominal_duration"]),
+            nominal_duration=_finite_scalar(
+                "nominal_duration", payload["nominal_duration"]
+            ),
             phones=np.asarray(payload["phones"], dtype=np.int64),
             phone_frames=np.asarray(payload["phone_frames"], dtype=np.int64),
             session=session,
-            frame_rate=float(payload["frame_rate"]),
+            frame_rate=_finite_scalar("frame_rate", payload["frame_rate"]),
         )
     except KeyError as exc:
         raise ValueError(f"utterance payload missing field {exc}") from None

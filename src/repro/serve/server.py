@@ -9,9 +9,15 @@ endpoints:
     submitted to the engine's micro-batching queue — concurrent requests
     from different connections coalesce into shared matrix batches — and
     the response carries calibrated detection log-odds per language plus
-    arg-max predictions.
+    arg-max predictions and a ``degraded`` flag (true when circuit-broken
+    frontends forced the linear-fusion fallback).  Overload is surfaced,
+    never buffered: a full queue returns **429** with ``Retry-After``,
+    and a request that cannot finish within the engine's deadline
+    returns **503** — a stalled decode can reject traffic but can never
+    pin handler threads indefinitely.
 ``GET /healthz``
-    Liveness + a summary of the loaded system.
+    Liveness + a summary of the loaded system, including ``degraded``
+    and the per-frontend circuit-breaker states.
 ``GET /stats``
     The engine's :meth:`~repro.serve.engine.ScoringEngine.stats`
     snapshot.  The historical flat keys (requests, batches, cache
@@ -19,6 +25,11 @@ endpoints:
     the full :mod:`repro.obs.metrics` registry snapshot — every
     ``serve.*`` counter/gauge/histogram with p50/p95/p99 — is nested
     under ``"metrics"``.  See ``docs/serving.md``.
+
+Error responses sent before the request body has been consumed carry
+``Connection: close`` — replying 400 and keeping the connection alive
+would make the next pipelined request parse stale body bytes as a
+request line (an HTTP/1.1 keep-alive desync).
 
 Only the standard library is used (``http.server`` + ``json``), so the
 service runs anywhere the package does.  This is an internal-tier
@@ -28,11 +39,18 @@ service: put a real ingress in front of it before exposing it publicly.
 from __future__ import annotations
 
 import json
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from repro.serve.engine import ScoringEngine
+from repro.serve.engine import (
+    DeadlineExceededError,
+    EngineClosedError,
+    QueueFullError,
+    ScoringEngine,
+)
 from repro.serve.protocol import utterance_from_json
 
 __all__ = ["ScoringServer", "ScoringRequestHandler", "make_server", "run_server"]
@@ -40,6 +58,9 @@ __all__ = ["ScoringServer", "ScoringRequestHandler", "make_server", "run_server"
 #: Cap on accepted request bodies (16 MiB) — a crude but effective guard
 #: against memory-exhaustion by a single oversized POST.
 MAX_BODY_BYTES = 16 << 20
+
+#: ``Retry-After`` seconds suggested on 429/503 responses.
+RETRY_AFTER_S = 1
 
 
 class ScoringRequestHandler(BaseHTTPRequestHandler):
@@ -54,16 +75,42 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         """Silence per-request stderr logging (stats() is the telemetry)."""
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        *,
+        close: bool = False,
+        retry_after: int | None = None,
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        if close:
+            # The request body was not (fully) read; keeping this
+            # connection alive would desync the next pipelined request.
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json(status, {"error": message})
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        *,
+        close: bool = False,
+        retry_after: int | None = None,
+    ) -> None:
+        self._send_json(
+            status,
+            {"error": message},
+            close=close,
+            retry_after=retry_after,
+        )
 
     # ------------------------------------------------------------------
     # endpoints
@@ -73,10 +120,13 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         engine = self.server.engine
         if self.path == "/healthz":
             trained = engine.trained
+            degraded = engine.degraded
             self._send_json(
                 200,
                 {
-                    "status": "ok",
+                    "status": "degraded" if degraded else "ok",
+                    "degraded": degraded,
+                    "breakers": engine.breaker_states(),
                     "languages": list(trained.language_names),
                     "frontends": [fe.name for fe in trained.frontends],
                     "subsystems": [name for name, _ in trained.subsystems],
@@ -90,15 +140,20 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:
         """Serve /score."""
         if self.path != "/score":
-            self._send_error_json(404, f"unknown path {self.path!r}")
+            # Body unread: close to avoid a keep-alive desync.
+            self._send_error_json(
+                404, f"unknown path {self.path!r}", close=True
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_error_json(400, "bad Content-Length")
+            self._send_error_json(400, "bad Content-Length", close=True)
             return
         if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_error_json(400, "request body missing or too large")
+            self._send_error_json(
+                400, "request body missing or too large", close=True
+            )
             return
         try:
             payload = json.loads(self.rfile.read(length))
@@ -108,24 +163,62 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
         except (KeyError, TypeError, ValueError) as exc:
             self._send_error_json(400, f"bad request: {exc}")
             return
+        engine = self.server.engine
         if not utterances:
             self._send_json(
                 200,
                 {
-                    "languages": list(self.server.engine.languages),
+                    "languages": list(engine.languages),
                     "utt_ids": [],
                     "scores": [],
                     "predictions": [],
+                    "degraded": engine.degraded,
                 },
             )
             return
+        inflight = engine.metrics.gauge("serve.inflight")
+        inflight.add(1)
         try:
-            futures = [self.server.engine.submit(u) for u in utterances]
-            scores = np.vstack([f.result() for f in futures])
+            self._score(engine, utterances)
+        finally:
+            inflight.add(-1)
+
+    def _score(self, engine: ScoringEngine, utterances: list) -> None:
+        """Submit one request's utterances and render the outcome."""
+        start = time.monotonic()
+        try:
+            futures = [engine.submit(u) for u in utterances]
+        except QueueFullError as exc:
+            self._send_error_json(429, str(exc), retry_after=RETRY_AFTER_S)
+            return
+        except EngineClosedError as exc:
+            self._send_error_json(503, str(exc), retry_after=RETRY_AFTER_S)
+            return
+        try:
+            rows = []
+            for future in futures:
+                timeout = None
+                if engine.deadline is not None:
+                    timeout = max(
+                        0.0, engine.deadline - (time.monotonic() - start)
+                    )
+                rows.append(future.result(timeout=timeout))
+            scores = np.vstack(rows)
+        except (FutureTimeoutError, DeadlineExceededError):
+            # Never pin a handler thread behind a stalled decode: give
+            # the batcher its queued work back as cancellations and shed
+            # the request.
+            for future in futures:
+                future.cancel()
+            self._send_error_json(
+                503,
+                "scoring did not finish within the deadline",
+                retry_after=RETRY_AFTER_S,
+            )
+            return
         except Exception as exc:  # engine-side failure
             self._send_error_json(500, f"scoring failed: {exc}")
             return
-        engine = self.server.engine
         self._send_json(
             200,
             {
@@ -133,6 +226,7 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
                 "utt_ids": [u.utt_id for u in utterances],
                 "scores": scores.tolist(),
                 "predictions": engine.predict_languages(scores),
+                "degraded": engine.degraded,
             },
         )
 
@@ -152,11 +246,25 @@ def make_server(
 ) -> ScoringServer:
     """Bind a :class:`ScoringServer` (engine started; not yet serving).
 
+    The socket is bound *before* the engine's batcher thread starts, and
+    a bind failure (``OSError``, e.g. the port is taken) closes the
+    engine — a failed ``make_server`` leaves no live batcher thread
+    behind.
+
     ``port=0`` binds an ephemeral port — read it back from
     ``server.server_address`` (used by tests and benchmarks).
     """
-    engine.start()
-    return ScoringServer((host, port), engine)
+    try:
+        server = ScoringServer((host, port), engine)
+    except OSError:
+        engine.close()
+        raise
+    try:
+        engine.start()
+    except Exception:
+        server.server_close()
+        raise
+    return server
 
 
 def run_server(

@@ -59,6 +59,27 @@ class TestGauge:
         g.reset()
         assert g.value is None
 
+    def test_add_treats_unset_as_zero(self):
+        g = Gauge("g")
+        assert g.add(2) == 2.0
+        assert g.add(-3) == -1.0
+        assert g.value == -1.0
+
+    def test_add_is_thread_safe(self):
+        g = Gauge("g")
+
+        def bump():
+            for _ in range(1000):
+                g.add(1)
+                g.add(-1)
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert g.value == 0.0
+
 
 class TestHistogram:
     def test_exact_accumulators(self):

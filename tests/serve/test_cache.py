@@ -82,6 +82,16 @@ class TestScoreCache:
         assert len(cache) == 50
         assert cache.max_entries is None
 
+    def test_entries_are_copied_and_frozen(self):
+        cache = ScoreCache()
+        source = np.ones((2, 3))
+        cache.put("k", source)
+        source[0, 0] = 99.0  # caller mutates its buffer afterwards
+        stored = cache.get("k")
+        assert stored[0, 0] == 1.0  # the cache kept its own copy
+        with pytest.raises(ValueError):
+            stored[0, 0] = -1.0  # hits are immutable
+
     def test_clear_keeps_counters(self):
         cache = ScoreCache()
         cache.put("k", np.zeros(1))

@@ -57,6 +57,36 @@ class TestJsonRoundTrip:
         with pytest.raises(ValueError, match="missing field"):
             utterance_from_json({"utt_id": "x"})
 
+    @pytest.mark.parametrize(
+        "path, value",
+        [
+            (("session", "snr_db"), float("nan")),
+            (("session", "speaker_rate"), float("inf")),
+            (("session", "channel_gain"), float("-inf")),
+            (("frame_rate",), float("nan")),
+            (("nominal_duration",), float("inf")),
+        ],
+    )
+    def test_non_finite_scalars_rejected(self, utterance, path, value):
+        # A smuggled NaN would flow into scores and be cached under the
+        # utterance digest — reject it at the wire.
+        payload = utterance_to_json(utterance)
+        target = payload
+        for key in path[:-1]:
+            target = target[key]
+        target[path[-1]] = value
+        with pytest.raises(ValueError, match="finite"):
+            utterance_from_json(payload)
+
+    @pytest.mark.parametrize(
+        "field", ["speaker_offset", "channel_tilt"]
+    )
+    def test_non_finite_vectors_rejected(self, utterance, field):
+        payload = utterance_to_json(utterance)
+        payload["session"][field][0] = float("nan")
+        with pytest.raises(ValueError, match="finite"):
+            utterance_from_json(payload)
+
 
 class TestDigest:
     def test_digest_depends_on_utt_id(self, utterance):
