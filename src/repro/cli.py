@@ -21,8 +21,15 @@ and the observability vertical (:mod:`repro.obs`):
 
 - ``obs show``   render a runlog's stage tree and per-stage roll-up
 
+plus stage-store maintenance (:mod:`repro.exec`):
+
+- ``exec verify``  re-hash every store payload, report/remove corruption
+
 Experiment commands accept ``--scale smoke|bench`` and ``--seed``;
-``score``/``serve`` read their configuration from the artifact itself.
+offline commands that execute stages also take ``--retries`` and
+``--on-error {fail,quarantine,degrade}`` (the :mod:`repro.faults`
+ladder); ``score``/``serve`` read their configuration from the artifact
+itself.
 Setting ``REPRO_TRACE=1`` wraps any command (except ``obs``) in a trace
 and writes a runlog directory under ``runlogs/`` (override with
 ``REPRO_RUNLOG_DIR``); inspect it with ``repro obs show <runlog>``.
@@ -76,7 +83,21 @@ def _make_system(args):
             seed=args.seed,
         )
     store = getattr(args, "store", None)
-    return build_system(config, store=store), config
+    retries = getattr(args, "retries", 1)
+    retry = None
+    if retries and retries > 1:
+        from repro.faults import RetryPolicy
+
+        retry = RetryPolicy(max_attempts=retries, seed=args.seed)
+    return (
+        build_system(
+            config,
+            store=store,
+            retry=retry,
+            on_error=getattr(args, "on_error", "fail"),
+        ),
+        config,
+    )
 
 
 def _print_metrics(system, result, label: str) -> None:
@@ -220,6 +241,13 @@ def cmd_campaign(args) -> int:
     )
     print()
     print(result.to_text())
+    if result.degraded:
+        print("\ndegraded frontends:")
+        for name, reason in sorted(result.degraded.items()):
+            print(f"  {name}: {reason}")
+    if result.quarantined:
+        total = sum(len(ids) for ids in result.quarantined.values())
+        print(f"quarantined utterances: {total}")
     if args.output:
         path = result.save(args.output)
         print(f"\nsaved to {path}")
@@ -367,6 +395,31 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_exec_verify(args) -> int:
+    """Re-hash every store payload; report (and optionally drop) corruption."""
+    from repro.exec.store import ArtifactStore, StoreError
+
+    try:
+        store = ArtifactStore(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    corrupt = store.verify(remove=args.remove)
+    print(f"store {args.store}: {len(store)} entries")
+    if not corrupt:
+        print("all payloads verified")
+        return 0
+    for record in corrupt:
+        print(f"  CORRUPT ({record['problem']}): {record['file']}")
+    if args.remove:
+        print(f"removed {len(corrupt)} corrupt entries")
+        return 0
+    print(
+        f"{len(corrupt)} corrupt entries (re-run with --remove to drop them)"
+    )
+    return 1
+
+
 def cmd_obs_show(args) -> int:
     """Render a runlog's stage tree and per-stage roll-up."""
     from repro.obs import read_runlog, render_runlog
@@ -405,6 +458,21 @@ def build_parser() -> argparse.ArgumentParser:
             "and resume from it on re-runs",
         )
 
+    def with_faults(p):
+        p.add_argument(
+            "--retries", type=int, default=1, metavar="N",
+            help="max attempts per stage/store operation for transient "
+            "failures (default: 1 = no retries)",
+        )
+        p.add_argument(
+            "--on-error", choices=("fail", "quarantine", "degrade"),
+            default="fail",
+            help="after retries: fail fast, quarantine persistently "
+            "failing utterances, or additionally degrade by dropping "
+            "dead frontends and renormalizing fusion weights "
+            "(default: fail)",
+        )
+
     p = sub.add_parser("info", help="corpus/frontend summary")
     common(p)
     p.set_defaults(func=cmd_info)
@@ -412,11 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("baseline", help="PPRVSM baseline metrics")
     common(p)
     with_store(p)
+    with_faults(p)
     p.set_defaults(func=cmd_baseline)
 
     p = sub.add_parser("dba", help="one DBA pass vs baseline")
     common(p)
     with_store(p)
+    with_faults(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--variant", choices=("M1", "M2"), default="M2")
     p.set_defaults(func=cmd_dba)
@@ -428,12 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="threshold sweep (paper Tables 2/3)")
     common(p)
     with_store(p)
+    with_faults(p)
     p.add_argument("--variant", choices=("M1", "M2"), default="M1")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("table4", help="baseline vs DBA + fusion (Table 4)")
     common(p)
     with_store(p)
+    with_faults(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.set_defaults(func=cmd_table4)
 
@@ -442,6 +514,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(p)
     with_store(p)
+    with_faults(p)
     p.add_argument("--threshold", "-V", type=int, default=3)
     p.add_argument("--output", "-o", default=None, help="save tables here")
     p.set_defaults(func=cmd_campaign)
@@ -519,6 +592,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_serve)
 
+    p = sub.add_parser("exec", help="artifact-store maintenance")
+    exec_sub = p.add_subparsers(dest="exec_command", required=True)
+    pv = exec_sub.add_parser(
+        "verify", help="re-hash store payloads, report/remove corruption"
+    )
+    pv.add_argument("store", help="artifact-store directory")
+    pv.add_argument(
+        "--remove", action="store_true",
+        help="drop corrupt entries from the index",
+    )
+    pv.set_defaults(func=cmd_exec_verify)
+
     p = sub.add_parser(
         "obs", help="observability tools (runlog inspection)"
     )
@@ -577,14 +662,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
     With ``REPRO_TRACE=1`` in the environment, every command except
-    ``obs`` itself runs under a trace and writes a runlog (see
-    :func:`_run_traced`); an already-active trace (embedding callers)
-    is left untouched.
+    the ``obs``/``exec`` maintenance tools runs under a trace and
+    writes a runlog (see :func:`_run_traced`); an already-active trace
+    (embedding callers) is left untouched.
     """
     args = build_parser().parse_args(argv)
     if (
         trace.env_enabled()
-        and args.command != "obs"
+        and args.command not in ("obs", "exec")
         and not trace.enabled()
     ):
         return _run_traced(args)

@@ -48,6 +48,13 @@ class CampaignResult:
     dba_cells:
         (frontend, duration) → DBA-M2 cell at ``fusion_threshold``
         (Table 4's per-frontend DBA block).
+    degraded:
+        Frontends dropped mid-campaign by ``on_error="degrade"``
+        (name → reason); ``frontends`` holds the survivors the rendered
+        tables cover.  Empty on a healthy run.
+    quarantined:
+        ``"<frontend>/<corpus>"`` → utterance ids skipped by decode
+        quarantine.  Empty on a healthy run.
     """
 
     frontends: list[str]
@@ -62,6 +69,8 @@ class CampaignResult:
     dba_cells: dict[tuple[str, float], Cell] = field(default_factory=dict)
     baseline_fused: dict[float, Cell] = field(default_factory=dict)
     dba_fused: dict[float, Cell] = field(default_factory=dict)
+    degraded: dict[str, str] = field(default_factory=dict)
+    quarantined: dict[str, list[str]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # rendering
@@ -130,6 +139,9 @@ def run_campaign(
     fusion_threshold: int = 3,
     store=None,
     progress: Callable[[str], None] | None = None,
+    retry=None,
+    on_error: str = "fail",
+    max_quarantine_fraction: float = 0.1,
 ) -> CampaignResult:
     """Run the paper's full evaluation protocol.
 
@@ -151,12 +163,25 @@ def run_campaign(
         is given — attach the store to the system instead).
     progress:
         Optional callback receiving one line per completed stage.
+    retry / on_error / max_quarantine_fraction:
+        Fault-tolerance configuration forwarded to :func:`build_system`
+        (ignored when ``system`` is given — configure the system
+        instead).  With ``on_error="degrade"``, a frontend whose stages
+        keep failing is dropped mid-campaign: the returned result then
+        reports only the survivors (``frontends``) and records the drop
+        in ``degraded``.
     """
     config = config or ExperimentConfig()
     say = progress or (lambda msg: None)
     if system is None:
         say("building corpus + frontends")
-        system = build_system(config, store=store)
+        system = build_system(
+            config,
+            store=store,
+            retry=retry,
+            on_error=on_error,
+            max_quarantine_fraction=max_quarantine_fraction,
+        )
     thresholds = config.vote_thresholds
     names = [fe.name for fe in system.frontends]
     result = CampaignResult(
@@ -212,4 +237,13 @@ def run_campaign(
         result.dba_fused[duration] = system.fused_metrics(
             fusion_members, duration
         )
+    # The tables cover whatever survived: degradation mid-campaign trims
+    # the battery, and the result records both the survivors and why the
+    # others were dropped.
+    result.frontends = [fe.name for fe in system.frontends]
+    result.degraded = dict(system.degraded)
+    result.quarantined = {
+        f"{fe}/{tag}": list(ids)
+        for (fe, tag), ids in sorted(system.quarantined.items())
+    }
     return result

@@ -55,12 +55,20 @@ from repro.core.dba import PseudoLabels, build_dba_training_set, select_pseudo_l
 from repro.core.voting import vote_count_matrix, vote_fit_counts
 from repro.corpus.generator import Corpus
 from repro.corpus.splits import CorpusBundle, make_corpus_bundle
-from repro.exec.graph import Stage, StageGraph, run_stage
+from repro.exec.graph import (
+    Stage,
+    StageDependencyError,
+    StageGraph,
+    run_stage,
+)
 from repro.exec.store import ArtifactStore, stage_key
+from repro.faults import AllFrontendsFailedError, RetryPolicy
+from repro.frontend.lattice import Sausage
 from repro.frontend.registry import build_frontends
 from repro.metrics.cavg import cavg
 from repro.metrics.eer import eer_from_matrix
 from repro.obs import trace
+from repro.obs.metrics import default_registry
 from repro.svm.vsm import VSM
 from repro.utils.parallel import pmap
 from repro.utils.rng import child_rng
@@ -240,6 +248,32 @@ class PhonotacticSystem:
         :func:`repro.serve.artifacts.config_fingerprint` of the full
         experiment config.  When omitted, a fingerprint is derived from
         the corpus config, the system config and the frontend battery.
+    retry:
+        Optional :class:`repro.faults.RetryPolicy` applied to every
+        stage execution and store round-trip (see
+        :func:`repro.exec.graph.run_stage`).  ``None`` (default) keeps
+        the fail-fast behaviour.
+    on_error:
+        What happens when a failure survives the retries, mirroring the
+        serving layer's escalation ladder:
+
+        - ``"fail"`` (default) — first stage error aborts the run;
+        - ``"quarantine"`` — persistently failing *utterances* in the
+          decode fan-out are skipped (their supervector contribution is
+          an empty sausage) and recorded, up to
+          ``max_quarantine_fraction`` of a corpus; stage-level failures
+          still abort;
+        - ``"degrade"`` — quarantine, plus a *frontend* whose stage
+          chain fails post-retry is dropped from the battery (recorded
+          in :attr:`degraded` and on the trace root, so the runlog
+          manifest lists it) and fusion renormalizes Eq. 20 weights
+          over the survivors — the offline analogue of serve's circuit
+          breakers.  Dropping the last frontend raises
+          :class:`repro.faults.AllFrontendsFailedError`.
+    max_quarantine_fraction:
+        Per-corpus ceiling on the quarantined-utterance fraction before
+        the decode hard-fails with
+        :class:`~repro.utils.parallel.QuarantineExceededError`.
     """
 
     def __init__(
@@ -252,9 +286,17 @@ class PhonotacticSystem:
         matrix_cache=None,
         store: ArtifactStore | None = None,
         fingerprint: str | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "fail",
+        max_quarantine_fraction: float = 0.1,
     ) -> None:
         if not frontends:
             raise ValueError("need at least one frontend")
+        if on_error not in ("fail", "quarantine", "degrade"):
+            raise ValueError(
+                "on_error must be 'fail', 'quarantine' or 'degrade', "
+                f"got {on_error!r}"
+            )
         self.bundle = bundle
         self.frontends = list(frontends)
         self.system = system or SystemConfig()
@@ -273,6 +315,13 @@ class PhonotacticSystem:
         #: products (resumable campaigns)
         self.store = store
         self.fingerprint = fingerprint or self._derived_fingerprint()
+        self.retry = retry
+        self.on_error = on_error
+        self.max_quarantine_fraction = float(max_quarantine_fraction)
+        #: frontends dropped by ``on_error="degrade"``: name -> reason
+        self.degraded: dict[str, str] = {}
+        #: quarantined utterance ids: (frontend, corpus tag) -> utt ids
+        self.quarantined: dict[tuple[str, str], list[str]] = {}
         self._cache_lock = threading.Lock()
         self._matrix_locks: dict[tuple[str, str], threading.Lock] = {}
 
@@ -377,16 +426,27 @@ class PhonotacticSystem:
             with self._cache_lock:
                 matrix = self._matrices.get(mkey)
             if matrix is None:
+                key = self._stage_key(
+                    "phi", frontend=frontend.name, corpus=tag
+                )
                 matrix = run_stage(
                     partial(self._compute_raw_matrix, frontend, tag),
                     family="phi",
                     store=self.store,
-                    key=self._stage_key(
-                        "phi", frontend=frontend.name, corpus=tag
-                    ),
+                    key=key,
                     kind="sparse",
                     meta={"frontend": frontend.name, "corpus": tag},
+                    retry=self.retry,
                 )
+                # A matrix with quarantined utterances is *partial*: it
+                # may be used for this degraded run but must not be
+                # served to later runs under the clean content key.
+                if (
+                    mkey in self.quarantined
+                    and self.store is not None
+                    and key is not None
+                ):
+                    self.store.delete(key)
                 with self._cache_lock:
                     self._matrices[mkey] = matrix
         return matrix
@@ -401,11 +461,41 @@ class PhonotacticSystem:
         seed = self.system.seed
         audio = corpus.total_audio_seconds()
         decode = partial(_decode_utterance, frontend, seed)
+        # Under quarantine/degrade a persistently failing utterance is
+        # skipped: its slot becomes an empty sausage (a zero
+        # supervector contribution), the same shape-preserving move the
+        # paper's fleet would make by dropping one recognizer output.
+        quarantine = self.on_error in ("quarantine", "degrade")
+        quarantined: list[int] = []
+        pmap_opts = (
+            dict(
+                on_error="quarantine",
+                max_quarantine_fraction=self.max_quarantine_fraction,
+                quarantine_value=Sausage([], frontend.phone_set),
+                quarantined=quarantined,
+            )
+            if quarantine
+            else {}
+        )
         with trace.span("phi", frontend=frontend.name, corpus=tag) as sp:
             sp.inc("utterances", len(corpus))
             with self.timer.stage("decoding", audio_seconds=audio):
                 sausages = pmap(
-                    decode, corpus.utterances, workers=self.system.workers
+                    decode,
+                    corpus.utterances,
+                    workers=self.system.workers,
+                    **pmap_opts,
+                )
+            if quarantined:
+                utt_ids = [
+                    corpus.utterances[i].utt_id for i in quarantined
+                ]
+                self.quarantined[(frontend.name, tag)] = utt_ids
+                sp.inc("quarantined", len(quarantined))
+                trace.annotate_root(
+                    quarantined_utterances=sum(
+                        len(v) for v in self.quarantined.values()
+                    )
                 )
             extractor = VSM(
                 len(frontend.phone_set),
@@ -440,6 +530,68 @@ class PhonotacticSystem:
             min_prob=self.system.min_prob,
             seed=self.system.seed + seed_offset,
         )
+
+    # ------------------------------------------------------------------
+    # fault tolerance
+    # ------------------------------------------------------------------
+    def _tainted_frontends(self) -> set[str]:
+        """Frontends whose products are partial: quarantined or dropped."""
+        return {fe for (fe, _tag) in self.quarantined} | set(self.degraded)
+
+    def _apply_degradation(self, failures: dict[str, BaseException]) -> None:
+        """Drop frontends whose stage chains failed; record and annotate.
+
+        Stage names carry the frontend in their second ``/`` segment
+        (``phi/<FE>/<tag>``, ``svm_train/<FE>``, ``score/<FE>/…``); a
+        failure not attributable to one frontend is re-raised —
+        degradation can only absorb per-frontend damage.  Dropping the
+        last frontend raises
+        :class:`~repro.faults.AllFrontendsFailedError` (the offline
+        analogue of serve's ``AllFrontendsDownError``): tables fused
+        over nothing would be worse than a crash.
+        """
+        names = {fe.name for fe in self.frontends}
+        dead: dict[str, str] = {}
+        for stage_name, exc in failures.items():
+            parts = stage_name.split("/")
+            fe = parts[1] if len(parts) > 1 else None
+            if fe not in names:
+                raise exc
+            if isinstance(exc, StageDependencyError):
+                # Collateral skip: keep the root cause if one is known.
+                dead.setdefault(fe, str(exc))
+            else:
+                dead[fe] = f"{type(exc).__name__}: {exc}"
+        survivors = [fe for fe in self.frontends if fe.name not in dead]
+        if not survivors:
+            raise AllFrontendsFailedError(
+                "every frontend was dropped by degradation: "
+                + "; ".join(f"{k}: {v}" for k, v in sorted(dead.items()))
+            )
+        self.frontends = survivors
+        self.degraded.update(dead)
+        default_registry().counter("exec.degraded.frontends").inc(len(dead))
+        trace.annotate_root(degraded_frontends=sorted(self.degraded))
+
+    def _purge_tainted(self, graph: StageGraph) -> None:
+        """Un-persist store products of tainted frontends' stages.
+
+        Products downstream of a partially quarantined φ matrix carry
+        content keys that promise the clean value; like serve never
+        caching partial score stacks, they must not outlive this run.
+        (The φ entries themselves are purged by :meth:`raw_matrix`.)
+        """
+        if self.store is None:
+            return
+        tainted = self._tainted_frontends()
+        if not tainted:
+            return
+        for name in graph.names():
+            parts = name.split("/")
+            if len(parts) > 1 and parts[1] in tainted:
+                key = graph.stage_named(name).key
+                if key is not None:
+                    self.store.delete(key)
 
     # ------------------------------------------------------------------
     # stage-graph construction helpers
@@ -592,10 +744,20 @@ class PhonotacticSystem:
         # Target only the leaves we assemble results from: φ stages then
         # run exactly when a live (non-cached) stage still needs them.
         targets = self._result_targets(fit_stages, score_names)
+        failures: dict[str, BaseException] | None = (
+            {} if self.on_error == "degrade" else None
+        )
         with trace.span("baseline", frontends=len(self.frontends)):
             results = graph.run(
-                targets, store=self.store, workers=self.system.workers
+                targets,
+                store=self.store,
+                workers=self.system.workers,
+                retry=self.retry,
+                failures=failures,
             )
+        if failures:
+            self._apply_degradation(failures)
+        self._purge_tainted(graph)
         return BaselineResult(
             subsystems=self._assemble_subsystems(
                 results, fit_stages, score_names
@@ -632,15 +794,27 @@ class PhonotacticSystem:
                 pseudo = select_pseudo_labels(vote_counts, threshold)
                 return vote_counts, fit_counts, pseudo
 
+            # The vote pools every surviving frontend's scores, so its
+            # key carries the battery membership — a degraded run's
+            # selection can never answer for the full battery's; with
+            # any taint present it does not persist at all.
+            members = [fe.name for fe in self.frontends]
             vote_counts, fit_counts, pseudo = run_stage(
                 compute_vote,
                 family="vote",
                 store=self.store,
-                key=self._stage_key("vote", threshold=int(threshold)),
+                key=(
+                    None
+                    if self._tainted_frontends()
+                    else self._stage_key(
+                        "vote", threshold=int(threshold), frontends=members
+                    )
+                ),
                 kind="arrays",
                 encode=_encode_vote,
                 decode=_decode_vote,
-                meta={"threshold": int(threshold)},
+                meta={"threshold": int(threshold), "frontends": members},
+                retry=self.retry,
             )
             sp.inc("pool", len(pseudo))
             sp.inc("candidates", int(vote_counts.shape[0]))
@@ -697,9 +871,30 @@ class PhonotacticSystem:
                     graph, frontend, fit_name, model_id
                 )
             targets = self._result_targets(fit_stages, score_names)
-            results = graph.run(
-                targets, store=self.store, workers=self.system.workers
+            failures: dict[str, BaseException] | None = (
+                {} if self.on_error == "degrade" else None
             )
+            results = graph.run(
+                targets,
+                store=self.store,
+                workers=self.system.workers,
+                retry=self.retry,
+                failures=failures,
+            )
+            if failures:
+                self._apply_degradation(failures)
+                # fit_counts is indexed by the vote-time battery order;
+                # keep only the survivors' entries so Eq. 20 weights
+                # renormalize over exactly the subsystems that remain.
+                survivors = {fe.name for fe in self.frontends}
+                live = [
+                    q
+                    for q, n in enumerate(baseline.names)
+                    if n in survivors
+                ]
+                if fit_counts.size:
+                    fit_counts = fit_counts[live]
+            self._purge_tainted(graph)
         return DBAResult(
             subsystems=self._assemble_subsystems(
                 results, fit_stages, score_names
@@ -722,6 +917,7 @@ class PhonotacticSystem:
         dev_labels = self.labels_for("dev")
         test_labels = self.labels_for(f"test@{duration}")
         out: dict[str, tuple[float, float]] = {}
+        tainted = self._tainted_frontends()
         for sub in result.subsystems:
             calibrated = run_stage(
                 lambda sub=sub: calibrate_scores(
@@ -732,14 +928,19 @@ class PhonotacticSystem:
                 ),
                 family="fuse",
                 store=self.store,
-                key=self._stage_key(
-                    "fuse",
-                    frontend=sub.name,
-                    corpus=f"test@{duration}",
-                    members=[result.model_id],
+                key=(
+                    None
+                    if sub.name in tainted
+                    else self._stage_key(
+                        "fuse",
+                        frontend=sub.name,
+                        corpus=f"test@{duration}",
+                        members=[result.model_id],
+                    )
                 ),
                 kind="array",
                 meta={"members": [result.model_id], "frontend": sub.name},
+                retry=self.retry,
             )
             out[sub.name] = evaluate_scores(calibrated, test_labels)
         return out
@@ -808,8 +1009,21 @@ class PhonotacticSystem:
         """Calibrated fused test scores (for DET curves, Fig. 3).
 
         Memoized as a ``fuse`` stage keyed by the member results'
-        :attr:`~SystemResult.model_id` identities.
+        :attr:`~SystemResult.model_id` identities and the frontend
+        battery membership.  On a degraded system (frontends dropped by
+        ``on_error="degrade"``) the LDA-MMI backend is replaced by the
+        same fallback the serving engine uses with breakers open: the
+        Eq. 20 weighted linear fusion :math:`Σ_q w_q s_q` with weights
+        renormalized over the surviving subsystems — and the result
+        never persists to the store.
         """
+        if self.degraded:
+            with trace.span(
+                "fuse",
+                degraded=True,
+                members=[r.model_id for r in results],
+            ):
+                return self._degraded_fused_scores(results, duration)
 
         def compute() -> np.ndarray:
             fusion = self.fit_fusion(
@@ -826,15 +1040,47 @@ class PhonotacticSystem:
             compute,
             family="fuse",
             store=self.store,
-            key=self._stage_key(
-                "fuse",
-                corpus=f"test@{duration}",
-                members=[r.model_id for r in results],
-                fit_count_weights=bool(use_fit_count_weights),
+            key=(
+                None
+                if self._tainted_frontends()
+                else self._stage_key(
+                    "fuse",
+                    corpus=f"test@{duration}",
+                    members=[r.model_id for r in results],
+                    frontends=[fe.name for fe in self.frontends],
+                    fit_count_weights=bool(use_fit_count_weights),
+                )
             ),
             kind="array",
             meta={"members": [r.model_id for r in results]},
+            retry=self.retry,
         )
+
+    def _degraded_fused_scores(
+        self, results: list[SystemResult], duration: float
+    ) -> np.ndarray:
+        """Eq. 20 linear fusion over the surviving subsystems.
+
+        Mirrors :meth:`repro.serve.engine.ScoringEngine._degraded_fusion`:
+        per-subsystem weights come from the DBA fit counts
+        (w_n = M_n/ΣM_m, already renormalized over exactly the
+        subsystems present) or fall back to uniform, and the fused
+        score is the weighted sum of the raw subsystem score matrices.
+        """
+        test_list: list[np.ndarray] = []
+        counts: list[float] = []
+        for result in results:
+            for sub in result.subsystems:
+                test_list.append(sub.test[duration])
+            if isinstance(result, DBAResult) and result.fit_counts.size:
+                counts.extend(result.fit_counts.tolist())
+            else:
+                counts.extend([0.0] * len(result.subsystems))
+        weights = subsystem_weights(np.asarray(counts, dtype=np.float64))
+        fused = np.zeros_like(test_list[0], dtype=np.float64)
+        for w, scores in zip(weights, test_list):
+            fused += w * scores
+        return fused
 
 
 def build_system(
@@ -843,6 +1089,9 @@ def build_system(
     timer: StageTimer | None = None,
     store: ArtifactStore | str | None = None,
     matrix_cache=None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "fail",
+    max_quarantine_fraction: float = 0.1,
 ) -> PhonotacticSystem:
     """Construct bundle + frontends + system from an experiment config.
 
@@ -850,7 +1099,9 @@ def build_system(
     directory path to open one at) attaches persistent stage memoization
     keyed by the config's fingerprint; ``matrix_cache`` wires the legacy
     supervector-only :class:`repro.utils.io.MatrixCache` for callers not
-    yet migrated to the store.
+    yet migrated to the store.  ``retry`` / ``on_error`` /
+    ``max_quarantine_fraction`` configure the fault-tolerance ladder
+    (see :class:`PhonotacticSystem`).
     """
     from repro.serve.artifacts import config_fingerprint
 
@@ -869,4 +1120,7 @@ def build_system(
         matrix_cache=matrix_cache,
         store=store,
         fingerprint=config_fingerprint(config),
+        retry=retry,
+        on_error=on_error,
+        max_quarantine_fraction=max_quarantine_fraction,
     )

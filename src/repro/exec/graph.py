@@ -29,6 +29,26 @@ skipped.
 round-trip); the graph runner and direct callers such as
 :meth:`repro.core.pipeline.PhonotacticSystem.raw_matrix` both use it, so
 cache accounting is identical whichever path executed a stage.
+
+Fault tolerance
+---------------
+Both entry points accept a :class:`repro.faults.RetryPolicy`:
+:func:`run_stage` retries the compute function *and* the store
+round-trip under it (attempt counts land on the stage's span as a
+``retries`` counter and in ``exec.retry.attempts``), and
+:meth:`StageGraph.run` passes its policy to every stage it executes.
+The graph runner can additionally collect failures instead of raising:
+with ``failures=<dict>``, a stage whose compute exhausts its retries is
+recorded there, its transitive dependents are skipped with
+:class:`StageDependencyError`, and every *independent* stage still
+runs — the hook :class:`repro.core.pipeline.PhonotacticSystem` uses to
+drop one dead frontend while the survivors finish.
+
+Chaos drills reach stages through the ambient ``REPRO_FAULTS`` plan
+(:func:`repro.faults.injection.ambient_plan`): each compute attempt
+applies the targets ``<family>`` and, when the stage's ``meta`` names a
+frontend, ``<family>/<frontend>`` — so ``error:phi:2`` fails two decode
+attempts anywhere and ``error:phi/FE_A`` fails only frontend ``FE_A``'s.
 """
 
 from __future__ import annotations
@@ -39,14 +59,38 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.exec.store import ArtifactStore
+from repro.faults.injection import ambient_plan
+from repro.faults.retry import RetryPolicy
 from repro.obs import trace
 from repro.obs.metrics import default_registry
 from repro.utils.parallel import effective_workers
 
-__all__ = ["Stage", "StageGraph", "run_stage"]
+__all__ = [
+    "Stage",
+    "StageGraph",
+    "StageDependencyError",
+    "run_stage",
+]
 
 _GRAPH_RUNS = default_registry().counter("exec.graph.runs")
 _GRAPH_WORKERS = default_registry().gauge("exec.graph.workers")
+
+
+class StageDependencyError(RuntimeError):
+    """A stage was skipped because an upstream stage failed.
+
+    Only raised (well — recorded) in failure-collection mode; it marks
+    the poisoned downstream cone of a genuinely failed stage so callers
+    can tell root causes from collateral skips.
+    """
+
+    def __init__(self, name: str, failed_deps: list[str]) -> None:
+        super().__init__(
+            f"stage {name!r} skipped: dependency failed: "
+            + ", ".join(failed_deps)
+        )
+        self.stage = name
+        self.failed_deps = tuple(failed_deps)
 
 
 def run_stage(
@@ -59,6 +103,7 @@ def run_stage(
     encode: Callable[[Any], Any] | None = None,
     decode: Callable[[Any], Any] | None = None,
     meta: dict[str, Any] | None = None,
+    retry: RetryPolicy | None = None,
 ) -> Any:
     """Execute one stage with store memoization and obs accounting.
 
@@ -70,11 +115,31 @@ def run_stage(
     :class:`~repro.exec.store.StoreCorruptionError` — it never falls
     back to recomputation, because silently healing corruption would
     mask storage problems.
+
+    With a ``retry`` policy, the compute function and both store
+    operations are retried for retryable exceptions; each re-attempt
+    increments the stage span's ``retries`` counter and the process-wide
+    ``exec.retry.attempts``.  On exhaustion the last exception
+    propagates unchanged.  Ambient ``REPRO_FAULTS`` targets
+    ``<family>`` / ``<family>/<frontend>`` fire before each compute
+    attempt (no-op when unarmed).
     """
     registry = default_registry()
+    plan = ambient_plan()
+    fault_targets = [family]
+    frontend = (meta or {}).get("frontend")
+    if frontend:
+        fault_targets.append(f"{family}/{frontend}")
+    label = key or (fault_targets[-1])
+
+    def guarded(fn: Callable[[], Any], what: str) -> Any:
+        if retry is None:
+            return fn()
+        return retry.call(fn, key=f"{label}/{what}")
+
     if store is not None and key is not None:
         try:
-            stored = store.get(key)
+            stored = guarded(lambda: store.get(key), "get")
         except KeyError:
             pass
         else:
@@ -82,15 +147,33 @@ def run_stage(
                 value = decode(stored) if decode is not None else stored
             registry.counter(f"exec.stage.{family}.cached").inc()
             return value
-    with trace.span(f"exec.{family}", cached=False):
-        value = compute()
+
+    def attempt() -> Any:
+        for target in fault_targets:
+            plan.apply(target)
+        return compute()
+
+    with trace.span(f"exec.{family}", cached=False) as sp:
+        if retry is None:
+            value = attempt()
+        else:
+            value = retry.call(
+                attempt,
+                key=f"{label}/compute",
+                on_retry=lambda n, exc: sp.inc("retries").set_attrs(
+                    last_error=type(exc).__name__
+                ),
+            )
     registry.counter(f"exec.stage.{family}.executed").inc()
     if store is not None and key is not None:
-        store.put(
-            key,
-            kind,
-            encode(value) if encode is not None else value,
-            meta=meta,
+        guarded(
+            lambda: store.put(
+                key,
+                kind,
+                encode(value) if encode is not None else value,
+                meta=meta,
+            ),
+            "put",
         )
     return value
 
@@ -165,6 +248,10 @@ class StageGraph:
         """Declared stage names, in declaration order."""
         return list(self._stages)
 
+    def stage_named(self, name: str) -> Stage:
+        """The declared :class:`Stage` (raises ``KeyError``)."""
+        return self._stages[name]
+
     # ------------------------------------------------------------------
     # planning
     # ------------------------------------------------------------------
@@ -217,6 +304,8 @@ class StageGraph:
         *,
         store: ArtifactStore | None = None,
         workers: int | None = 1,
+        retry: RetryPolicy | None = None,
+        failures: dict[str, BaseException] | None = None,
     ) -> dict[str, Any]:
         """Resolve ``targets`` (default: every stage); returns all values.
 
@@ -225,6 +314,15 @@ class StageGraph:
         order, ``None``/``0`` auto-sizes a thread pool.  Stages are
         pure functions of their declared inputs, so concurrent waves
         produce the same values as the serial order.
+
+        ``retry`` is applied to every executed stage (see
+        :func:`run_stage`).  With ``failures=None`` (default) the first
+        stage error — after its retries — propagates.  With a dict, the
+        run *collects*: the failing stage's exception is recorded under
+        its name, its transitive dependents are recorded as
+        :class:`StageDependencyError` and skipped, and all independent
+        stages still execute; the returned dict then holds only the
+        stages that succeeded.
         """
         targets = list(targets) if targets is not None else self.names()
         order, live_deps = self._plan(targets, store)
@@ -235,6 +333,7 @@ class StageGraph:
 
         values: dict[str, Any] = {}
         values_lock = threading.Lock()
+        failed: set[str] = set()
         parent = trace.current_span()
 
         def execute(name: str) -> Any:
@@ -258,19 +357,37 @@ class StageGraph:
                 encode=stage.encode,
                 decode=stage.decode,
                 meta=stage.meta,
+                retry=retry,
             )
+
+        def poisoned_deps(name: str) -> list[str]:
+            return sorted(d for d in live_deps[name] if d in failed)
 
         if n_workers <= 1:
             remaining = {name: set(deps) for name, deps in live_deps.items()}
             pending = list(order)
             while pending:
+                # Failed deps count as settled for scheduling, so the
+                # poisoned cone drains instead of deadlocking the loop.
                 name = next(
-                    (n for n in pending if not remaining[n]), None
+                    (n for n in pending if not (remaining[n] - failed)), None
                 )
                 if name is None:  # pragma: no cover - cycles caught in plan
                     raise RuntimeError("stage graph deadlocked")
                 pending.remove(name)
-                values[name] = execute(name)
+                bad = poisoned_deps(name)
+                if bad:
+                    failed.add(name)
+                    failures[name] = StageDependencyError(name, bad)
+                    continue
+                try:
+                    values[name] = execute(name)
+                except BaseException as exc:  # noqa: BLE001 - collect mode
+                    if failures is None:
+                        raise
+                    failed.add(name)
+                    failures[name] = exc
+                    continue
                 for other in pending:
                     remaining[other].discard(name)
             return values
@@ -289,7 +406,37 @@ class StageGraph:
                 return execute(name)
 
         with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            futures = {}
+            futures: dict[Any, str] = {}
+
+            def settle(name: str) -> None:
+                """Schedule or poison dependents whose deps all settled."""
+                stack = [name]
+                while stack:
+                    cur = stack.pop()
+                    for dependent in dependents[cur]:
+                        remaining[dependent].discard(cur)
+                        if (
+                            remaining[dependent] - failed
+                            or dependent in values
+                            or dependent in failed
+                            or any(
+                                dependent == queued
+                                for queued in futures.values()
+                            )
+                        ):
+                            continue
+                        bad = poisoned_deps(dependent)
+                        if bad:
+                            failed.add(dependent)
+                            failures[dependent] = StageDependencyError(
+                                dependent, bad
+                            )
+                            stack.append(dependent)
+                        else:
+                            futures[pool.submit(worker, dependent)] = (
+                                dependent
+                            )
+
             ready = [name for name in order if not remaining[name]]
             for name in ready:
                 futures[pool.submit(worker, name)] = name
@@ -297,17 +444,16 @@ class StageGraph:
                 done, _ = wait(futures, return_when=FIRST_COMPLETED)
                 for future in done:
                     name = futures.pop(future)
-                    value = future.result()  # re-raises stage errors
+                    try:
+                        value = future.result()  # re-raises stage errors
+                    except BaseException as exc:  # noqa: BLE001
+                        if failures is None:
+                            raise
+                        failed.add(name)
+                        failures[name] = exc
+                        settle(name)
+                        continue
                     with values_lock:
                         values[name] = value
-                    for dependent in dependents[name]:
-                        remaining[dependent].discard(name)
-                        if not remaining[dependent] and dependent not in values:
-                            if not any(
-                                dependent == queued
-                                for queued in futures.values()
-                            ):
-                                futures[pool.submit(worker, dependent)] = (
-                                    dependent
-                                )
+                    settle(name)
         return values

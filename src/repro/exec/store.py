@@ -24,6 +24,26 @@ stale or tampered data (the same hard-fail posture as
 (temp file + ``os.replace``) after each put, so a killed run leaves a
 loadable store behind — the basis of resumable campaigns.
 
+Crash and concurrency hygiene
+-----------------------------
+Payload files are themselves written via temp + ``os.replace``, so a
+writer killed mid-``put`` leaves only a ``.tmp-*`` orphan, never a
+half-written payload under a final name; orphans are swept on the next
+store open.  Index rewrites happen under an exclusive ``index.lock``
+file (``O_CREAT|O_EXCL``, bounded wait, stale locks older than
+:data:`_LOCK_STALE_S` are broken) and *merge* the on-disk entries with
+this process's, so two concurrent campaigns sharing a store cannot lose
+each other's puts by interleaving read-modify-write cycles.
+:meth:`ArtifactStore.verify` re-hashes every payload against the index
+(``repro exec verify STORE`` from the CLI) and can drop corrupt
+entries so the next run recomputes them.
+
+Chaos drills can target the store: the ambient ``REPRO_FAULTS`` plan's
+``store`` target (see :mod:`repro.faults.injection`) fires at the top
+of every :meth:`~ArtifactStore.get` / :meth:`~ArtifactStore.put`, which
+is how ``benchmarks/bench_exec_faults.py`` proves the retry path around
+store I/O.
+
 Store traffic is accounted in the process-wide metrics registry under
 ``exec.store.hits`` / ``exec.store.misses`` / ``exec.store.bytes``, so
 traced runs (``REPRO_TRACE=1``) show cache behaviour in their runlogs.
@@ -37,11 +57,13 @@ import os
 import tempfile
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, Iterator
 
 import numpy as np
 
+from repro.faults.injection import ambient_plan
 from repro.obs.metrics import default_registry
 from repro.utils.io import load_sparse, save_sparse
 from repro.utils.sparse import SparseMatrix
@@ -65,6 +87,13 @@ PAYLOAD_KINDS = ("sparse", "array", "arrays", "json")
 _INDEX = "index.json"
 _OBJECTS = "objects"
 _EXT = {"sparse": "npz", "array": "npz", "arrays": "npz", "json": "json"}
+
+_LOCK = "index.lock"
+#: A lock file older than this is presumed abandoned (killed writer)
+#: and broken; index critical sections are milliseconds long.
+_LOCK_STALE_S = 30.0
+#: Prefix of in-flight payload temp files (swept on store open).
+_TMP_PREFIX = ".tmp-"
 
 
 class StoreError(RuntimeError):
@@ -121,32 +150,102 @@ class ArtifactStore:
     directory:
         Store root; created if missing.  An existing ``index.json`` is
         adopted, so stores persist across processes and runs.
+    lock_timeout:
+        Seconds to wait for the inter-process ``index.lock`` before
+        raising :class:`StoreError`.
 
     The store is thread-safe: the stage-graph runner executes
     independent per-frontend stages concurrently and all of them read
-    and write one store.
+    and write one store.  Opening a store sweeps ``.tmp-*`` payload
+    orphans left behind by writers that were killed mid-``put``.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, *, lock_timeout: float = 10.0
+    ) -> None:
         self.directory = Path(directory)
+        self.lock_timeout = float(lock_timeout)
         (self.directory / _OBJECTS).mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
         self._index: dict[str, dict[str, Any]] = {}
+        self._sweep_orphans()
+        disk = self._read_index()
+        if disk is not None:
+            self._index = disk
+
+    def _read_index(self) -> dict[str, dict[str, Any]] | None:
+        """Parse ``index.json`` from disk (``None`` when absent)."""
         index_path = self.directory / _INDEX
-        if index_path.exists():
+        if not index_path.exists():
+            return None
+        try:
+            raw = json.loads(index_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"store index {index_path} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(raw, dict) or not isinstance(
+            raw.get("entries"), dict
+        ):
+            raise StoreError(
+                f"store index {index_path} has an unexpected layout"
+            )
+        return raw["entries"]
+
+    def _sweep_orphans(self) -> int:
+        """Remove temp files abandoned by killed writers; returns count.
+
+        Covers both payload temps (``objects/<kk>/.tmp-*``) and index
+        temps (``.index-*.tmp`` in the root).  Payloads are only ever
+        published by ``os.replace`` of a completed temp, so anything
+        still carrying a temp name is garbage by construction.
+        """
+        swept = 0
+        for orphan in self.directory.glob(f"{_OBJECTS}/*/{_TMP_PREFIX}*"):
+            orphan.unlink(missing_ok=True)
+            swept += 1
+        for orphan in self.directory.glob(".index-*.tmp"):
+            orphan.unlink(missing_ok=True)
+            swept += 1
+        return swept
+
+    @contextmanager
+    def _file_lock(self) -> Iterator[None]:
+        """Exclusive inter-process lock around index rewrites.
+
+        ``O_CREAT | O_EXCL`` on ``index.lock`` with a bounded wait;
+        locks older than :data:`_LOCK_STALE_S` are presumed abandoned
+        by a killed process and broken.  Raises :class:`StoreError` on
+        timeout rather than proceeding unlocked.
+        """
+        lock_path = self.directory / _LOCK
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
             try:
-                raw = json.loads(index_path.read_text())
-            except json.JSONDecodeError as exc:
-                raise StoreError(
-                    f"store index {index_path} is not valid JSON: {exc}"
-                ) from None
-            if not isinstance(raw, dict) or not isinstance(
-                raw.get("entries"), dict
-            ):
-                raise StoreError(
-                    f"store index {index_path} has an unexpected layout"
+                fd = os.open(
+                    lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
                 )
-            self._index = raw["entries"]
+                break
+            except FileExistsError:
+                try:
+                    age = time.time() - lock_path.stat().st_mtime
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > _LOCK_STALE_S:
+                    lock_path.unlink(missing_ok=True)
+                    continue
+                if time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"timed out after {self.lock_timeout:.1f}s waiting "
+                        f"for store lock {lock_path} (held for {age:.1f}s)"
+                    ) from None
+                time.sleep(0.01)
+        try:
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            yield
+        finally:
+            lock_path.unlink(missing_ok=True)
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -176,20 +275,34 @@ class ArtifactStore:
     def _object_path(self, key: str, kind: str) -> Path:
         return self.directory / _OBJECTS / key[:2] / f"{key}.{_EXT[kind]}"
 
-    def _write_index(self) -> None:
-        payload = json.dumps(
-            {"version": 1, "entries": self._index}, indent=2, sort_keys=True
-        )
-        fd, tmp = tempfile.mkstemp(
-            dir=self.directory, prefix=".index-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as fh:
-                fh.write(payload)
-            os.replace(tmp, self.directory / _INDEX)
-        except BaseException:
-            Path(tmp).unlink(missing_ok=True)
-            raise
+    def _write_index(self, drop: set[str] | None = None) -> None:
+        """Rewrite ``index.json`` under the inter-process lock.
+
+        The on-disk entries are merged with this process's (memory wins
+        per key) before writing, so two campaigns sharing a store never
+        lose each other's puts to a read-modify-write race.  ``drop``
+        removes keys from both views (used by :meth:`verify`).
+        Must be called with ``self._lock`` held.
+        """
+        with self._file_lock():
+            disk = self._read_index() or {}
+            merged = {**disk, **self._index}
+            for key in drop or ():
+                merged.pop(key, None)
+            self._index = merged
+            payload = json.dumps(
+                {"version": 1, "entries": merged}, indent=2, sort_keys=True
+            )
+            fd, tmp = tempfile.mkstemp(
+                dir=self.directory, prefix=".index-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    fh.write(payload)
+                os.replace(tmp, self.directory / _INDEX)
+            except BaseException:
+                Path(tmp).unlink(missing_ok=True)
+                raise
 
     # ------------------------------------------------------------------
     # put / get
@@ -207,7 +320,12 @@ class ArtifactStore:
         ``meta`` (JSON-able) is stored in the index entry for
         provenance (stage name, frontend, corpus tag, …) and is never
         used for lookup.
+
+        The payload is written to a ``.tmp-*`` sibling and published by
+        ``os.replace``, so a writer killed mid-put can never leave a
+        half-written file under a final payload name.
         """
+        ambient_plan().apply("store")
         if kind not in PAYLOAD_KINDS:
             raise ValueError(
                 f"unknown payload kind {kind!r}; expected one of "
@@ -215,24 +333,39 @@ class ArtifactStore:
             )
         path = self._object_path(key, kind)
         path.parent.mkdir(parents=True, exist_ok=True)
-        if kind == "sparse":
-            if not isinstance(value, SparseMatrix):
-                raise TypeError("kind 'sparse' requires a SparseMatrix")
-            save_sparse(path, value)
-        elif kind == "array":
-            np.savez_compressed(
-                path, value=np.asarray(value, dtype=np.float64)
-            )
-        elif kind == "arrays":
-            if not isinstance(value, dict) or not value:
-                raise TypeError(
-                    "kind 'arrays' requires a non-empty dict of arrays"
+        # The temp name must keep the real extension: np.savez_compressed
+        # appends ".npz" to anything that lacks it, which would orphan
+        # the handle mkstemp returned.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=_TMP_PREFIX, suffix=f".{_EXT[kind]}"
+        )
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            if kind == "sparse":
+                if not isinstance(value, SparseMatrix):
+                    raise TypeError("kind 'sparse' requires a SparseMatrix")
+                save_sparse(tmp, value)
+            elif kind == "array":
+                np.savez_compressed(
+                    tmp, value=np.asarray(value, dtype=np.float64)
                 )
-            np.savez_compressed(
-                path, **{k: np.asarray(v) for k, v in value.items()}
-            )
-        else:  # json
-            path.write_text(json.dumps(value, sort_keys=True, default=list))
+            elif kind == "arrays":
+                if not isinstance(value, dict) or not value:
+                    raise TypeError(
+                        "kind 'arrays' requires a non-empty dict of arrays"
+                    )
+                np.savez_compressed(
+                    tmp, **{k: np.asarray(v) for k, v in value.items()}
+                )
+            else:  # json
+                tmp.write_text(
+                    json.dumps(value, sort_keys=True, default=list)
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
         size = path.stat().st_size
         _STORE_BYTES.inc(size)
         with self._lock:
@@ -253,6 +386,7 @@ class ArtifactStore:
         :class:`StoreCorruptionError` when the payload file is missing
         or fails checksum verification (never stale data).
         """
+        ambient_plan().apply("store")
         with self._lock:
             entry = self._index.get(key)
         if entry is None:
@@ -299,3 +433,60 @@ class ArtifactStore:
             value = compute()
             self.put(key, kind, value, meta=meta)
             return value
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` and its payload file; returns whether it existed.
+
+        Used by the pipeline to un-persist stage products that turned
+        out tainted (computed from quarantined decodes) — a
+        content-addressed key promises the clean value, so a partial one
+        must not outlive the run that produced it.
+        """
+        with self._lock:
+            entry = self._index.pop(key, None)
+            if entry is None:
+                return False
+            (self.directory / entry["file"]).unlink(missing_ok=True)
+            self._write_index(drop={key})
+        return True
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def verify(self, *, remove: bool = False) -> list[dict[str, Any]]:
+        """Re-hash every payload against the index; report corruption.
+
+        Returns one record per corrupt entry: ``{"key", "file",
+        "problem"}`` where ``problem`` is ``"missing"`` (payload file
+        gone) or ``"checksum"`` (content drifted from the recorded
+        SHA-256).  With ``remove=True`` the corrupt entries are dropped
+        from the index — and their payload files deleted — so the next
+        campaign recomputes them instead of hard-failing mid-run.
+        Healthy entries are never touched.
+        """
+        with self._lock:
+            entries = {k: dict(v) for k, v in self._index.items()}
+        corrupt: list[dict[str, Any]] = []
+        for key in sorted(entries):
+            entry = entries[key]
+            path = self.directory / entry["file"]
+            if not path.exists():
+                corrupt.append(
+                    {"key": key, "file": entry["file"], "problem": "missing"}
+                )
+            elif _file_sha256(path) != entry["sha256"]:
+                corrupt.append(
+                    {"key": key, "file": entry["file"], "problem": "checksum"}
+                )
+        if remove and corrupt:
+            bad_keys = {record["key"] for record in corrupt}
+            with self._lock:
+                for record in corrupt:
+                    if record["problem"] == "checksum":
+                        (self.directory / record["file"]).unlink(
+                            missing_ok=True
+                        )
+                for key in bad_keys:
+                    self._index.pop(key, None)
+                self._write_index(drop=bad_keys)
+        return corrupt

@@ -1,0 +1,62 @@
+"""Process-wide fault-tolerance layer.
+
+``repro.faults`` holds the machinery that lets both halves of the
+system survive real failures:
+
+- :mod:`repro.faults.injection` — the ``REPRO_FAULTS`` fault-injection
+  hook (:class:`FaultPlan`, :class:`InjectedFault`), promoted out of
+  ``repro.serve.faults`` so the batch stack can use it too.  The old
+  import path remains as a deprecated shim.
+- :mod:`repro.faults.retry` — :class:`RetryPolicy`, bounded
+  exponential-backoff retry with deterministic jitter and
+  retryable-exception classification, applied by
+  :func:`repro.exec.graph.run_stage` and :class:`~repro.exec.graph.
+  StageGraph`.
+
+Escalation order in the batch stack, cheapest remedy first:
+
+1. **retry** the failing stage or store operation (this module);
+2. **quarantine** individual utterances whose decode keeps failing
+   (:func:`repro.utils.parallel.pmap` ``on_error="quarantine"``);
+3. **degrade** by dropping a frontend whose stages exhaust retries and
+   renormalizing the Eq. 20 fusion weights over the survivors
+   (:class:`repro.core.pipeline.PhonotacticSystem`, mirroring the
+   serving layer's circuit breakers);
+4. **fail** with :class:`AllFrontendsFailedError` when nothing
+   survives — a silently empty campaign would be worse than a crash.
+
+Import order note: :mod:`~repro.faults.injection` is stdlib-only and is
+imported first; :mod:`~repro.faults.retry` pulls in ``repro.obs`` and
+``repro.utils.rng`` and must come after, so that
+``repro.utils.parallel`` (imported during ``repro.utils`` package
+init) can depend on ``repro.faults.injection`` without a cycle.
+"""
+
+from repro.faults.injection import (
+    ENV_VAR,
+    FaultPlan,
+    InjectedFault,
+    ambient_plan,
+    reset_ambient_plan,
+)
+from repro.faults.retry import DEFAULT_RETRYABLE, RetryPolicy
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedFault",
+    "ambient_plan",
+    "reset_ambient_plan",
+    "DEFAULT_RETRYABLE",
+    "RetryPolicy",
+    "AllFrontendsFailedError",
+]
+
+
+class AllFrontendsFailedError(RuntimeError):
+    """Raised when degradation drops every frontend of a campaign.
+
+    The offline analogue of ``repro.serve.engine.AllFrontendsDownError``:
+    degrading to an empty survivor set would mean emitting tables fused
+    over nothing, so the campaign aborts instead.
+    """

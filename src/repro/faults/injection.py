@@ -1,0 +1,241 @@
+"""Fault injection for the serving *and* batch paths (tests, drills).
+
+The hardening guarantees of this repository — batcher supervision,
+admission control, deadlines and circuit breakers online
+(:mod:`repro.serve`); stage retries, utterance quarantine and frontend
+degradation offline (:mod:`repro.exec`, :mod:`repro.utils.parallel`,
+:mod:`repro.core.pipeline`) — are only trustworthy if they can be
+exercised against *real* failures.  This module provides a tiny,
+dependency-free way to make a named component misbehave on demand:
+
+- ``stall:<target>:<seconds>`` — sleep before the target runs (a wedged
+  decoder, a GC pause, a slow NFS mount);
+- ``error:<target>[:<times>]`` — raise :class:`InjectedFault` at the
+  target (optionally only the first ``times`` applications, so recovery
+  paths can be scripted end to end).
+
+Targets are free-form component names.  The serving engine applies
+frontend names (``HU``, ``EN_DNN``, …) and ``batcher``; the batch stack
+applies stage families (``phi``, ``svm_train``, ``score``, ``vote``,
+``dba_train``, ``fuse``), per-frontend stage targets
+(``phi/<frontend>``), ``store`` (every :class:`~repro.exec.store.
+ArtifactStore` payload read/write) and ``pmap`` (once per worker-side
+chunk of :func:`~repro.utils.parallel.pmap`).  Directives are separated
+by ``,`` or ``|``: ``error:store:3|stall:phi:0.2``.
+
+Activation is either explicit — pass a plan to
+``ScoringEngine(faults=FaultPlan.parse(...))`` — or ambient via the
+``REPRO_FAULTS`` environment variable.  The serving engine parses the
+variable per engine (:meth:`FaultPlan.from_env`, per-engine budgets);
+the batch stack shares one process-wide plan via :func:`ambient_plan`,
+so an ``error:<target>:<times>`` budget is spent across every stage of
+a campaign, which is what a "transient then healthy" drill needs.
+Worker processes spawned by ``pmap`` inherit the environment and build
+their own ambient plan, so ``times`` budgets there are per process.
+
+An empty plan is falsy and its :meth:`FaultPlan.apply` is a no-op, so
+production hot paths pay one attribute check per application point.
+
+This hook is used by ``tests/serve``, ``tests/exec``,
+``benchmarks/bench_serve_overload.py`` and
+``benchmarks/bench_exec_faults.py``; it is deliberately blunt (no
+probabilities, no latency distributions) — it exists to prove the
+failure contract, not to simulate production noise.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = [
+    "ENV_VAR",
+    "InjectedFault",
+    "FaultPlan",
+    "ambient_plan",
+    "reset_ambient_plan",
+]
+
+#: Environment variable holding the ambient fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """The deliberate failure raised by an ``error:<target>`` directive."""
+
+
+class _Fault:
+    """One directive: the action plus its (mutable) argument."""
+
+    __slots__ = ("action", "seconds", "remaining")
+
+    def __init__(
+        self,
+        action: str,
+        *,
+        seconds: float = 0.0,
+        remaining: int | None = None,
+    ) -> None:
+        self.action = action
+        self.seconds = seconds
+        self.remaining = remaining  # None = every application
+
+
+class FaultPlan:
+    """A parsed set of fault directives, applied by target name.
+
+    Thread-safe: the engine's batcher thread, HTTP handler threads,
+    stage-graph worker threads and test threads may all consult one plan
+    concurrently.  Plans are mutable — :meth:`clear` lifts faults
+    mid-run so tests can script a failure followed by a recovery.
+    """
+
+    def __init__(self) -> None:
+        self._faults: dict[str, _Fault] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a ``REPRO_FAULTS``-syntax string.
+
+        Directives are separated by ``,`` or ``|`` (both accepted so
+        shell quoting can pick whichever is convenient).  Raises
+        ``ValueError`` on a malformed directive — a typo in a fault
+        drill must fail loudly, not silently inject nothing.
+        """
+        plan = cls()
+        for directive in spec.replace("|", ",").split(","):
+            directive = directive.strip()
+            if not directive:
+                continue
+            parts = directive.split(":")
+            action = parts[0].strip().lower()
+            if action == "stall":
+                if len(parts) != 3:
+                    raise ValueError(
+                        f"stall directive needs 'stall:<target>:<seconds>', "
+                        f"got {directive!r}"
+                    )
+                target = parts[1].strip()
+                try:
+                    seconds = float(parts[2])
+                except ValueError:
+                    raise ValueError(
+                        f"bad stall seconds in {directive!r}"
+                    ) from None
+                if not target or seconds < 0:
+                    raise ValueError(f"bad stall directive {directive!r}")
+                plan._faults[target] = _Fault("stall", seconds=seconds)
+            elif action == "error":
+                if len(parts) not in (2, 3):
+                    raise ValueError(
+                        f"error directive needs 'error:<target>[:<times>]', "
+                        f"got {directive!r}"
+                    )
+                target = parts[1].strip()
+                remaining = None
+                if len(parts) == 3:
+                    try:
+                        remaining = int(parts[2])
+                    except ValueError:
+                        raise ValueError(
+                            f"bad error count in {directive!r}"
+                        ) from None
+                    if remaining < 1:
+                        raise ValueError(f"bad error count in {directive!r}")
+                if not target:
+                    raise ValueError(f"bad error directive {directive!r}")
+                plan._faults[target] = _Fault("error", remaining=remaining)
+            else:
+                raise ValueError(
+                    f"unknown fault action {action!r} in {directive!r} "
+                    "(expected 'stall' or 'error')"
+                )
+        return plan
+
+    @classmethod
+    def from_env(cls) -> "FaultPlan":
+        """The plan described by ``REPRO_FAULTS`` (empty when unset)."""
+        spec = os.environ.get(ENV_VAR, "")
+        return cls.parse(spec) if spec else cls()
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        with self._lock:
+            return bool(self._faults)
+
+    def targets(self) -> list[str]:
+        """Names with an armed fault, sorted."""
+        with self._lock:
+            return sorted(self._faults)
+
+    def apply(self, target: str) -> None:
+        """Fire the fault armed for ``target`` (no-op when none is).
+
+        ``stall`` sleeps in the calling thread; ``error`` raises
+        :class:`InjectedFault` (and disarms itself once its ``times``
+        budget is spent).
+        """
+        with self._lock:
+            fault = self._faults.get(target)
+            if fault is None:
+                return
+            if fault.action == "error" and fault.remaining is not None:
+                fault.remaining -= 1
+                if fault.remaining <= 0:
+                    del self._faults[target]
+            action, seconds = fault.action, fault.seconds
+        if action == "stall":
+            time.sleep(seconds)
+        else:
+            raise InjectedFault(f"injected fault at {target!r}")
+
+    def clear(self, target: str | None = None) -> None:
+        """Disarm one target's fault, or every fault when ``None``."""
+        with self._lock:
+            if target is None:
+                self._faults.clear()
+            else:
+                self._faults.pop(target, None)
+
+
+# ----------------------------------------------------------------------
+# process-wide ambient plan (batch stack)
+# ----------------------------------------------------------------------
+_EMPTY_PLAN = FaultPlan()
+_ambient_lock = threading.Lock()
+_ambient_spec: str | None = None
+_ambient: FaultPlan = _EMPTY_PLAN
+
+
+def ambient_plan() -> FaultPlan:
+    """The process-wide plan parsed from ``REPRO_FAULTS``.
+
+    The plan is built once per distinct spec value and shared by every
+    batch-layer application point (stages, store, pmap workers), so an
+    ``error:<target>:<times>`` budget is consumed process-wide.  When
+    the environment variable changes, the next call rebuilds the plan;
+    call :func:`reset_ambient_plan` to re-arm spent budgets under an
+    unchanged spec (tests and benchmarks do this between scenarios).
+    """
+    global _ambient_spec, _ambient
+    spec = os.environ.get(ENV_VAR, "")
+    with _ambient_lock:
+        if spec != _ambient_spec:
+            _ambient_spec = spec
+            _ambient = FaultPlan.parse(spec) if spec else _EMPTY_PLAN
+        return _ambient
+
+
+def reset_ambient_plan() -> None:
+    """Drop the cached ambient plan so the next use re-reads the env."""
+    global _ambient_spec, _ambient
+    with _ambient_lock:
+        _ambient_spec = None
+        _ambient = _EMPTY_PLAN

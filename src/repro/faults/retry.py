@@ -1,0 +1,142 @@
+"""Retry with exponential backoff for the batch execution stack.
+
+The offline pipeline's unit of loss is large: one failed ``phi`` stage
+throws away an entire frontend's decode pass (the expensive part by the
+Eq. 18–19 cost argument).  Most real failures there are transient — a
+worker OOM-killed once, an NFS hiccup during a store write, a flaky
+node — so the right first response is to try again, bounded and
+observable, before any of the heavier machinery (quarantine, frontend
+degradation) engages.
+
+:class:`RetryPolicy` is deliberately small:
+
+- **bounded attempts** — ``max_attempts`` total calls, not "retries
+  forever";
+- **exponential backoff with deterministic jitter** — delay for attempt
+  ``k`` is ``min(max_delay, base_delay * 2**(k-1)) * (1 + jitter * u)``
+  where ``u`` is drawn from a :func:`repro.utils.rng.child_rng` stream
+  keyed by the policy seed and the caller-supplied key.  Same seed +
+  same key → same schedule, so chaos benchmarks are reproducible;
+  different stages get decorrelated jitter so a shared store is not
+  hammered in lockstep;
+- **retryable classification** — only exception types listed in
+  ``retryable`` are retried; everything else (assertion errors, shape
+  mismatches, ``StoreError`` layout problems) propagates immediately
+  because retrying a deterministic bug just burns time.
+
+Every attempt-after-the-first increments ``exec.retry.attempts``;
+giving up increments ``exec.retry.exhausted`` and re-raises the *last*
+exception unchanged so callers keep their existing except clauses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.faults.injection import InjectedFault
+from repro.obs.metrics import default_registry
+from repro.utils.rng import child_rng
+
+__all__ = ["DEFAULT_RETRYABLE", "RetryPolicy"]
+
+#: Exception types retried by default: injected faults (chaos drills),
+#: OS-level I/O errors (store reads/writes on flaky filesystems) and
+#: ConnectionError (worker pipes).  OSError covers BrokenProcessPool's
+#: underlying causes where they surface directly; BrokenProcessPool
+#: itself is handled structurally by pmap's serial fallback, not here.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    InjectedFault,
+    OSError,
+    ConnectionError,
+)
+
+
+def _attempts_counter():
+    # Retry attempts made after a first failure (batch stack).
+    return default_registry().counter("exec.retry.attempts")
+
+
+def _exhausted_counter():
+    # Operations that failed every retry attempt and gave up.
+    return default_registry().counter("exec.retry.exhausted")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential-backoff retry with deterministic jitter.
+
+    A policy is immutable and shareable: the same instance can serve
+    every stage of a campaign concurrently.  ``max_attempts=1`` means
+    "no retries" and is the behaviour-preserving default everywhere a
+    policy parameter was added.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retryable: tuple[type[BaseException], ...] = field(
+        default=DEFAULT_RETRYABLE
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be >= 0")
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` is of a type this policy will retry."""
+        return isinstance(exc, self.retryable)
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        Deterministic in ``(seed, key, attempt)``: the jitter factor is
+        drawn from a hashed child stream, so two runs of the same chaos
+        scenario sleep identically, while distinct keys (stage names)
+        decorrelate from each other.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(self.max_delay, self.base_delay * (2.0 ** (attempt - 1)))
+        if self.jitter <= 0 or base <= 0:
+            return base
+        rng = child_rng(self.seed, f"retry/{key}/{attempt}")
+        return base * (1.0 + self.jitter * float(rng.random()))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        *,
+        key: str = "",
+        on_retry: Callable[[int, BaseException], None] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Any:
+        """Run ``fn`` under this policy, returning its result.
+
+        ``key`` scopes the jitter stream (use the stage name).
+        ``on_retry(attempt, exc)`` is invoked before each re-attempt so
+        callers can annotate trace spans.  ``sleep`` is injectable for
+        tests.  On exhaustion the last exception is re-raised as-is.
+        """
+        attempt = 1
+        while True:
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                if not self.is_retryable(exc) or attempt >= self.max_attempts:
+                    if self.is_retryable(exc) and self.max_attempts > 1:
+                        _exhausted_counter().inc()
+                    raise
+                _attempts_counter().inc()
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                pause = self.delay(attempt, key)
+                if pause > 0:
+                    sleep(pause)
+                attempt += 1

@@ -79,7 +79,7 @@ from repro.corpus.generator import Utterance
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.artifacts import TrainedSystem
 from repro.serve.cache import ScoreCache
-from repro.serve.faults import FaultPlan
+from repro.faults.injection import FaultPlan
 from repro.serve.protocol import utterance_digest
 from repro.utils.parallel import pmap
 from repro.utils.rng import child_rng

@@ -1,183 +1,14 @@
-"""Fault injection for the serving path (tests, benchmarks, drills).
+"""Deprecated shim: fault injection moved to :mod:`repro.faults`.
 
-The hardening guarantees of :mod:`repro.serve` — batcher supervision,
-admission control, deadlines, per-frontend circuit breakers — are only
-trustworthy if they can be exercised against *real* failures.  This
-module provides a tiny, dependency-free way to make a named component
-misbehave on demand:
-
-- ``stall:<target>:<seconds>`` — sleep before the target runs (a wedged
-  decoder, a GC pause, a slow NFS mount);
-- ``error:<target>[:<times>]`` — raise :class:`InjectedFault` at the
-  target (optionally only the first ``times`` applications, so recovery
-  paths can be scripted end to end).
-
-Targets are frontend names (``HU``, ``EN_DNN``, …) or ``batcher`` (the
-micro-batching loop of :class:`~repro.serve.engine.ScoringEngine`).
-Directives are comma-separated: ``stall:HU:2,error:batcher:1``.
-
-Activation is either explicit — pass a plan to
-``ScoringEngine(faults=FaultPlan.parse(...))`` — or ambient via the
-``REPRO_FAULTS`` environment variable, which every engine reads at
-construction time (:meth:`FaultPlan.from_env`).  An empty plan is
-falsy and its :meth:`FaultPlan.apply` is a no-op, so the production hot
-path pays one attribute check per frontend per batch.
-
-This hook is used by ``tests/serve`` and
-``benchmarks/bench_serve_overload.py``; it is deliberately blunt (no
-probabilities, no latency distributions) — it exists to prove the
-failure contract, not to simulate production noise.
+PR 4 introduced this module for the serving layer only; the machinery
+was promoted to the process-wide :mod:`repro.faults.injection` so the
+batch stack (stages, store, pmap workers) can share it.  Existing
+imports and ``REPRO_FAULTS`` serve workflows keep working through this
+re-export — new code should import from :mod:`repro.faults` directly.
 """
 
 from __future__ import annotations
 
-import os
-import threading
-import time
+from repro.faults.injection import ENV_VAR, FaultPlan, InjectedFault
 
 __all__ = ["ENV_VAR", "InjectedFault", "FaultPlan"]
-
-#: Environment variable holding the ambient fault spec.
-ENV_VAR = "REPRO_FAULTS"
-
-
-class InjectedFault(RuntimeError):
-    """The deliberate failure raised by an ``error:<target>`` directive."""
-
-
-class _Fault:
-    """One directive: the action plus its (mutable) argument."""
-
-    __slots__ = ("action", "seconds", "remaining")
-
-    def __init__(
-        self,
-        action: str,
-        *,
-        seconds: float = 0.0,
-        remaining: int | None = None,
-    ) -> None:
-        self.action = action
-        self.seconds = seconds
-        self.remaining = remaining  # None = every application
-
-
-class FaultPlan:
-    """A parsed set of fault directives, applied by target name.
-
-    Thread-safe: the engine's batcher thread, HTTP handler threads and
-    test threads may all consult one plan concurrently.  Plans are
-    mutable — :meth:`clear` lifts faults mid-run so tests can script a
-    failure followed by a recovery.
-    """
-
-    def __init__(self) -> None:
-        self._faults: dict[str, _Fault] = {}
-        self._lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    # construction
-    # ------------------------------------------------------------------
-    @classmethod
-    def parse(cls, spec: str) -> "FaultPlan":
-        """Build a plan from a ``REPRO_FAULTS``-syntax string.
-
-        Raises ``ValueError`` on a malformed directive — a typo in a
-        fault drill must fail loudly, not silently inject nothing.
-        """
-        plan = cls()
-        for directive in spec.split(","):
-            directive = directive.strip()
-            if not directive:
-                continue
-            parts = directive.split(":")
-            action = parts[0].strip().lower()
-            if action == "stall":
-                if len(parts) != 3:
-                    raise ValueError(
-                        f"stall directive needs 'stall:<target>:<seconds>', "
-                        f"got {directive!r}"
-                    )
-                target = parts[1].strip()
-                try:
-                    seconds = float(parts[2])
-                except ValueError:
-                    raise ValueError(
-                        f"bad stall seconds in {directive!r}"
-                    ) from None
-                if not target or seconds < 0:
-                    raise ValueError(f"bad stall directive {directive!r}")
-                plan._faults[target] = _Fault("stall", seconds=seconds)
-            elif action == "error":
-                if len(parts) not in (2, 3):
-                    raise ValueError(
-                        f"error directive needs 'error:<target>[:<times>]', "
-                        f"got {directive!r}"
-                    )
-                target = parts[1].strip()
-                remaining = None
-                if len(parts) == 3:
-                    try:
-                        remaining = int(parts[2])
-                    except ValueError:
-                        raise ValueError(
-                            f"bad error count in {directive!r}"
-                        ) from None
-                    if remaining < 1:
-                        raise ValueError(f"bad error count in {directive!r}")
-                if not target:
-                    raise ValueError(f"bad error directive {directive!r}")
-                plan._faults[target] = _Fault("error", remaining=remaining)
-            else:
-                raise ValueError(
-                    f"unknown fault action {action!r} in {directive!r} "
-                    "(expected 'stall' or 'error')"
-                )
-        return plan
-
-    @classmethod
-    def from_env(cls) -> "FaultPlan":
-        """The plan described by ``REPRO_FAULTS`` (empty when unset)."""
-        spec = os.environ.get(ENV_VAR, "")
-        return cls.parse(spec) if spec else cls()
-
-    # ------------------------------------------------------------------
-    # application
-    # ------------------------------------------------------------------
-    def __bool__(self) -> bool:
-        with self._lock:
-            return bool(self._faults)
-
-    def targets(self) -> list[str]:
-        """Names with an armed fault, sorted."""
-        with self._lock:
-            return sorted(self._faults)
-
-    def apply(self, target: str) -> None:
-        """Fire the fault armed for ``target`` (no-op when none is).
-
-        ``stall`` sleeps in the calling thread; ``error`` raises
-        :class:`InjectedFault` (and disarms itself once its ``times``
-        budget is spent).
-        """
-        with self._lock:
-            fault = self._faults.get(target)
-            if fault is None:
-                return
-            if fault.action == "error" and fault.remaining is not None:
-                fault.remaining -= 1
-                if fault.remaining <= 0:
-                    del self._faults[target]
-            action, seconds = fault.action, fault.seconds
-        if action == "stall":
-            time.sleep(seconds)
-        else:
-            raise InjectedFault(f"injected fault at {target!r}")
-
-    def clear(self, target: str | None = None) -> None:
-        """Disarm one target's fault, or every fault when ``None``."""
-        with self._lock:
-            if target is None:
-                self._faults.clear()
-            else:
-                self._faults.pop(target, None)

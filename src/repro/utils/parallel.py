@@ -8,20 +8,61 @@ the HPC guides): work is chunked, fanned out to a process pool, and
 gathered back in order.  On a single-core host — or for small inputs where
 pickling would dominate — it degrades to a plain serial map, so callers
 never branch on the execution environment.
+
+Fault tolerance
+---------------
+A long campaign's decode fan-out is exactly where per-item failures are
+routine (a corrupt utterance, a worker OOM-killed mid-chunk), and losing
+a whole map to one of them throws away the expensive part of the run.
+``pmap`` therefore degrades in two steps rather than aborting:
+
+1. **Serial fallback** — a chunk whose future fails (an exception from
+   ``fn``, or the pool itself breaking with ``BrokenProcessPool`` when a
+   worker dies) is re-run item by item in the parent process, counted by
+   ``parallel.pmap.serial_fallbacks``.  Chunks that already completed
+   are never recomputed.  Once the pool is broken all remaining chunks
+   run serially and the ``parallel.pmap.workers`` gauge is reset to 1 so
+   it never advertises a dead pool's width.
+2. **Quarantine** (opt-in, ``on_error="quarantine"``) — an item that
+   *still* raises during the serial re-run is recorded in
+   ``quarantined`` / ``parallel.pmap.quarantined`` and its slot filled
+   with ``quarantine_value`` instead of propagating.  A configurable
+   fraction cap (``max_quarantine_fraction``) turns "a few bad
+   utterances" into a skip-and-record and "most of the corpus failing"
+   into a hard :class:`QuarantineExceededError` — silently dropping half
+   the data would corrupt every downstream table.
+
+With the default ``on_error="fail"`` the serial re-run re-raises the
+item's exception, so transient worker faults are absorbed but
+deterministic bugs still surface with their original traceback.
+
+Chaos drills can target the worker side: an ambient
+``REPRO_FAULTS=error:pmap:<times>`` plan (see
+:mod:`repro.faults.injection`) fires once per chunk *inside pool
+workers only*, proving the fallback path end to end without perturbing
+the parent's serial re-run.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.faults.injection import ambient_plan
 from repro.obs.metrics import default_registry
 
 T = TypeVar("T")
 R = TypeVar("R")
 
-__all__ = ["pmap", "effective_workers", "chunked"]
+__all__ = [
+    "pmap",
+    "effective_workers",
+    "chunked",
+    "QuarantineExceededError",
+]
 
 # Process-level accounting of the scatter/gather fan-out; worker-side
 # metrics stay in the workers, so these parent-side counts are the
@@ -29,6 +70,10 @@ __all__ = ["pmap", "effective_workers", "chunked"]
 _PMAP_CALLS = default_registry().counter("parallel.pmap.calls")
 _PMAP_ITEMS = default_registry().counter("parallel.pmap.items")
 _PMAP_WORKERS = default_registry().gauge("parallel.pmap.workers")
+# Items skipped after failing both pooled and serial execution, and
+# chunks re-run serially in the parent after a pool-side failure.
+_PMAP_QUARANTINED = default_registry().counter("parallel.pmap.quarantined")
+_PMAP_FALLBACKS = default_registry().counter("parallel.pmap.serial_fallbacks")
 
 #: Below this many items the pool overhead is never worth paying.
 _MIN_PARALLEL_ITEMS = 32
@@ -37,6 +82,23 @@ _MIN_PARALLEL_ITEMS = 32
 #: REPRO_WORKERS environment variable): oversubscribing a host by more
 #: than this only adds scheduler churn.
 _MAX_WORKERS = 256
+
+
+class QuarantineExceededError(RuntimeError):
+    """Too large a fraction of a map's items failed to be quarantined."""
+
+    def __init__(
+        self, failed: int, total: int, max_fraction: float, last: BaseException
+    ) -> None:
+        super().__init__(
+            f"{failed}/{total} items failed "
+            f"(> max_quarantine_fraction={max_fraction}); "
+            f"last error: {last!r}"
+        )
+        self.failed = failed
+        self.total = total
+        self.max_fraction = max_fraction
+        self.last = last
 
 
 def effective_workers(requested: int | None = None) -> int:
@@ -83,13 +145,41 @@ def chunked(items: Sequence[T], n_chunks: int) -> list[list[T]]:
 
 
 def _apply_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    # Chaos hook, pool workers only: the parent's serial fallback must
+    # stay injection-free or a transient worker fault would recur there
+    # and masquerade as a persistent per-item failure.
+    if multiprocessing.parent_process() is not None:
+        ambient_plan().apply("pmap")
     return [fn(item) for item in chunk]
+
+
+def _run_serial(
+    fn: Callable[[T], R],
+    chunk: list[T],
+    offset: int,
+    results: list[R | None],
+    failures: list[tuple[int, BaseException]],
+    on_error: str,
+) -> None:
+    """Run one chunk item by item in the parent, recording failures."""
+    for j, item in enumerate(chunk):
+        try:
+            results[offset + j] = fn(item)
+        except BaseException as exc:  # noqa: BLE001 - dispatched on mode
+            if on_error == "fail":
+                raise
+            failures.append((offset + j, exc))
 
 
 def pmap(
     fn: Callable[[T], R],
     items: Iterable[T],
     workers: int | None = 1,
+    *,
+    on_error: str = "fail",
+    max_quarantine_fraction: float = 0.1,
+    quarantine_value: R | None = None,
+    quarantined: list[int] | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, optionally with a process pool.
 
@@ -104,7 +194,27 @@ def pmap(
         ``1`` (default) runs serially.  ``None``/``0`` auto-sizes to the
         host.  Any resolved count of 1, or fewer than a minimum batch of
         items, also falls back to serial execution.
+    on_error:
+        ``"fail"`` (default): after a failed chunk is re-run serially,
+        an item that still raises propagates its exception.
+        ``"quarantine"``: persistently failing items are skipped — their
+        result slot is filled with ``quarantine_value`` and their index
+        appended to ``quarantined`` — unless more than
+        ``max_quarantine_fraction`` of all items fail, which raises
+        :class:`QuarantineExceededError`.
+    max_quarantine_fraction:
+        Ceiling on ``len(quarantined) / len(items)`` before the map
+        hard-fails (quarantine mode only).
+    quarantine_value:
+        Placeholder stored for quarantined items (default ``None``).
+    quarantined:
+        Optional list that receives the input indices of quarantined
+        items, in ascending order.
     """
+    if on_error not in ("fail", "quarantine"):
+        raise ValueError(
+            f"on_error must be 'fail' or 'quarantine', got {on_error!r}"
+        )
     items = list(items)
     n_workers = effective_workers(workers) if workers != 1 else 1
     serial = n_workers <= 1 or len(items) < _MIN_PARALLEL_ITEMS
@@ -113,11 +223,59 @@ def pmap(
     # The gauge reports the workers actually used: a small batch that
     # falls back to serial execution is 1 worker, whatever was requested.
     _PMAP_WORKERS.set(1 if serial else n_workers)
+
+    results: list[R | None] = [None] * len(items)
+    failures: list[tuple[int, BaseException]] = []
+
     if serial:
-        return [fn(item) for item in items]
-    chunks = chunked(items, n_workers * 4)
-    results: list[R] = []
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        for chunk_result in pool.map(_apply_chunk, [fn] * len(chunks), chunks):
-            results.extend(chunk_result)
-    return results
+        _run_serial(fn, items, 0, results, failures, on_error)
+    else:
+        chunks = chunked(items, n_workers * 4)
+        offsets: list[int] = []
+        pos = 0
+        for chunk in chunks:
+            offsets.append(pos)
+            pos += len(chunk)
+        pool = ProcessPoolExecutor(max_workers=n_workers)
+        broken = False
+        try:
+            futures = [
+                pool.submit(_apply_chunk, fn, chunk) for chunk in chunks
+            ]
+            for i, future in enumerate(futures):
+                try:
+                    chunk_result = future.result()
+                except BrokenProcessPool:
+                    # A dead worker poisons the whole pool; everything
+                    # not yet gathered runs serially from here on.
+                    broken = True
+                    _PMAP_WORKERS.set(1)
+                    _PMAP_FALLBACKS.inc()
+                    _run_serial(
+                        fn, chunks[i], offsets[i], results, failures, on_error
+                    )
+                except BaseException:  # noqa: BLE001 - retried serially
+                    _PMAP_FALLBACKS.inc()
+                    _run_serial(
+                        fn, chunks[i], offsets[i], results, failures, on_error
+                    )
+                else:
+                    off = offsets[i]
+                    for j, value in enumerate(chunk_result):
+                        results[off + j] = value
+        finally:
+            pool.shutdown(wait=not broken, cancel_futures=True)
+
+    if failures:
+        max_failed = int(max_quarantine_fraction * len(items))
+        if len(failures) > max_failed:
+            raise QuarantineExceededError(
+                len(failures), len(items), max_quarantine_fraction,
+                failures[-1][1],
+            )
+        _PMAP_QUARANTINED.inc(len(failures))
+        for index, _ in failures:
+            results[index] = quarantine_value
+            if quarantined is not None:
+                quarantined.append(index)
+    return results  # type: ignore[return-value]

@@ -1,0 +1,233 @@
+"""RetryPolicy: schedule, classification, counters, stage-graph wiring."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exec.graph import StageDependencyError, StageGraph, run_stage
+from repro.faults import DEFAULT_RETRYABLE, RetryPolicy
+from repro.faults.injection import (
+    ENV_VAR,
+    InjectedFault,
+    reset_ambient_plan,
+)
+from repro.obs.metrics import default_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_ambient(monkeypatch):
+    """No inherited REPRO_FAULTS leaks into (or out of) these tests."""
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset_ambient_plan()
+    yield
+    reset_ambient_plan()
+
+
+def _attempts() -> float:
+    return default_registry().counter("exec.retry.attempts").value
+
+
+def _exhausted() -> float:
+    return default_registry().counter("exec.retry.exhausted").value
+
+
+class TestDelaySchedule:
+    def test_deterministic_in_seed_and_key(self):
+        a = RetryPolicy(seed=7)
+        b = RetryPolicy(seed=7)
+        assert [a.delay(k, "phi/x") for k in (1, 2, 3)] == [
+            b.delay(k, "phi/x") for k in (1, 2, 3)
+        ]
+
+    def test_distinct_keys_decorrelate(self):
+        policy = RetryPolicy(seed=7)
+        assert policy.delay(1, "phi/a") != policy.delay(1, "phi/b")
+
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.3, jitter=0.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.3)  # capped, not 0.4
+        assert policy.delay(9) == pytest.approx(0.3)
+
+    def test_jitter_bounded(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.25, seed=3)
+        for attempt in (1, 2, 3):
+            base = min(policy.max_delay, 0.1 * 2 ** (attempt - 1))
+            d = policy.delay(attempt, "k")
+            assert base <= d <= base * 1.25
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().delay(0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestCall:
+    def test_success_after_transient_failures(self):
+        calls = {"n": 0}
+        sleeps: list[float] = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, seed=1)
+        before = _attempts()
+        assert (
+            policy.call(flaky, key="k", sleep=sleeps.append) == "ok"
+        )
+        assert calls["n"] == 3
+        assert sleeps == [policy.delay(1, "k"), policy.delay(2, "k")]
+        assert _attempts() == before + 2
+        assert _exhausted() == 0
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def broken():
+            calls["n"] += 1
+            raise ValueError("deterministic bug")
+
+        policy = RetryPolicy(max_attempts=5)
+        before = _attempts()
+        with pytest.raises(ValueError):
+            policy.call(broken, sleep=lambda s: None)
+        assert calls["n"] == 1
+        assert _attempts() == before
+        assert _exhausted() == 0
+
+    def test_exhaustion_reraises_last_and_counts(self):
+        def always_fails():
+            raise InjectedFault("still down")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        before = _attempts()
+        with pytest.raises(InjectedFault, match="still down"):
+            policy.call(always_fails, sleep=lambda s: None)
+        assert _attempts() == before + 2
+        assert _exhausted() == 1
+
+    def test_single_attempt_policy_never_retries(self):
+        def always_fails():
+            raise OSError("down")
+
+        policy = RetryPolicy(max_attempts=1)
+        with pytest.raises(OSError):
+            policy.call(always_fails)
+        assert _attempts() == 0
+        assert _exhausted() == 0  # never promised retries: not "exhausted"
+
+    def test_on_retry_hook_sees_attempt_and_exception(self):
+        seen: list[tuple[int, str]] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError(f"boom {calls['n']}")
+            return calls["n"]
+
+        RetryPolicy(max_attempts=3, base_delay=0.0).call(
+            flaky,
+            on_retry=lambda n, exc: seen.append((n, str(exc))),
+            sleep=lambda s: None,
+        )
+        assert seen == [(1, "boom 1"), (2, "boom 2")]
+
+    def test_default_retryable_covers_injected_faults(self):
+        assert InjectedFault in DEFAULT_RETRYABLE
+        assert RetryPolicy().is_retryable(InjectedFault("x"))
+        assert not RetryPolicy().is_retryable(ValueError("x"))
+
+
+class TestRunStageRetry:
+    def test_ambient_fault_absorbed_by_retry(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "error:flaky:2")
+        reset_ambient_plan()
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        before = _attempts()
+        value = run_stage(lambda: 42, family="flaky", retry=policy)
+        assert value == 42
+        assert _attempts() == before + 2
+
+    def test_frontend_scoped_fault_needs_matching_meta(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "error:phi/FE_B:1")
+        reset_ambient_plan()
+        # A stage of another frontend never sees the fault.
+        assert (
+            run_stage(
+                lambda: "a", family="phi", meta={"frontend": "FE_A"}
+            )
+            == "a"
+        )
+        with pytest.raises(InjectedFault):
+            run_stage(
+                lambda: "b", family="phi", meta={"frontend": "FE_B"}
+            )
+
+    def test_exhausted_retries_propagate(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "error:flaky:99")
+        reset_ambient_plan()
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0)
+        with pytest.raises(InjectedFault):
+            run_stage(lambda: 42, family="flaky", retry=policy)
+        assert _exhausted() == 1
+
+
+class TestGraphFailureCollection:
+    def _graph(self) -> StageGraph:
+        graph = StageGraph()
+        graph.stage("phi/BAD/train", lambda deps: 1 / 0)
+        graph.stage(
+            "svm_train/BAD",
+            lambda deps: deps["phi/BAD/train"] + 1,
+            deps=("phi/BAD/train",),
+        )
+        graph.stage(
+            "score/BAD/test",
+            lambda deps: deps["svm_train/BAD"] + 1,
+            deps=("svm_train/BAD",),
+        )
+        graph.stage("phi/GOOD/train", lambda deps: 10)
+        graph.stage(
+            "svm_train/GOOD",
+            lambda deps: deps["phi/GOOD/train"] + 1,
+            deps=("phi/GOOD/train",),
+        )
+        return graph
+
+    def test_default_mode_raises_first_error(self):
+        with pytest.raises(ZeroDivisionError):
+            self._graph().run()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_collect_mode_poisons_cone_and_runs_survivors(self, workers):
+        failures: dict[str, BaseException] = {}
+        results = self._graph().run(workers=workers, failures=failures)
+        # The independent chain completed in full.
+        assert results["svm_train/GOOD"] == 11
+        assert "phi/BAD/train" not in results
+        # Root cause keeps its real exception; the downstream cone is
+        # marked as collateral.
+        assert isinstance(failures["phi/BAD/train"], ZeroDivisionError)
+        dep = failures["svm_train/BAD"]
+        assert isinstance(dep, StageDependencyError)
+        assert dep.failed_deps == ("phi/BAD/train",)
+        assert isinstance(
+            failures["score/BAD/test"], StageDependencyError
+        )
+        assert set(failures) == {
+            "phi/BAD/train",
+            "svm_train/BAD",
+            "score/BAD/test",
+        }

@@ -179,3 +179,90 @@ class TestAccounting:
         second = store.get_or_compute("9" * 64, "json", compute)
         assert first == second == {"n": 7}
         assert len(calls) == 1
+
+
+class TestHygiene:
+    def test_orphan_temps_swept_on_open(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put("a" * 64, "json", {"x": 1})
+        shard = store.directory / "objects" / "aa"
+        orphan = shard / ".tmp-killed.json"
+        orphan.write_text("partial")
+        index_orphan = store.directory / ".index-killed.tmp"
+        index_orphan.write_text("partial")
+        reopened = ArtifactStore(tmp_path / "store")
+        assert not orphan.exists()
+        assert not index_orphan.exists()
+        assert reopened.get("a" * 64) == {"x": 1}  # real payloads kept
+
+    def test_no_temp_files_survive_a_put(self, store):
+        store.put("b" * 64, "json", {"x": 1})
+        leftovers = list(store.directory.glob("objects/*/.tmp-*"))
+        leftovers += list(store.directory.glob(".index-*.tmp"))
+        assert leftovers == []
+
+    def test_delete_removes_entry_and_payload(self, store):
+        store.put("c" * 64, "json", {"x": 1})
+        path = store.directory / store.entry("c" * 64)["file"]
+        assert store.delete("c" * 64)
+        assert not store.has("c" * 64)
+        assert not path.exists()
+        assert not store.delete("c" * 64)  # idempotent
+        # The deletion is durable: a reopen does not resurrect the key.
+        assert not ArtifactStore(store.directory).has("c" * 64)
+
+    def test_verify_reports_checksum_and_missing(self, store):
+        store.put("d" * 64, "json", {"x": 1})
+        store.put("e" * 64, "json", {"x": 2})
+        store.put("f" * 64, "json", {"x": 3})
+        (store.directory / store.entry("d" * 64)["file"]).write_text("junk")
+        (store.directory / store.entry("e" * 64)["file"]).unlink()
+        report = store.verify()
+        problems = {r["key"]: r["problem"] for r in report}
+        assert problems == {"d" * 64: "checksum", "e" * 64: "missing"}
+        assert store.has("d" * 64)  # report-only: nothing dropped
+
+    def test_verify_remove_drops_corrupt_entries(self, store):
+        store.put("d" * 64, "json", {"x": 1})
+        store.put("f" * 64, "json", {"x": 3})
+        bad_path = store.directory / store.entry("d" * 64)["file"]
+        bad_path.write_text("junk")
+        removed = store.verify(remove=True)
+        assert [r["key"] for r in removed] == ["d" * 64]
+        assert not store.has("d" * 64)
+        assert not bad_path.exists()
+        assert store.get("f" * 64) == {"x": 3}  # healthy entry untouched
+        assert store.verify() == []
+        # Durable: the next process sees the cleaned index.
+        assert not ArtifactStore(store.directory).has("d" * 64)
+
+    def test_held_lock_times_out(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store", lock_timeout=0.2)
+        (store.directory / "index.lock").write_text("4242")
+        with pytest.raises(StoreError, match="timed out"):
+            store.put("a" * 64, "json", {"x": 1})
+
+    def test_stale_lock_broken(self, tmp_path):
+        import os
+        import time
+
+        store = ArtifactStore(tmp_path / "store", lock_timeout=1.0)
+        lock = store.directory / "index.lock"
+        lock.write_text("4242")
+        stale = time.time() - 120.0
+        os.utime(lock, (stale, stale))
+        store.put("a" * 64, "json", {"x": 1})  # breaks the stale lock
+        assert store.get("a" * 64) == {"x": 1}
+        assert not lock.exists()
+
+    def test_concurrent_writers_merge_index(self, tmp_path):
+        # Two store handles on one directory: interleaved puts must not
+        # lose each other's entries to read-modify-write races.
+        a = ArtifactStore(tmp_path / "store")
+        b = ArtifactStore(tmp_path / "store")
+        a.put("a" * 64, "json", {"who": "a"})
+        b.put("b" * 64, "json", {"who": "b"})
+        a.put("c" * 64, "json", {"who": "a"})
+        fresh = ArtifactStore(tmp_path / "store")
+        assert fresh.keys() == sorted(["a" * 64, "b" * 64, "c" * 64])
+        assert fresh.get("b" * 64) == {"who": "b"}
