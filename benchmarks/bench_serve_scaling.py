@@ -1,0 +1,299 @@
+"""Cluster scaling — does throughput grow with worker processes?
+
+The :mod:`repro.cluster` tier exists for exactly one claim: cold-path
+scoring is CPU-bound behind one GIL, so N engine worker *processes*
+behind the routing front door should deliver near-linear utt/s until
+the host runs out of cores.  This bench drives a saturating load of
+*distinct* utterances (every payload gets a fresh ``utt_id``, so the
+score caches cannot flatter the numbers) through fleets of increasing
+size and reports utt/s, per-request p50/p99 and the response-status
+census.
+
+Gates (enforced only when the host has the cores to show scaling —
+``len(os.sched_getaffinity(0))``; a 1-core container records the
+numbers but cannot assert a ratio):
+
+- workers=2 must reach >= 1.5x the workers=1 utt/s (>= 2 cores);
+- workers=4 must reach >= 2.5x (>= 4 cores);
+- every response status is in {200, 429, 503} and every request
+  completes — nothing hangs, ever.
+
+The chaos variant re-runs the 2-worker fleet with the supervisor-side
+``worker`` fault target armed (``error:worker:1``): one worker is
+SIGKILLed mid-load, its in-flight requests fail fast with 503, the
+supervisor respawns it, and the run still finishes with zero hung
+requests.
+
+Results land in ``benchmarks/results/serve_scaling.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster
+from repro.faults.injection import FaultPlan
+from repro.serve import export_trained, save_system, utterance_to_json
+
+#: Concurrent closed-loop clients — enough to keep every worker's
+#: queue non-empty (saturation) without swamping a small host.
+N_CLIENTS = 8
+
+#: Allowed response statuses under load (anything else is a bug).
+ALLOWED_STATUSES = {200, 429, 503}
+
+#: Per-request client timeout; a request still pending after this is a
+#: hang, which the bench treats as a hard failure.
+CLIENT_TIMEOUT_S = 120.0
+
+ENGINE_KWARGS = {"batch_window": 0.005, "cache_entries": 256, "deadline": 60.0}
+
+
+def _cores() -> int:
+    return len(os.sched_getaffinity(0))
+
+
+def _fleet_sizes() -> list[int]:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return [1, 2] if scale == "smoke" else [1, 2, 4]
+
+
+def _n_requests() -> int:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    return 48 if scale == "smoke" else 160
+
+
+@pytest.fixture(scope="module")
+def artifact(lab, tmp_path_factory):
+    """The lab's baseline system exported to disk once for every fleet."""
+    trained = export_trained(lab.system, [lab.baseline()], lab.config)
+    directory = tmp_path_factory.mktemp("scaling") / "system"
+    save_system(directory, trained, metadata={"origin": "bench_serve_scaling"})
+    return directory
+
+
+@pytest.fixture(scope="module")
+def payloads(lab):
+    """Distinct single-utterance payloads (fresh ids defeat the caches)."""
+    duration = max(lab.durations)
+    base = [
+        utterance_to_json(u)
+        for u in lab.system.corpus_for(f"test@{duration}").utterances
+    ]
+    out = []
+    for i in range(max(_n_requests(), len(base))):
+        payload = dict(base[i % len(base)])
+        payload["utt_id"] = f"{payload['utt_id']}#scale{i}"
+        out.append({"utterances": [payload]})
+    return out[: _n_requests()]
+
+
+def _run_load(url: str, payloads: list[dict]) -> dict:
+    """Closed-loop saturating load; returns the census.
+
+    ``N_CLIENTS`` threads drain a shared queue of single-utterance
+    requests.  Every request either completes with a status or raises
+    on its client timeout — there is no code path that leaves one
+    pending, so ``completed == issued`` *is* the zero-hung-requests
+    check.
+    """
+    lock = threading.Lock()
+    queue = list(payloads)
+    statuses: list[int] = []
+    latencies: list[float] = []
+
+    def client() -> None:
+        while True:
+            with lock:
+                if not queue:
+                    return
+                payload = queue.pop()
+            body = json.dumps(payload).encode()
+            request = urllib.request.Request(
+                url + "/score",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            t0 = time.perf_counter()
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=CLIENT_TIMEOUT_S
+                ) as response:
+                    status = response.status
+                    response.read()
+            except urllib.error.HTTPError as exc:
+                status = exc.code
+                exc.read()
+            except (urllib.error.URLError, OSError):
+                status = -1  # transport failure: recorded, never allowed
+            elapsed = time.perf_counter() - t0
+            with lock:
+                statuses.append(status)
+                latencies.append(elapsed)
+
+    threads = [
+        threading.Thread(target=client, daemon=True) for _ in range(N_CLIENTS)
+    ]
+    wall0 = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=CLIENT_TIMEOUT_S * 2)
+    wall = time.perf_counter() - wall0
+    hung = sum(thread.is_alive() for thread in threads)
+    ok = [s for s in statuses if s == 200]
+    ok_latencies = [
+        lat for s, lat in zip(statuses, latencies) if s == 200
+    ]
+    return {
+        "wall_s": wall,
+        "issued": len(payloads),
+        "completed": len(statuses),
+        "hung_clients": hung,
+        "statuses": sorted(set(statuses)),
+        "ok": len(ok),
+        "utt_per_s": len(ok) / wall if wall > 0 else 0.0,
+        "p50_ms": (
+            float(np.percentile(ok_latencies, 50)) * 1e3 if ok_latencies else None
+        ),
+        "p99_ms": (
+            float(np.percentile(ok_latencies, 99)) * 1e3 if ok_latencies else None
+        ),
+    }
+
+
+def _with_cluster(artifact, n_workers: int, fn, *, faults=None):
+    supervisor, server = make_cluster(
+        artifact,
+        n_workers,
+        engine_kwargs=ENGINE_KWARGS,
+        health_interval=0.1,
+        forward_timeout=90.0,
+        faults=faults,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        return fn(f"http://{host}:{port}", supervisor)
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.stop()
+        thread.join(timeout=10)
+
+
+def test_scaling_workers_1_2_4(artifact, payloads, report, benchmark):
+    """utt/s vs fleet size; ratio gates apply when cores permit."""
+    cores = _cores()
+    census: dict[int, dict] = {}
+
+    def run_all():
+        for n in _fleet_sizes():
+            census[n] = _with_cluster(
+                artifact, n, lambda url, sup: _run_load(url, payloads)
+            )
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [
+        f"Cluster scaling ({_n_requests()} distinct utterances, "
+        f"{N_CLIENTS} clients, {cores} cores)",
+        "",
+        f"{'workers':<10}{'utt/s':>10}{'x vs 1':>10}"
+        f"{'p50 ms':>10}{'p99 ms':>10}{'ok':>6}{'other':>7}",
+    ]
+    base = census[min(census)]["utt_per_s"]
+    for n, result in sorted(census.items()):
+        ratio = result["utt_per_s"] / base if base else float("nan")
+        lines.append(
+            f"{n:<10}{result['utt_per_s']:>10.2f}{ratio:>9.2f}x"
+            f"{result['p50_ms']:>10.1f}{result['p99_ms']:>10.1f}"
+            f"{result['ok']:>6}{result['completed'] - result['ok']:>7}"
+        )
+        benchmark.extra_info[f"utt_per_s_w{n}"] = result["utt_per_s"]
+    if cores < 2:
+        lines.append("")
+        lines.append(
+            f"ratio gates skipped: {cores} core(s) cannot show scaling"
+        )
+    report("serve_scaling", "\n".join(lines))
+
+    for n, result in census.items():
+        assert result["completed"] == result["issued"], (
+            f"workers={n}: {result['issued'] - result['completed']} "
+            "requests never completed"
+        )
+        assert result["hung_clients"] == 0
+        assert set(result["statuses"]) <= ALLOWED_STATUSES, (
+            f"workers={n}: unexpected statuses {result['statuses']}"
+        )
+        assert result["p99_ms"] is not None
+
+    # Scaling gates, core-count permitting.
+    if cores >= 2 and 2 in census:
+        assert census[2]["utt_per_s"] >= 1.5 * census[1]["utt_per_s"]
+    if cores >= 4 and 4 in census:
+        assert census[4]["utt_per_s"] >= 2.5 * census[1]["utt_per_s"]
+
+
+def test_scaling_chaos_worker_kill(artifact, payloads, report, benchmark):
+    """A mid-load worker SIGKILL degrades throughput, never correctness."""
+
+    def run(url: str, supervisor) -> tuple[dict, dict]:
+        result = _run_load(url, payloads)
+        # The armed fault has fired by now (first health tick); wait for
+        # the respawn to land before reading the lifecycle counters.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            described = supervisor.describe()
+            if all(info["alive"] for info in described.values()) and any(
+                info["generation"] >= 2 for info in described.values()
+            ):
+                break
+            time.sleep(0.2)
+        return result, supervisor.describe()
+
+    result, described = benchmark.pedantic(
+        lambda: _with_cluster(
+            artifact,
+            2,
+            run,
+            faults=FaultPlan.parse("error:worker:1"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        "Cluster chaos (2 workers, error:worker:1 mid-load)",
+        "",
+        f"issued {result['issued']}  completed {result['completed']}  "
+        f"ok {result['ok']}  statuses {result['statuses']}",
+        f"utt/s {result['utt_per_s']:.2f}  p99 "
+        f"{result['p99_ms']:.1f} ms" if result["p99_ms"] else "no 200s",
+        "workers: "
+        + "  ".join(
+            f"{slot}(gen {info['generation']}, alive {info['alive']})"
+            for slot, info in sorted(described.items())
+        ),
+    ]
+    report("serve_scaling_chaos", "\n".join(lines))
+
+    # Zero hung requests: everything issued came back, with an allowed
+    # status — a killed worker maps to 503, never to a stuck client.
+    assert result["completed"] == result["issued"]
+    assert result["hung_clients"] == 0
+    assert set(result["statuses"]) <= ALLOWED_STATUSES
+    assert result["ok"] > 0  # the surviving worker kept serving
+    # The kill actually happened and the supervisor recovered from it.
+    assert any(info["generation"] >= 2 for info in described.values())
+    assert all(info["alive"] for info in described.values())

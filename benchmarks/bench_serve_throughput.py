@@ -12,6 +12,13 @@ measures both over an exported baseline system:
   warm pass must be at least 5x faster — asserted below, together with
   nonzero cache-hit accounting in the engine's ``stats()``.
 
+Latency percentiles are reported **per path**: a blended p95 over both
+passes is dominated by the single cold batch and says nothing about
+either regime, so the cold-path and warm-path distributions are sliced
+out of the engine's latency reservoir separately.  The cold-path
+figures are the honest single-worker baseline the cluster scaling bench
+(``bench_serve_scaling.py``) compares against.
+
 Results land in ``benchmarks/results/serve_throughput.txt``.
 """
 
@@ -19,9 +26,19 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
 from repro.serve import ScoringEngine, export_trained
+
+#: The engine's per-request latency histogram (seconds).
+LATENCY_METRIC = "serve.request_latency_s"
+
+
+def _percentiles(samples: list[float]) -> tuple[float, float]:
+    """(p50, p95) in milliseconds over one path's latency samples."""
+    array = np.asarray(samples, dtype=np.float64) * 1e3
+    return float(np.percentile(array, 50)), float(np.percentile(array, 95))
 
 #: Cap on the utterance batch so the bench stays minutes-level at
 #: bench scale (decoding dominates; see Table 5).
@@ -68,34 +85,52 @@ def test_serve_batched_throughput_cold_vs_warm(
         t0 = time.perf_counter()
         cold_scores = engine.score_utterances(batch)
         t1 = time.perf_counter()
+        cold_n = len(
+            engine.metrics.snapshot(include_samples=True)[LATENCY_METRIC][
+                "samples"
+            ]
+        )
         warm_scores = engine.score_utterances(batch)
         t2 = time.perf_counter()
         assert (cold_scores == warm_scores).all()
-        return t1 - t0, t2 - t1
+        return t1 - t0, t2 - t1, cold_n
 
-    cold_s, warm_s = benchmark.pedantic(
+    cold_s, warm_s, cold_n = benchmark.pedantic(
         cold_then_warm, rounds=1, iterations=1
     )
     stats = engine.stats()
     n = len(batch)
     speedup = cold_s / warm_s
-    p95 = stats["latency_ms"]["p95"]
+    # Slice the latency reservoir per path: observations [0, cold_n)
+    # landed during the cold pass, the rest during the warm pass.  (Two
+    # passes of <= 48 utterances never overflow the 512-slot
+    # reservoir, so the slice is exact, not sampled.)
+    samples = engine.metrics.snapshot(include_samples=True)[LATENCY_METRIC][
+        "samples"
+    ]
+    cold_p50, cold_p95 = _percentiles(samples[:cold_n])
+    warm_p50, warm_p95 = _percentiles(samples[cold_n:])
     lines = [
         "Serving throughput (exported baseline, "
         f"{len(trained.subsystems)} subsystems, {n} utterances)",
         "",
-        f"{'pass':<12}{'wall s':>10}{'utt/s':>10}",
-        f"{'cold':<12}{cold_s:>10.3f}{n / cold_s:>10.1f}",
-        f"{'warm':<12}{warm_s:>10.3f}{n / warm_s:>10.1f}",
+        f"{'pass':<12}{'wall s':>10}{'utt/s':>10}{'p50 ms':>10}{'p95 ms':>10}",
+        f"{'cold':<12}{cold_s:>10.3f}{n / cold_s:>10.1f}"
+        f"{cold_p50:>10.2f}{cold_p95:>10.2f}",
+        f"{'warm':<12}{warm_s:>10.3f}{n / warm_s:>10.1f}"
+        f"{warm_p50:>10.2f}{warm_p95:>10.2f}",
         "",
         f"warm/cold speedup: {speedup:.1f}x",
         f"cache hits {stats['cache']['hits']}  "
         f"misses {stats['cache']['misses']}  "
         f"hit rate {stats['cache']['hit_rate']:.2f}",
-        f"request p95 latency: {p95:.2f} ms",
     ]
     report("serve_throughput", "\n".join(lines))
     benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["cold_p95_ms"] = cold_p95
+    benchmark.extra_info["warm_p95_ms"] = warm_p95
+    # The split is meaningful only if the paths actually separate.
+    assert warm_p95 <= cold_p95
     # The acceptance bar: a warm cache skips Table 5's dominant stages.
     assert speedup >= 5.0
     assert stats["cache"]["hits"] == n

@@ -372,20 +372,37 @@ def cmd_score(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Run the JSON HTTP scoring service over a persisted system."""
+    """Run the JSON HTTP scoring service over a persisted system.
+
+    ``--workers 0`` (the default) runs the classic in-process server;
+    ``--workers N`` starts the :mod:`repro.cluster` tier — N engine
+    worker processes sharing the mmap-loaded artifact behind a routing
+    front door (see ``docs/serving.md``, "Scaling out").
+    """
     from repro.serve import ScoringEngine, load_system, run_server
 
-    trained = load_system(args.artifact)
-    engine = ScoringEngine(
-        trained,
+    engine_kwargs = dict(
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         cache_entries=args.cache_entries,
-        workers=args.workers,
+        workers=args.decode_workers,
         max_queue=args.max_queue if args.max_queue > 0 else None,
         deadline=args.deadline if args.deadline > 0 else None,
-        registry=_registry(),
     )
+    if args.workers and args.workers > 0:
+        from repro.cluster import run_cluster
+
+        run_cluster(
+            args.artifact,
+            args.workers,
+            args.host,
+            args.port,
+            engine_kwargs=engine_kwargs,
+        )
+        return 0
+
+    trained = load_system(args.artifact)
+    engine = ScoringEngine(trained, registry=_registry(), **engine_kwargs)
     print(
         f"loaded system: {len(trained.subsystems)} subsystems over "
         f"{len(trained.frontends)} frontends, "
@@ -577,8 +594,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="supervector-score cache bound (0 disables)",
     )
     p.add_argument(
-        "--workers", type=int, default=None,
-        help="decode pool width (default: auto / REPRO_WORKERS)",
+        "--workers", type=int, default=0,
+        help="engine worker *processes*: 0 = classic in-process server, "
+        "N >= 1 = the repro.cluster tier (front door + N workers "
+        "sharing the mmap-loaded artifact)",
+    )
+    p.add_argument(
+        "--decode-workers", type=int, default=None,
+        help="decode thread-pool width per engine "
+        "(default: auto / REPRO_WORKERS)",
     )
     p.add_argument(
         "--max-queue", type=int, default=1024,

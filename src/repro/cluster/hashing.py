@@ -1,0 +1,64 @@
+"""Cache-affine request routing: rendezvous (HRW) hashing.
+
+The cluster front door shards ``/score`` traffic across N worker
+processes.  Each worker keeps its own LRU score cache, so routing must
+be *sticky by utterance content*: the same utterance should land on the
+same worker every time, or warm hits die with the routing decision.
+
+Rendezvous hashing gives that stickiness with minimal disruption: every
+``(slot, key)`` pair gets a deterministic score and the key goes to the
+highest-scoring slot.  When a worker dies, only the keys it owned move
+(uniformly to the survivors); every other key keeps its slot — unlike
+modulo hashing, where one membership change reshuffles almost all keys
+and empties every cache at once.  Slots are *stable names* ("w0" …
+"wN-1"), not PIDs, so a respawned worker inherits its predecessor's
+key range and re-warms the same working set.
+
+Keys are content digests of the utterance JSON (label excluded — it is
+evaluation metadata and must not affect placement), computed straight
+from the wire dict so the front door never pays a numpy parse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Sequence
+
+__all__ = ["routing_key", "rendezvous_choose", "rendezvous_rank"]
+
+
+def routing_key(utterance_json: dict) -> str:
+    """Content digest of one wire-format utterance dict.
+
+    Canonical JSON (sorted keys) over every field except ``language``.
+    This is an *affinity* key, not a correctness key: two formattings of
+    the same utterance hashing differently merely costs a cache miss on
+    another worker, never a wrong score.
+    """
+    payload = {k: v for k, v in utterance_json.items() if k != "language"}
+    canonical = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _score(slot: str, key: str) -> int:
+    digest = hashlib.sha256(f"{slot}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_choose(key: str, slots: Sequence[str]) -> str:
+    """The owning slot for ``key`` among ``slots`` (highest HRW score).
+
+    Ties break lexicographically on the slot name so the choice is
+    total-ordered and identical in every process.
+    """
+    if not slots:
+        raise ValueError("rendezvous_choose needs at least one slot")
+    return max(slots, key=lambda slot: (_score(slot, key), slot))
+
+
+def rendezvous_rank(key: str, slots: Sequence[str]) -> list[str]:
+    """All slots for ``key``, best first (failover order)."""
+    return sorted(
+        slots, key=lambda slot: (_score(slot, key), slot), reverse=True
+    )

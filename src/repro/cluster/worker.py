@@ -1,0 +1,89 @@
+"""The engine worker process: one :class:`ScoringEngine` behind HTTP.
+
+Each cluster worker is today's single-process serving stack, unchanged:
+a micro-batching :class:`~repro.serve.engine.ScoringEngine` (own
+batcher thread, deadlines, admission control, circuit breakers, LRU
+score cache) wrapped in the stdlib
+:class:`~repro.serve.server.ScoringServer`.  What makes it a *worker*
+is how it starts and stops:
+
+- the trained system is opened with ``mmap=True`` — N workers mapping
+  the same artifact directory share one page-cache copy of the model
+  arrays instead of N private heap copies (see
+  :mod:`repro.serve.artifacts`);
+- the HTTP port is ephemeral (bind to port 0) and reported back to the
+  supervisor over a pipe as ``("ready", port)`` — the handshake that
+  tells the supervisor the worker is servable;
+- ``SIGTERM`` triggers a clean drain: stop accepting, finish in-flight
+  work, close the engine.  ``SIGKILL`` (crashes, chaos drills) is the
+  case the supervisor's respawn loop and the front door's 503 mapping
+  exist for.
+
+Per-worker environment overrides are applied *before* the serve stack
+imports read ``REPRO_FAULTS``, so chaos tests can arm a fault plan in
+exactly one worker of a fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+__all__ = ["worker_main"]
+
+
+def worker_main(
+    artifact_dir: str,
+    host: str,
+    conn,
+    engine_kwargs: dict | None = None,
+    env_overrides: dict | None = None,
+) -> None:
+    """Process entry point: serve one engine until told to stop.
+
+    Runs in a child process (spawn context — picklable args only).
+    ``conn`` is the supervisor's end of a one-shot pipe; the worker
+    sends ``("ready", port)`` once the socket is bound and the engine's
+    batcher is live, then closes it.  Any exception before the
+    handshake kills the process, which the supervisor sees as a dead
+    pipe and reports as a spawn failure.
+    """
+    for key, value in (env_overrides or {}).items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = str(value)
+
+    # Imports happen after the env overrides so ambient fault plans and
+    # worker-pool sizing read the per-worker environment.
+    from repro.serve import ScoringEngine, load_system, make_server
+
+    trained = load_system(artifact_dir, mmap=True)
+    engine = ScoringEngine(trained, **(engine_kwargs or {}))
+    server = make_server(engine, host, 0)
+    port = int(server.server_address[1])
+
+    def _drain(signum, frame) -> None:
+        # shutdown() blocks until serve_forever() exits; calling it from
+        # the signal handler's thread would deadlock, so hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    # A terminal Ctrl-C delivers SIGINT to the whole foreground process
+    # group, workers included.  Shutdown is the supervisor's job (it
+    # SIGTERMs the fleet from its own KeyboardInterrupt path), so the
+    # worker ignores SIGINT rather than dying mid-drain with a
+    # KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    try:
+        conn.send(("ready", port))
+    finally:
+        conn.close()
+
+    try:
+        server.serve_forever(poll_interval=0.05)
+    finally:
+        server.server_close()
+        engine.close()

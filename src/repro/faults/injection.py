@@ -20,7 +20,14 @@ applies stage families (``phi``, ``svm_train``, ``score``, ``vote``,
 ``dba_train``, ``fuse``), per-frontend stage targets
 (``phi/<frontend>``), ``store`` (every :class:`~repro.exec.store.
 ArtifactStore` payload read/write) and ``pmap`` (once per worker-side
-chunk of :func:`~repro.utils.parallel.pmap`).  Directives are separated
+chunk of :func:`~repro.utils.parallel.pmap`); the cluster tier's
+:class:`~repro.cluster.supervisor.WorkerSupervisor` applies ``worker``
+once per health-check tick — an armed ``error:worker[:times]`` SIGKILLs
+one live engine worker per firing (the supervisor catches the raise and
+pulls the trigger), so process-death chaos is scripted with the same
+syntax as everything else and the ``times`` budget is spent
+supervisor-side exactly once per fleet, not once per inherited child
+environment.  Directives are separated
 by ``,`` or ``|``: ``error:store:3|stall:phi:0.2``.
 
 Activation is either explicit — pass a plan to

@@ -38,6 +38,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    merge_snapshots,
 )
 from repro.obs.runlog import (
     RunLog,
@@ -70,6 +71,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "merge_snapshots",
     "RunLog",
     "aggregate_stages",
     "default_runlog_root",

@@ -21,13 +21,23 @@ All instruments are thread-safe.  Everything here is stdlib-only;
 histogram quantiles use linear interpolation over a bounded reservoir
 (matching ``numpy.percentile``'s default method on the retained
 samples).
+
+Snapshots are JSON-able and — since the cluster tier
+(:mod:`repro.cluster`) runs one registry per worker *process* — they are
+also **mergeable**: :func:`merge_snapshots` folds several processes'
+snapshots into one aggregate view without double-counting.  Counters
+sum, occupancy gauges sum, and histograms pool their reservoir samples
+(ask for them with ``snapshot(include_samples=True)``) so the merged
+percentiles are computed over the union of the retained samples rather
+than averaged — averaging per-process percentiles would be statistically
+meaningless.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping, Sequence
 
 __all__ = [
     "Counter",
@@ -35,7 +45,23 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "default_registry",
+    "merge_snapshots",
 ]
+
+
+def _interpolated_quantile(samples: list[float], q: float) -> float | None:
+    """Linear-interpolated percentile of pre-sorted ``samples``.
+
+    The single quantile method shared by :meth:`Histogram.quantile` and
+    :func:`merge_snapshots`, matching ``numpy.percentile``'s default.
+    """
+    if not samples:
+        return None
+    pos = (len(samples) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(samples) - 1)
+    frac = pos - lo
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac
 
 
 class Counter:
@@ -163,13 +189,7 @@ class Histogram:
             raise ValueError("q must be in [0, 100]")
         with self._lock:
             samples = sorted(self._samples)
-        if not samples:
-            return None
-        pos = (len(samples) - 1) * (q / 100.0)
-        lo = int(pos)
-        hi = min(lo + 1, len(samples) - 1)
-        frac = pos - lo
-        return samples[lo] * (1.0 - frac) + samples[hi] * frac
+        return _interpolated_quantile(samples, q)
 
     def reset(self) -> None:
         """Drop every sample and zero the exact accumulators."""
@@ -180,13 +200,20 @@ class Histogram:
             self._min = None
             self._max = None
 
-    def snapshot(self) -> dict[str, Any]:
-        """JSON-able summary with count/total/mean/min/max/p50/p95/p99."""
+    def snapshot(self, *, include_samples: bool = False) -> dict[str, Any]:
+        """JSON-able summary with count/total/mean/min/max/p50/p95/p99.
+
+        With ``include_samples=True`` the retained reservoir is exported
+        under ``"samples"`` — the form :func:`merge_snapshots` needs to
+        compute honest cross-process percentiles (percentiles of pooled
+        samples, not averages of per-process percentiles).
+        """
         with self._lock:
             count = self._count
             total = self._total
             lo, hi = self._min, self._max
-        return {
+            samples = list(self._samples) if include_samples else None
+        snap = {
             "type": "histogram",
             "count": count,
             "total": total,
@@ -197,6 +224,9 @@ class Histogram:
             "p95": self.quantile(95.0),
             "p99": self.quantile(99.0),
         }
+        if samples is not None:
+            snap["samples"] = samples
+        return snap
 
 
 class MetricsRegistry:
@@ -257,14 +287,117 @@ class MetricsRegistry:
         with self._lock:
             return len(self._instruments)
 
-    def snapshot(self) -> dict[str, dict[str, Any]]:
-        """JSON-able snapshot of every instrument, keyed by name."""
-        return {inst.name: inst.snapshot() for inst in self}
+    def snapshot(
+        self, *, include_samples: bool = False
+    ) -> dict[str, dict[str, Any]]:
+        """JSON-able snapshot of every instrument, keyed by name.
+
+        ``include_samples=True`` asks histograms to export their
+        retained reservoirs, which makes the snapshot mergeable with
+        honest percentiles (see :func:`merge_snapshots`); the cluster
+        front door requests this form from every worker's ``/metricz``.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for inst in self:
+            if include_samples and isinstance(inst, Histogram):
+                out[inst.name] = inst.snapshot(include_samples=True)
+            else:
+                out[inst.name] = inst.snapshot()
+        return out
 
     def reset(self) -> None:
         """Zero every registered instrument in place (names persist)."""
         for instrument in self:
             instrument.reset()
+
+
+def _merge_histograms(
+    into: dict[str, Any], snap: Mapping[str, Any]
+) -> None:
+    """Fold one histogram snapshot into the running aggregate ``into``."""
+    into["count"] += int(snap.get("count") or 0)
+    into["total"] += float(snap.get("total") or 0.0)
+    for key, pick in (("min", min), ("max", max)):
+        value = snap.get(key)
+        if value is not None:
+            into[key] = pick(into[key], value) if into[key] is not None else value
+    into["samples"].extend(snap.get("samples") or ())
+
+
+def merge_snapshots(
+    snapshots: Sequence[Mapping[str, Mapping[str, Any]]],
+    *,
+    include_samples: bool = False,
+) -> dict[str, dict[str, Any]]:
+    """Aggregate per-process registry snapshots into one view.
+
+    Designed for the cluster front door: every worker process owns a
+    private registry, so cross-worker ``/stats`` must merge, never
+    double-count.  Per instrument type:
+
+    - **counters** sum their values (requests served anywhere are
+      requests served);
+    - **gauges** sum, treating unset (``None``) as absent — the cluster
+      gauges are occupancies (queue depth, in-flight requests, open
+      breakers) where the fleet-wide value is the sum of the per-worker
+      values.  A gauge unset in every snapshot stays ``None``;
+    - **histograms** sum ``count``/``total``, recompute ``mean``, take
+      the min/max envelope, and pool the reservoir samples (present when
+      the snapshots were taken with ``include_samples=True``) to compute
+      merged p50/p95/p99.  When no input carried samples the merged
+      percentiles are ``None`` — refusing to fabricate a percentile is
+      better than averaging per-worker percentiles, which is not a
+      percentile of anything.
+
+    An instrument appearing with different types across snapshots raises
+    ``TypeError``.  The merged histogram keeps its pooled samples only
+    when ``include_samples=True`` (so merges can themselves be merged).
+    """
+    merged: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            current = merged.get(name)
+            if current is None:
+                if kind == "histogram":
+                    merged[name] = {
+                        "type": "histogram",
+                        "count": 0,
+                        "total": 0.0,
+                        "min": None,
+                        "max": None,
+                        "samples": [],
+                    }
+                else:
+                    merged[name] = {"type": kind, "value": None}
+                current = merged[name]
+            elif current["type"] != kind:
+                raise TypeError(
+                    f"metric {name!r} is a {kind!r} in one snapshot but "
+                    f"a {current['type']!r} in another"
+                )
+            if kind == "histogram":
+                _merge_histograms(current, snap)
+            elif kind in ("counter", "gauge"):
+                value = snap.get("value")
+                if value is not None:
+                    current["value"] = (current["value"] or 0.0) + value
+            else:
+                raise TypeError(
+                    f"metric {name!r} has unknown snapshot type {kind!r}"
+                )
+    for name, snap in merged.items():
+        if snap["type"] != "histogram":
+            continue
+        samples = sorted(snap.pop("samples"))
+        count = snap["count"]
+        snap["mean"] = (snap["total"] / count) if count else None
+        snap["p50"] = _interpolated_quantile(samples, 50.0)
+        snap["p95"] = _interpolated_quantile(samples, 95.0)
+        snap["p99"] = _interpolated_quantile(samples, 99.0)
+        if include_samples:
+            snap["samples"] = samples
+    return merged
 
 
 _DEFAULT = MetricsRegistry()

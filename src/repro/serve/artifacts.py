@@ -16,17 +16,28 @@ writes all of that to a directory:
     deterministic decode RNG streams);
 ``frontends.pkl``
     the trained recognizers (pickle — they embed trained AMs/decoders);
-``vsm__*.npz`` / ``fusion.npz``
-    array-only state dicts via :mod:`numpy` ``savez`` (the same NPZ
-    substrate as :mod:`repro.utils.io`).
+``vsm__*/<key>.npy`` / ``fusion/<key>.npy``
+    array state dicts, **one uncompressed ``.npy`` per state key**
+    (schema 2; schema 1 used ``.npz`` bundles).  Plain ``.npy`` files
+    are the format :func:`numpy.load` can open with ``mmap_mode="r"``,
+    which is what makes the cluster tier cheap: N worker processes
+    mapping the same payload files share one page-cache copy of the SVM
+    weight matrices instead of N private heap copies.
 
 :func:`load_system` refuses to load when the schema version is unknown,
 when a payload file was corrupted, or when the stored config no longer
 matches the fingerprint recorded at export time (a **hard failure** —
 scoring with a silently drifted config would return wrong-but-plausible
-scores).  Round-trip fidelity is exact: a reloaded system reproduces the
-exporting system's dev/test scores bit for bit (enforced by
-``tests/serve/test_artifacts.py``).
+scores).  With ``mmap=True`` the array payloads are opened read-only via
+``mmap_mode="r"`` instead of being hashed and copied into the heap: the
+SHA-256 recorded at export still pins the bytes, but the open-time check
+for mapped arrays is manifest-based (existence + exact byte size) so a
+multi-gigabyte model opens in milliseconds and its pages are only
+faulted in — and shared across processes — as scoring touches them.
+Non-array payloads (the pickle, the config) are always fully
+hash-verified.  Round-trip fidelity is exact either way: a reloaded
+system reproduces the exporting system's dev/test scores bit for bit
+(enforced by ``tests/serve/test_artifacts.py``).
 """
 
 from __future__ import annotations
@@ -56,12 +67,14 @@ __all__ = [
 ]
 
 #: Artifact layout version; bump on any incompatible change.
-SCHEMA_VERSION = 1
+#: 2: per-key ``.npy`` array payloads (mmap-able) replace ``.npz``
+#: bundles; the manifest additionally records per-file byte sizes.
+SCHEMA_VERSION = 2
 
 _MANIFEST = "manifest.json"
 _CONFIG = "config.json"
 _FRONTENDS = "frontends.pkl"
-_FUSION = "fusion.npz"
+_FUSION_DIR = "fusion"
 
 
 class ArtifactError(RuntimeError):
@@ -172,13 +185,53 @@ def export_trained(
 # ----------------------------------------------------------------------
 # (de)serialisation helpers
 # ----------------------------------------------------------------------
-def _save_state_npz(path: Path, state: dict) -> None:
-    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+def _save_state_npy(
+    directory: Path, subdir: str, state: dict, files: dict[str, dict]
+) -> None:
+    """Write one state dict as per-key ``.npy`` files under ``subdir``.
+
+    Every value (arrays, scalars, strings) goes through ``np.asarray``
+    into its own uncompressed ``.npy`` — the only numpy container
+    ``mmap_mode`` can open.  Each file's SHA-256 and byte size are
+    recorded in ``files`` keyed by artifact-relative path.
+    """
+    target = directory / subdir
+    target.mkdir(parents=True, exist_ok=True)
+    for key, value in state.items():
+        path = target / f"{key}.npy"
+        np.save(path, np.asarray(value))
+        files[f"{subdir}/{key}.npy"] = {
+            "sha256": _file_sha256(path),
+            "bytes": path.stat().st_size,
+        }
 
 
-def _load_state_npz(path: Path) -> dict:
-    with np.load(path) as data:
-        return {name: data[name] for name in data.files}
+def _load_state_npy(
+    directory: Path, subdir: str, manifest: dict, *, mmap: bool
+) -> dict:
+    """Rebuild a state dict from the ``.npy`` files listed for ``subdir``.
+
+    With ``mmap=True`` arrays come back as read-only ``np.memmap`` views
+    (zero heap copy; pages shared across processes through the page
+    cache).  0-d entries (scalars, strings, flags) are always unwrapped
+    to plain numpy scalars — there is nothing to share in 8 bytes, and
+    ``from_state`` implementations expect ``int()``/``str()`` to work.
+    """
+    prefix = f"{subdir}/"
+    state: dict = {}
+    for relpath in manifest["files"]:
+        if not relpath.startswith(prefix) or not relpath.endswith(".npy"):
+            continue
+        key = relpath[len(prefix) : -len(".npy")]
+        array = np.load(
+            directory / relpath,
+            mmap_mode="r" if mmap else None,
+            allow_pickle=False,
+        )
+        state[key] = array[()] if array.ndim == 0 else array
+    if not state:
+        raise ArtifactError(f"artifact has no payloads under {subdir!r}")
+    return state
 
 
 def _file_sha256(path: Path) -> str:
@@ -206,8 +259,8 @@ def _config_from_dict(payload: dict) -> ExperimentConfig:
     )
 
 
-def _vsm_filename(index: int, frontend_name: str) -> str:
-    return f"vsm__{index:02d}_{frontend_name}.npz"
+def _vsm_dirname(index: int, frontend_name: str) -> str:
+    return f"vsm__{index:02d}_{frontend_name}"
 
 
 # ----------------------------------------------------------------------
@@ -223,31 +276,40 @@ def save_system(
 
     ``metadata`` (JSON-able) is stored verbatim in the manifest — use it
     to record provenance such as the exporting command or DBA settings.
+
+    Every payload's SHA-256 and byte size are computed here, once, and
+    pinned in the manifest; loaders check against the manifest instead
+    of trusting the filesystem.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    files: dict[str, str] = {}
+    files: dict[str, dict] = {}
 
     config_path = directory / _CONFIG
     config_path.write_text(
         json.dumps(_config_to_dict(trained.config), indent=2, default=list)
     )
-    files[_CONFIG] = _file_sha256(config_path)
+    files[_CONFIG] = {
+        "sha256": _file_sha256(config_path),
+        "bytes": config_path.stat().st_size,
+    }
 
     frontends_path = directory / _FRONTENDS
     with open(frontends_path, "wb") as fh:
         pickle.dump(trained.frontends, fh, protocol=pickle.HIGHEST_PROTOCOL)
-    files[_FRONTENDS] = _file_sha256(frontends_path)
+    files[_FRONTENDS] = {
+        "sha256": _file_sha256(frontends_path),
+        "bytes": frontends_path.stat().st_size,
+    }
 
     subsystem_names = []
     for i, (fe_name, vsm) in enumerate(trained.subsystems):
-        name = _vsm_filename(i, fe_name)
-        _save_state_npz(directory / name, vsm.state_dict())
-        files[name] = _file_sha256(directory / name)
+        _save_state_npy(
+            directory, _vsm_dirname(i, fe_name), vsm.state_dict(), files
+        )
         subsystem_names.append(fe_name)
 
-    _save_state_npz(directory / _FUSION, trained.fusion.state_dict())
-    files[_FUSION] = _file_sha256(directory / _FUSION)
+    _save_state_npy(directory, _FUSION_DIR, trained.fusion.state_dict(), files)
 
     manifest = {
         "schema_version": SCHEMA_VERSION,
@@ -267,6 +329,7 @@ def load_system(
     directory: str | Path,
     *,
     expected_config: ExperimentConfig | None = None,
+    mmap: bool = False,
 ) -> TrainedSystem:
     """Load a :class:`TrainedSystem` saved by :func:`save_system`.
 
@@ -275,6 +338,15 @@ def load_system(
     fingerprint does not match the one recorded at export time.  Passing
     ``expected_config`` additionally pins the artifact to a caller-side
     config (e.g. the one a server was asked to assume).
+
+    With ``mmap=True`` the ``.npy`` array payloads open as read-only
+    memory maps (one shared page-cache copy across however many worker
+    processes load the same directory).  Mapped payloads are checked
+    against the manifest by existence and exact byte size instead of
+    being fully hashed — hashing would fault in every page and defeat
+    the lazy open; the export-time SHA-256 still pins the bytes for
+    ``mmap=False`` loads and offline audits.  Non-array payloads are
+    fully hash-verified in both modes.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
@@ -288,15 +360,24 @@ def load_system(
             f"artifact schema version {version!r} unsupported "
             f"(this build reads version {SCHEMA_VERSION})"
         )
-    for name, digest in manifest["files"].items():
+    for name, entry in manifest["files"].items():
         path = directory / name
         if not path.exists():
             raise ArtifactError(f"artifact payload {name!r} is missing")
+        if mmap and name.endswith(".npy"):
+            actual_bytes = path.stat().st_size
+            if actual_bytes != entry["bytes"]:
+                raise ArtifactError(
+                    f"artifact payload {name!r} is corrupted "
+                    f"({actual_bytes} bytes != manifest {entry['bytes']})"
+                )
+            continue
         actual = _file_sha256(path)
-        if actual != digest:
+        if actual != entry["sha256"]:
             raise ArtifactError(
                 f"artifact payload {name!r} is corrupted "
-                f"(sha256 {actual[:12]}… != manifest {digest[:12]}…)"
+                f"(sha256 {actual[:12]}… != manifest "
+                f"{entry['sha256'][:12]}…)"
             )
 
     config = _config_from_dict(json.loads((directory / _CONFIG).read_text()))
@@ -321,9 +402,13 @@ def load_system(
 
     subsystems: list[tuple[str, VSM]] = []
     for i, fe_name in enumerate(manifest["subsystems"]):
-        state = _load_state_npz(directory / _vsm_filename(i, fe_name))
+        state = _load_state_npy(
+            directory, _vsm_dirname(i, fe_name), manifest, mmap=mmap
+        )
         subsystems.append((fe_name, VSM.from_state(state)))
-    fusion = LdaMmiFusion.from_state(_load_state_npz(directory / _FUSION))
+    fusion = LdaMmiFusion.from_state(
+        _load_state_npy(directory, _FUSION_DIR, manifest, mmap=mmap)
+    )
 
     return TrainedSystem(
         config=config,

@@ -1,6 +1,6 @@
 """Stdlib-only JSON HTTP surface over the scoring engine.
 
-A :class:`ScoringServer` (a ``ThreadingHTTPServer``) exposes three
+A :class:`ScoringServer` (a ``ThreadingHTTPServer``) exposes four
 endpoints:
 
 ``POST /score``
@@ -25,6 +25,12 @@ endpoints:
     the full :mod:`repro.obs.metrics` registry snapshot — every
     ``serve.*`` counter/gauge/histogram with p50/p95/p99 — is nested
     under ``"metrics"``.  See ``docs/serving.md``.
+``GET /metricz``
+    The raw registry snapshot *with histogram reservoir samples*
+    (``snapshot(include_samples=True)``) — the mergeable form the
+    cluster front door (:mod:`repro.cluster`) pulls from each worker
+    so :func:`repro.obs.metrics.merge_snapshots` can compute honest
+    cross-worker percentiles.
 
 Error responses sent before the request body has been consumed carry
 ``Connection: close`` — replying 400 and keeping the connection alive
@@ -134,6 +140,10 @@ class ScoringRequestHandler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, engine.stats())
+        elif self.path == "/metricz":
+            self._send_json(
+                200, engine.metrics.snapshot(include_samples=True)
+            )
         else:
             self._send_error_json(404, f"unknown path {self.path!r}")
 

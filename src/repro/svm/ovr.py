@@ -117,7 +117,11 @@ class OneVsRestSVM:
             raise ValueError("biases must align with n_classes")
         for k in range(ovr.n_classes):
             model = LinearSVC(seed=ovr.seed + k, **ovr._svm_kwargs)
-            model.weight_ = weights[k].copy()
+            # A view, not a copy: when ``weights`` is a read-only memmap
+            # (mmap-loaded artifacts) every per-class row must keep
+            # referencing the mapped pages so N server processes share
+            # one physical copy.  decision_function only reads weight_.
+            model.weight_ = weights[k]
             model.bias_ = float(biases[k])
             ovr.models_.append(model)
         return ovr

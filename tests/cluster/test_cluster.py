@@ -1,0 +1,268 @@
+"""Cluster tier end to end: routing fidelity, aggregation, chaos.
+
+These tests spawn real worker processes (spawn context) over the shared
+session artifact, so they are the slowest part of the suite after
+training itself; the fleet is kept at two workers and reused across the
+happy-path tests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cluster import make_cluster, rendezvous_choose, routing_key
+from repro.cluster.supervisor import WorkerSupervisor
+from repro.faults.injection import FaultPlan
+from repro.serve import utterance_to_json
+
+#: Engine settings shared by every spawned worker: tight batching, no
+#: deadline surprises, modest cache.
+ENGINE_KWARGS = {"batch_window": 0.01, "cache_entries": 128}
+
+
+def _get(url: str, timeout: float = 30.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _post(url: str, payload: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture(scope="module")
+def cluster(artifact_dir):
+    """A two-worker fleet + front door; yields (supervisor, base_url)."""
+    supervisor, server = make_cluster(
+        artifact_dir,
+        2,
+        engine_kwargs=ENGINE_KWARGS,
+        health_interval=0.1,
+        forward_timeout=60.0,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield supervisor, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        supervisor.stop()
+        thread.join(timeout=10)
+
+
+class TestScoreRouting:
+    def test_scores_bitwise_match_single_process(
+        self, cluster, serve_system, serve_baseline
+    ):
+        _, url = cluster
+        utterances = list(serve_system.bundle.test[3.0].utterances)
+        payload = {"utterances": [utterance_to_json(u) for u in utterances]}
+        status, body = _post(url + "/score", payload)
+        assert status == 200
+        reference = serve_system.fused_scores([serve_baseline], 3.0)
+        assert np.array_equal(np.asarray(body["scores"]), reference)
+        assert body["utt_ids"] == [u.utt_id for u in utterances]
+        assert body["degraded"] is False
+        # The batch was genuinely sharded across both workers.
+        assert len(body["workers"]) == 2
+
+    def test_routing_is_sticky(self, cluster, serve_system):
+        # The same utterance always lands on the same slot, so its
+        # score-cache entry survives repeat traffic.
+        _, url = cluster
+        utt = utterance_to_json(
+            next(iter(serve_system.bundle.dev.utterances))
+        )
+        slots = set()
+        for _ in range(3):
+            status, body = _post(url + "/score", {"utterances": [utt]})
+            assert status == 200
+            slots.update(body["workers"])
+        assert len(slots) == 1
+        assert slots == {rendezvous_choose(routing_key(utt), ["w0", "w1"])}
+
+    def test_empty_utterances(self, cluster):
+        _, url = cluster
+        status, body = _post(url + "/score", {"utterances": []})
+        assert status == 200
+        assert body["scores"] == []
+
+    def test_bad_request_is_400(self, cluster):
+        _, url = cluster
+        status, body = _post(url + "/score", {"utterances": [{"bad": 1}]})
+        assert status == 400
+        assert "error" in body
+
+    def test_unknown_path_404(self, cluster):
+        _, url = cluster
+        status, _ = _post(url + "/nope", {})
+        assert status == 404
+
+
+class TestAggregation:
+    def test_healthz_ok_with_worker_detail(self, cluster):
+        _, url = cluster
+        status, body = _get(url + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert set(body["workers"]) == {"w0", "w1"}
+        for info in body["workers"].values():
+            assert info["alive"] is True
+            assert info["status"] == "ok"
+            assert info["generation"] >= 1
+
+    def test_stats_merge_without_double_counting(
+        self, cluster, serve_system
+    ):
+        supervisor, url = cluster
+        utterances = [
+            utterance_to_json(u)
+            for u in list(serve_system.bundle.dev.utterances)[:6]
+        ]
+        _post(url + "/score", {"utterances": utterances})
+        status, stats = _get(url + "/stats")
+        assert status == 200
+        merged = stats["metrics"]
+        # Worker-side serve.* counters merged with front-door cluster.*.
+        assert merged["serve.requests"]["value"] >= 6
+        assert merged["cluster.requests"]["value"] >= 1
+        # Cross-check the sum against the workers' own registries.
+        ports = supervisor.ports()
+        per_worker = 0
+        for slot, port in ports.items():
+            _, snap = _get(f"http://{supervisor.host}:{port}/metricz")
+            per_worker += snap["serve.requests"]["value"]
+        assert merged["serve.requests"]["value"] == per_worker
+
+    def test_metricz_pools_latency_samples(self, cluster, serve_system):
+        _, url = cluster
+        utterances = [
+            utterance_to_json(u)
+            for u in list(serve_system.bundle.dev.utterances)[:4]
+        ]
+        _post(url + "/score", {"utterances": utterances})
+        status, merged = _get(url + "/metricz")
+        assert status == 200
+        latency = merged["serve.request_latency_s"]
+        assert latency["count"] >= 4
+        assert latency["p95"] is not None
+        assert len(latency["samples"]) >= 4
+
+
+class TestWorkerLifecycle:
+    def test_sigkill_respawn_and_inflight_503(
+        self, artifact_dir, serve_system, serve_trained
+    ):
+        """SIGKILL mid-request: 503 (not a hang), degraded → ok."""
+        stall_target = serve_trained.frontends[0].name
+        # Every worker stalls its first decode stage long enough for the
+        # kill to land mid-request; no engine deadline, so only the
+        # severed connection (not a timeout) can fail the request.
+        worker_env = {
+            slot: {"REPRO_FAULTS": f"stall:{stall_target}:8"}
+            for slot in ("w0", "w1")
+        }
+        supervisor, server = make_cluster(
+            artifact_dir,
+            2,
+            engine_kwargs=ENGINE_KWARGS,
+            worker_env=worker_env,
+            health_interval=0.1,
+            forward_timeout=60.0,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        try:
+            utt = utterance_to_json(
+                next(iter(serve_system.bundle.dev.utterances))
+            )
+            victim = rendezvous_choose(routing_key(utt), ["w0", "w1"])
+            outcome = {}
+
+            def _request():
+                start = time.monotonic()
+                status, body = _post(
+                    url + "/score", {"utterances": [utt]}, timeout=90.0
+                )
+                outcome["status"] = status
+                outcome["elapsed"] = time.monotonic() - start
+                outcome["body"] = body
+
+            requester = threading.Thread(target=_request, daemon=True)
+            requester.start()
+            time.sleep(1.0)  # let the request reach the stalled decode
+            killed = supervisor.kill_one(victim)
+            assert killed == victim
+
+            # Degraded immediately: the slot is down/respawning.
+            _, health = _get(url + "/healthz")
+            assert health["status"] == "degraded"
+            assert health["workers"][victim]["status"] in ("dead", "unreachable")
+
+            # The in-flight request fails fast with 503 — it must not
+            # ride out the 8 s stall, and it must never hang.
+            requester.join(timeout=30)
+            assert not requester.is_alive(), "in-flight request hung"
+            assert outcome["status"] == 503
+            assert outcome["elapsed"] < 8.0
+
+            # The supervisor respawns the slot; /healthz returns to ok
+            # with a bumped generation.
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                _, health = _get(url + "/healthz")
+                if health["status"] == "ok":
+                    break
+                time.sleep(0.2)
+            assert health["status"] == "ok"
+            assert health["workers"][victim]["generation"] >= 2
+            _, stats = _get(url + "/stats")
+            assert stats["metrics"]["cluster.respawns"]["value"] >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            supervisor.stop()
+            thread.join(timeout=10)
+
+    def test_worker_fault_target_kills_and_recovers(self, artifact_dir):
+        """``error:worker:1`` fires supervisor-side: one kill, one respawn."""
+        supervisor = WorkerSupervisor(
+            artifact_dir,
+            1,
+            engine_kwargs=ENGINE_KWARGS,
+            health_interval=0.05,
+            faults=FaultPlan.parse("error:worker:1"),
+        )
+        with supervisor:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                described = supervisor.describe()["w0"]
+                if described["generation"] >= 2 and described["alive"]:
+                    break
+                time.sleep(0.1)
+            described = supervisor.describe()["w0"]
+            assert described["generation"] >= 2
+            assert described["alive"] is True
+            # The budget is spent: no further kills.
+            generation = described["generation"]
+            time.sleep(0.5)
+            assert supervisor.describe()["w0"]["generation"] == generation

@@ -1,0 +1,66 @@
+"""Rendezvous routing: stickiness, balance, minimal disruption."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.cluster.hashing import (
+    rendezvous_choose,
+    rendezvous_rank,
+    routing_key,
+)
+
+SLOTS = ["w0", "w1", "w2", "w3"]
+
+
+def _keys(n: int) -> list[str]:
+    return [routing_key({"utt_id": f"utt-{i}", "phones": [i, i + 1]}) for i in range(n)]
+
+
+class TestRoutingKey:
+    def test_deterministic(self):
+        payload = {"utt_id": "u1", "phones": [1, 2, 3], "language": "xx"}
+        assert routing_key(payload) == routing_key(dict(payload))
+
+    def test_language_excluded(self):
+        base = {"utt_id": "u1", "phones": [1, 2, 3]}
+        labelled = dict(base, language="icelandic")
+        assert routing_key(base) == routing_key(labelled)
+
+    def test_content_sensitivity(self):
+        assert routing_key({"utt_id": "u1"}) != routing_key({"utt_id": "u2"})
+
+
+class TestRendezvous:
+    def test_choice_is_stable(self):
+        for key in _keys(32):
+            assert rendezvous_choose(key, SLOTS) == rendezvous_choose(
+                key, list(reversed(SLOTS))
+            )
+
+    def test_rank_starts_with_choice(self):
+        for key in _keys(16):
+            assert rendezvous_rank(key, SLOTS)[0] == rendezvous_choose(
+                key, SLOTS
+            )
+
+    def test_minimal_disruption_on_slot_loss(self):
+        # Killing w2 must move ONLY the keys w2 owned; every other key
+        # keeps its slot (the property modulo hashing lacks).
+        keys = _keys(256)
+        survivors = [slot for slot in SLOTS if slot != "w2"]
+        for key in keys:
+            before = rendezvous_choose(key, SLOTS)
+            after = rendezvous_choose(key, survivors)
+            if before != "w2":
+                assert after == before
+            else:
+                assert after in survivors
+
+    def test_roughly_balanced(self):
+        counts = Counter(rendezvous_choose(key, SLOTS) for key in _keys(400))
+        assert set(counts) == set(SLOTS)
+        assert min(counts.values()) > 400 / len(SLOTS) / 3
+
+    def test_single_slot(self):
+        assert rendezvous_choose("anything", ["w0"]) == "w0"

@@ -105,11 +105,22 @@ class TestManifest:
         manifest = json.loads((artifact_dir / "manifest.json").read_text())
         assert manifest["schema_version"] == SCHEMA_VERSION
         assert manifest["metadata"] == {"origin": "tests"}
-        for name, digest in manifest["files"].items():
-            assert (artifact_dir / name).exists()
-            assert len(digest) == 64
+        for name, entry in manifest["files"].items():
+            path = artifact_dir / name
+            assert path.exists()
+            assert len(entry["sha256"]) == 64
+            assert entry["bytes"] == path.stat().st_size
         assert "config.json" in manifest["files"]
-        assert "fusion.npz" in manifest["files"]
+        # Schema 2: fusion/vsm state is one mmap-able .npy per key.
+        fusion_payloads = [
+            name
+            for name in manifest["files"]
+            if name.startswith("fusion/") and name.endswith(".npy")
+        ]
+        assert fusion_payloads
+        assert any(
+            name.startswith("vsm__00_") for name in manifest["files"]
+        )
 
     def test_config_fingerprint_survives_json_round_trip(
         self, serve_config, artifact_dir
@@ -140,12 +151,20 @@ class TestLoadSafety:
 
     def test_rejects_corrupted_payload(self, artifact_dir, tmp_path):
         broken = _copy_artifact(artifact_dir, tmp_path)
-        target = broken / "fusion.npz"
+        target = broken / "fusion" / "weights.npy"
         data = bytearray(target.read_bytes())
         data[len(data) // 2] ^= 0xFF
         target.write_bytes(bytes(data))
         with pytest.raises(ArtifactError, match="corrupted"):
             load_system(broken)
+
+    def test_mmap_load_rejects_truncated_payload(self, artifact_dir, tmp_path):
+        # mmap mode skips hashing but still pins the manifest byte size.
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        target = broken / "fusion" / "weights.npy"
+        target.write_bytes(target.read_bytes()[:-8])
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_system(broken, mmap=True)
 
     def test_rejects_missing_payload(self, artifact_dir, tmp_path):
         broken = _copy_artifact(artifact_dir, tmp_path)
@@ -170,9 +189,10 @@ class TestLoadSafety:
         config_path.write_text(json.dumps(payload))
         manifest_path = broken / "manifest.json"
         manifest = json.loads(manifest_path.read_text())
-        manifest["files"]["config.json"] = hashlib.sha256(
-            config_path.read_bytes()
-        ).hexdigest()
+        manifest["files"]["config.json"] = {
+            "sha256": hashlib.sha256(config_path.read_bytes()).hexdigest(),
+            "bytes": config_path.stat().st_size,
+        }
         manifest_path.write_text(json.dumps(manifest))
         with pytest.raises(ArtifactError, match="config hash mismatch"):
             load_system(broken)
@@ -192,6 +212,55 @@ class TestLoadSafety:
     def test_accepts_matching_caller_config(self, artifact_dir, serve_config):
         loaded = load_system(artifact_dir, expected_config=serve_config)
         assert isinstance(loaded, TrainedSystem)
+
+
+import mmap as _mmap
+
+
+def _base_chain(array: np.ndarray):
+    """Walk ``ndarray.base`` to the owning object.
+
+    For a mapped artifact the chain ends at the raw ``mmap.mmap`` buffer
+    (views produced by ``np.asarray`` collapse past the ``np.memmap``
+    wrapper straight to its buffer).
+    """
+    obj = array
+    while getattr(obj, "base", None) is not None:
+        obj = obj.base
+    return obj
+
+
+def _is_mapped(array: np.ndarray) -> bool:
+    return isinstance(_base_chain(array), (np.memmap, _mmap.mmap))
+
+
+class TestMmapLoading:
+    def test_mmap_scores_bitwise_identical(
+        self, artifact_dir, serve_system, serve_baseline
+    ):
+        loaded = load_system(artifact_dir, mmap=True)
+        utterances = list(serve_system.bundle.test[3.0].utterances)
+        with ScoringEngine(loaded) as engine:
+            scores = engine.score_utterances(utterances)
+        reference = serve_system.fused_scores([serve_baseline], 3.0)
+        assert np.array_equal(scores, reference)
+
+    def test_mmap_arrays_are_views_not_copies(self, artifact_dir):
+        # The whole point of schema 2: every large array in the loaded
+        # system must bottom out in an np.memmap — no heap copy was
+        # made, so N processes mapping the same artifact share pages.
+        loaded = load_system(artifact_dir, mmap=True)
+        for _, vsm in loaded.subsystems:
+            for model in vsm.ovr.models_:
+                assert _is_mapped(model.weight_)
+                assert not model.weight_.flags.writeable
+        assert _is_mapped(loaded.fusion.weights_)
+
+    def test_eager_load_keeps_heap_arrays(self, artifact_dir):
+        loaded = load_system(artifact_dir)
+        for _, vsm in loaded.subsystems:
+            for model in vsm.ovr.models_:
+                assert not _is_mapped(model.weight_)
 
 
 class TestExportTrained:
