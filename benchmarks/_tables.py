@@ -6,6 +6,7 @@ from repro.core.reporting import (  # noqa: F401
     format_duration,
     format_table4,
     has_interior_minimum,
+    tables_match,
 )
 
 # Backwards-compatible alias used by the bench modules.

@@ -1,0 +1,116 @@
+"""Ablation — Viterbi beam width: the speed–accuracy dial.
+
+The beam decoder variant (``DecoderConfig.beam``, exposed through
+``build_frontends(decode_beam=...)``) prunes composite states whose DP
+score falls more than the half-width below the frame best.  This bench
+sweeps the width on a synthetic acoustic battery and quantifies the
+contract documented in docs/execution.md: a generous beam reproduces the
+exact decoder's 1-best output (pruning never touches the surviving
+path), while a tight beam starts changing decodes — which is exactly why
+any finite beam enters φ stage keys instead of silently reusing exact
+artifacts.
+
+Results land in ``benchmarks/results/ablation_beam.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.corpus.phoneset import PhoneSet
+from repro.frontend.am.gmm import DiagonalGMM
+from repro.frontend.am.hmm import GMMEmission, PhoneHMMSet
+from repro.frontend.decoder import DecoderConfig, ViterbiDecoder
+
+N_PHONES = 10
+STATES_PER_PHONE = 2
+FEATURE_DIM = 4
+N_UTTERANCES = 24
+PHONES_PER_UTTERANCE = 12
+FRAMES_PER_PHONE = 6
+#: None = exact decode; widths in log-score units.
+BEAMS = (None, 10.0, 3.0, 1.0)
+
+
+def _battery(rng) -> tuple[PhoneHMMSet, PhoneSet, np.ndarray]:
+    """A phone-loop HMM set over moderately separated prototypes.
+
+    The separation/noise ratio is deliberately tight: competing paths
+    must stay within a few log-score units of the winner, otherwise
+    every beam in the sweep reproduces the exact decode and the ablation
+    measures nothing.
+    """
+    means = rng.normal(0.0, 1.5, size=(N_PHONES, FEATURE_DIM))
+    gmms = []
+    for p in range(N_PHONES):
+        for _ in range(STATES_PER_PHONE):
+            gmms.append(
+                DiagonalGMM.from_parameters(
+                    means=means[p : p + 1],
+                    variances=np.ones((1, FEATURE_DIM)),
+                    weights=np.array([1.0]),
+                )
+            )
+    hmms = PhoneHMMSet(N_PHONES, STATES_PER_PHONE, GMMEmission(gmms))
+    phone_set = PhoneSet("beam", tuple(f"p{i}" for i in range(N_PHONES)))
+    return hmms, phone_set, means
+
+
+def _render_corpus(means, rng) -> list[np.ndarray]:
+    """Noisy frame sequences for random phone strings."""
+    corpus = []
+    for _ in range(N_UTTERANCES):
+        seq = rng.integers(0, N_PHONES, size=PHONES_PER_UTTERANCE)
+        frames = np.vstack(
+            [
+                means[p]
+                + rng.normal(0, 2.0, size=(FRAMES_PER_PHONE, FEATURE_DIM))
+                for p in seq
+            ]
+        )
+        corpus.append(frames)
+    return corpus
+
+
+def test_ablation_beam_width(report, benchmark):
+    rng = np.random.default_rng(20260808)
+    hmms, phone_set, means = _battery(rng)
+    corpus = _render_corpus(means, rng)
+
+    def sweep():
+        rows = {}
+        exact = None
+        for beam in BEAMS:
+            decoder = ViterbiDecoder(
+                hmms, phone_set, DecoderConfig(beam=beam)
+            )
+            t0 = time.perf_counter()
+            sausages = decoder.decode_batch(corpus)
+            elapsed = time.perf_counter() - t0
+            decoded = [s.best_phones() for s in sausages]
+            if exact is None:
+                exact = decoded
+            matches = sum(
+                np.array_equal(d, e) for d, e in zip(decoded, exact)
+            )
+            rows[beam] = (elapsed, matches / len(corpus))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"{'beam':<8}{'decode s':>10}{'1-best match':>14}",
+    ]
+    for beam, (elapsed, agree) in rows.items():
+        label = "exact" if beam is None else f"{beam:g}"
+        lines.append(f"{label:<8}{elapsed:>10.3f}{100 * agree:>13.1f}%")
+    report("ablation_beam", "\n".join(lines))
+
+    # A generous beam never prunes the winning path: 1-best output is
+    # identical to the exact decoder on every utterance.
+    assert rows[10.0][1] == 1.0
+    # Tightening the beam is a genuine accuracy dial — decodes must
+    # degrade monotonically through the sweep (a flat sweep would mean
+    # the knob is dead and its φ stage-key separation pointless).
+    assert rows[1.0][1] < rows[3.0][1] < rows[10.0][1]

@@ -413,8 +413,39 @@ def cmd_serve(args) -> int:
 
 
 def cmd_exec_verify(args) -> int:
-    """Re-hash every store payload; report (and optionally drop) corruption."""
+    """Re-hash every store payload; report (and optionally drop) corruption.
+
+    Also accepts a *saved-system* directory (``save_system`` output,
+    detected by its ``manifest.json``): those get the full-SHA-256 audit
+    of :func:`repro.serve.verify_system`, which re-hashes the ``.npy``
+    weight payloads the fast ``mmap`` load path only size-checks.
+    """
+    from pathlib import Path
+
     from repro.exec.store import ArtifactStore, StoreError
+
+    if (Path(args.store) / "manifest.json").exists():
+        from repro.serve.artifacts import ArtifactError, verify_system
+
+        try:
+            problems = verify_system(args.store)
+        except ArtifactError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.remove:
+            print(
+                "error: --remove only applies to stage stores; a saved "
+                "system with corrupt payloads must be re-exported",
+                file=sys.stderr,
+            )
+            return 2
+        if not problems:
+            print(f"saved system {args.store}: all payloads verified")
+            return 0
+        for record in problems:
+            print(f"  CORRUPT ({record['problem']}): {record['file']}")
+        print(f"{len(problems)} corrupt payloads — re-export the system")
+        return 1
 
     try:
         store = ArtifactStore(args.store)
@@ -619,9 +650,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("exec", help="artifact-store maintenance")
     exec_sub = p.add_subparsers(dest="exec_command", required=True)
     pv = exec_sub.add_parser(
-        "verify", help="re-hash store payloads, report/remove corruption"
+        "verify",
+        help="re-hash store or saved-system payloads, report corruption",
     )
-    pv.add_argument("store", help="artifact-store directory")
+    pv.add_argument(
+        "store",
+        help="artifact-store directory, or a saved-system directory "
+        "(detected by manifest.json) for a full-SHA-256 audit",
+    )
     pv.add_argument(
         "--remove", action="store_true",
         help="drop corrupt entries from the index",

@@ -70,7 +70,7 @@ from repro.metrics.eer import eer_from_matrix
 from repro.obs import trace
 from repro.obs.metrics import default_registry
 from repro.svm.vsm import VSM
-from repro.utils.parallel import pmap
+from repro.utils.parallel import effective_workers, pmap
 from repro.utils.rng import child_rng
 from repro.utils.sparse import SparseMatrix
 from repro.utils.timing import StageTimer
@@ -169,6 +169,26 @@ def _decode_utterance(frontend, seed: int, utterance):
     return frontend.decode(
         utterance, child_rng(seed, f"decode/{frontend.name}/{utterance.utt_id}")
     )
+
+
+def _frontend_stage_params(frontend) -> dict[str, object]:
+    """A frontend's numerics-changing decode params (may be absent)."""
+    getter = getattr(frontend, "stage_params", None)
+    return getter() if callable(getter) else {}
+
+
+def _decode_utterance_batch(frontend, seed: int, utterances):
+    """Top-level batched decode unit (picklable for the pool path).
+
+    Uses the exact per-utterance RNG streams :func:`_decode_utterance`
+    would, so batched and per-utterance fan-outs produce identical
+    sausages and the φ stage key can stay the same.
+    """
+    rngs = [
+        child_rng(seed, f"decode/{frontend.name}/{u.utt_id}")
+        for u in utterances
+    ]
+    return frontend.decode_batch(utterances, rngs)
 
 
 def evaluate_scores(
@@ -427,7 +447,14 @@ class PhonotacticSystem:
                 matrix = self._matrices.get(mkey)
             if matrix is None:
                 key = self._stage_key(
-                    "phi", frontend=frontend.name, corpus=tag
+                    "phi",
+                    frontend=frontend.name,
+                    corpus=tag,
+                    # Decode knobs that change numerics (float32 DP,
+                    # beam pruning) key separate artifacts; plain
+                    # batched float64 decoding is bitwise-identical and
+                    # adds nothing here.
+                    **_frontend_stage_params(frontend),
                 )
                 matrix = run_stage(
                     partial(self._compute_raw_matrix, frontend, tag),
@@ -477,15 +504,43 @@ class PhonotacticSystem:
             if quarantine
             else {}
         )
+        # Batched decoding amortises the per-frame DP over the whole
+        # corpus (bitwise-identical in float64).  Quarantine needs
+        # per-utterance fault isolation, so it keeps the scalar fan-out.
+        batch = (
+            not quarantine
+            and hasattr(frontend, "decode_batch")
+            and getattr(frontend, "is_trained", True)
+        )
         with trace.span("phi", frontend=frontend.name, corpus=tag) as sp:
             sp.inc("utterances", len(corpus))
             with self.timer.stage("decoding", audio_seconds=audio):
-                sausages = pmap(
-                    decode,
-                    corpus.utterances,
-                    workers=self.system.workers,
-                    **pmap_opts,
-                )
+                if batch:
+                    workers = effective_workers(self.system.workers)
+                    utts = corpus.utterances
+                    n_chunks = (
+                        1
+                        if workers == 1
+                        else max(1, min(len(utts), workers * 4))
+                    )
+                    chunks = [
+                        list(c)
+                        for c in np.array_split(np.array(utts, dtype=object), n_chunks)
+                        if len(c)
+                    ]
+                    batches = pmap(
+                        partial(_decode_utterance_batch, frontend, seed),
+                        chunks,
+                        workers=workers,
+                    )
+                    sausages = [s for chunk in batches for s in chunk]
+                else:
+                    sausages = pmap(
+                        decode,
+                        corpus.utterances,
+                        workers=self.system.workers,
+                        **pmap_opts,
+                    )
             if quarantined:
                 utt_ids = [
                     corpus.utterances[i].utt_id for i in quarantined

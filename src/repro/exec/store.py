@@ -65,7 +65,7 @@ import numpy as np
 
 from repro.faults.injection import ambient_plan
 from repro.obs.metrics import default_registry
-from repro.utils.io import load_sparse, save_sparse
+from repro.utils.io import load_sparse, save_npz, save_sparse
 from repro.utils.sparse import SparseMatrix
 
 __all__ = [
@@ -290,8 +290,11 @@ class ArtifactStore:
             for key in drop or ():
                 merged.pop(key, None)
             self._index = merged
+            # Compact encoding: the index is rewritten in full on every
+            # put, so pretty-printing multiplies encoder work and bytes
+            # across a campaign for no functional gain.
             payload = json.dumps(
-                {"version": 1, "entries": merged}, indent=2, sort_keys=True
+                {"version": 1, "entries": merged}, sort_keys=True
             )
             fd, tmp = tempfile.mkstemp(
                 dir=self.directory, prefix=".index-", suffix=".tmp"
@@ -342,21 +345,29 @@ class ArtifactStore:
         os.close(fd)
         tmp = Path(tmp_name)
         try:
+            # Store payloads are written uncompressed (compresslevel=0):
+            # every get re-hashes the file, so deflate would cost on the
+            # read path too, and at campaign scale the npz bodies are
+            # small next to the decode work they memoise.
             if kind == "sparse":
                 if not isinstance(value, SparseMatrix):
                     raise TypeError("kind 'sparse' requires a SparseMatrix")
-                save_sparse(tmp, value)
+                save_sparse(tmp, value, compresslevel=0)
             elif kind == "array":
-                np.savez_compressed(
-                    tmp, value=np.asarray(value, dtype=np.float64)
+                save_npz(
+                    tmp,
+                    {"value": np.asarray(value, dtype=np.float64)},
+                    compresslevel=0,
                 )
             elif kind == "arrays":
                 if not isinstance(value, dict) or not value:
                     raise TypeError(
                         "kind 'arrays' requires a non-empty dict of arrays"
                     )
-                np.savez_compressed(
-                    tmp, **{k: np.asarray(v) for k, v in value.items()}
+                save_npz(
+                    tmp,
+                    {k: np.asarray(v) for k, v in value.items()},
+                    compresslevel=0,
                 )
             else:  # json
                 tmp.write_text(

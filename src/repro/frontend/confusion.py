@@ -26,6 +26,7 @@ of the two paths at small scale is covered by integration tests.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -113,6 +114,11 @@ class ConfusionChannelRecognizer:
         )
         self.phone_set = universal.subset(name, self._local_universal_ids)
         self._scale = self._distance_scale()
+        # Prototype means and their squared row norms are fixed by the
+        # inventory; hoisting them out of _projection_for_means matters
+        # because session shifts force a fresh projection per utterance.
+        self._protos = acoustics.phone_means[self._local_universal_ids]
+        self._protos_sq = np.sum(self._protos**2, axis=1)
         self._projection = self._build_projection()
 
     # ------------------------------------------------------------------
@@ -136,11 +142,11 @@ class ConfusionChannelRecognizer:
         and the *clean* means of the local inventory's prototype phones,
         tempered by ``tau`` times the median inter-prototype distance.
         """
-        protos = self.acoustics.phone_means[self._local_universal_ids]
+        protos = self._protos
         d2 = (
             np.sum(means**2, axis=1)[:, None]
             - 2.0 * means @ protos.T
-            + np.sum(protos**2, axis=1)[None, :]
+            + self._protos_sq[None, :]
         )
         d2 = np.maximum(d2, 0.0)
         logits = -d2 / max(self.model.tau * self._scale, 1e-9)
@@ -185,6 +191,10 @@ class ConfusionChannelRecognizer:
         e = m.base_error + m.distortion_gain * utterance.session.distortion()
         return float(np.clip(e, 0.0, 0.85))
 
+    def stage_params(self) -> dict[str, object]:
+        """No decode knobs beyond the model itself (→ memoisation keys)."""
+        return {}
+
     def decode(
         self, utterance: Utterance, rng: np.random.Generator | int | None = None
     ) -> Sausage:
@@ -195,7 +205,145 @@ class ConfusionChannelRecognizer:
         error-rate-dependent flattening toward the local unigram, and
         (d) per-slot Dirichlet jitter that plays the role of per-utterance
         acoustic variability.
+
+        All slots are built in one batch of whole-array operations that
+        consume the identical RNG bitstream as the per-slot reference
+        loop (:meth:`_decode_reference`, kept selectable with
+        ``REPRO_PHI_REFERENCE=1`` and tested bitwise-equal), so tables
+        are unchanged while decode drops off the campaign profile.
         """
+        if os.environ.get("REPRO_PHI_REFERENCE"):
+            return self._decode_reference(utterance, rng)
+        rng = ensure_rng(
+            rng if rng is not None else child_rng(0, f"decode/{utterance.utt_id}")
+        )
+        noisy = self._jittered_slots(utterance, rng)
+        if noisy is None:
+            return Sausage([], self.phone_set)
+        slot_phones, slot_probs = self._rank_slots(noisy)
+        return Sausage.from_slot_arrays(slot_phones, slot_probs, self.phone_set)
+
+    def decode_batch(
+        self,
+        utterances: list[Utterance],
+        rngs: list[np.random.Generator] | None = None,
+    ) -> list[Sausage]:
+        """Decode many utterances, amortising slot post-processing.
+
+        Every utterance consumes exactly the RNG bitstream :meth:`decode`
+        would (sampling stays per utterance), but top-k selection,
+        renormalisation and slot-array validation run once over the
+        vertical concatenation of all slot matrices.  Those operations
+        are row-wise, so each row of the contiguous concatenation is
+        computed exactly as in the per-utterance call — the sausages are
+        bitwise identical to looping :meth:`decode`.
+        """
+        if rngs is None:
+            rngs = [
+                child_rng(0, f"decode/{u.utt_id}") for u in utterances
+            ]
+        if len(rngs) != len(utterances):
+            raise ValueError("rngs must match utterances in length")
+        if os.environ.get("REPRO_PHI_REFERENCE"):
+            return [
+                self._decode_reference(u, r)
+                for u, r in zip(utterances, rngs)
+            ]
+        noisies = [
+            self._jittered_slots(u, ensure_rng(r))
+            for u, r in zip(utterances, rngs)
+        ]
+        stacked = [n for n in noisies if n is not None]
+        if not stacked:
+            return [Sausage([], self.phone_set) for _ in noisies]
+        slot_phones, slot_probs = self._rank_slots(np.concatenate(stacked))
+        Sausage._validate_slot_arrays(slot_phones, slot_probs, self.phone_set)
+        sausages: list[Sausage] = []
+        start = 0
+        for noisy in noisies:
+            if noisy is None:
+                sausages.append(Sausage([], self.phone_set))
+                continue
+            end = start + noisy.shape[0]
+            sausages.append(
+                Sausage._from_validated_arrays(
+                    slot_phones[start:end],
+                    slot_probs[start:end],
+                    self.phone_set,
+                )
+            )
+            start = end
+        return sausages
+
+    def _jittered_slots(
+        self, utterance: Utterance, rng: np.random.Generator
+    ) -> np.ndarray | None:
+        """Sample the utterance's gamma-jittered slot matrix.
+
+        Consumes the identical bitstream as the per-slot reference loop;
+        returns ``None`` when the utterance decodes to an empty sausage.
+        """
+        m = self.model
+        err = self._session_error(utterance)
+        phones = utterance.phones
+        n_local = len(self.phone_set)
+        # --- insertions / deletions on the symbol stream -------------
+        del_rate = min(0.9, m.deletion_rate * (1.0 + 2.0 * err))
+        ins_rate = min(0.9, m.insertion_rate * (1.0 + 2.0 * err))
+        keep = rng.random(phones.size) >= del_rate
+        kept = phones[keep]
+        # One uniform per kept phone decides an insertion after it — the
+        # same draws, in the same order, as the scalar reference loop.
+        inserted = rng.random(kept.size) < ins_rate
+        n_slots = int(kept.size + inserted.sum())
+        # Universal id per slot; -1 marks a spurious (inserted) slot.
+        u_ids = np.full(max(n_slots, 0), -1, dtype=np.int64)
+        if kept.size:
+            offsets = np.zeros(kept.size, dtype=np.int64)
+            np.cumsum(inserted[:-1], out=offsets[1:])
+            u_ids[np.arange(kept.size) + offsets] = kept
+        if n_slots == 0:
+            if not phones.size:
+                return None
+            u_ids = phones[:1].astype(np.int64)
+        uniform = np.full(n_local, 1.0 / n_local)
+        projection = self.session_projection(utterance.session)
+        # Dirichlet jitter concentration: high when clean, low when noisy.
+        jitter_conc = 60.0 * (1.0 - err) + 4.0
+        base = projection[np.maximum(u_ids, 0)]
+        base[u_ids < 0] = uniform
+        probs = (1.0 - err) * base + err * uniform[None, :]
+        # Per-utterance decoding noise (same bitstream as per-slot draws).
+        return rng.gamma(np.maximum(probs * jitter_conc, 1e-3))
+
+    def _rank_slots(
+        self, noisy: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Normalise + top-k + phone-order the jittered slot matrix.
+
+        Strictly row-wise, so it may be handed one utterance's matrix or
+        a concatenation of many — each row comes out bitwise the same.
+        """
+        m = self.model
+        n_local = noisy.shape[1]
+        uniform = np.full(n_local, 1.0 / n_local)
+        totals = noisy.sum(axis=1)
+        ok = totals > 0
+        probs = np.where(
+            ok[:, None], noisy / np.where(ok, totals, 1.0)[:, None], uniform
+        )
+        top = np.argsort(probs, axis=1)[:, ::-1][:, : m.top_k]
+        top_probs = np.take_along_axis(probs, top, axis=1)
+        top_probs /= top_probs.sum(axis=1, keepdims=True)
+        order = np.argsort(top, axis=1)
+        slot_phones = np.take_along_axis(top, order, axis=1)
+        slot_probs = np.take_along_axis(top_probs, order, axis=1)
+        return slot_phones, slot_probs
+
+    def _decode_reference(
+        self, utterance: Utterance, rng: np.random.Generator | int | None = None
+    ) -> Sausage:
+        """The original per-slot decode loop (bitwise oracle for tests)."""
         rng = ensure_rng(
             rng if rng is not None else child_rng(0, f"decode/{utterance.utt_id}")
         )
@@ -203,7 +351,6 @@ class ConfusionChannelRecognizer:
         err = self._session_error(utterance)
         phones = utterance.phones
         n_local = len(self.phone_set)
-        # --- insertions / deletions on the symbol stream -------------
         del_rate = min(0.9, m.deletion_rate * (1.0 + 2.0 * err))
         ins_rate = min(0.9, m.insertion_rate * (1.0 + 2.0 * err))
         keep = rng.random(phones.size) >= del_rate
@@ -215,11 +362,9 @@ class ConfusionChannelRecognizer:
                 slots_universal.append(None)  # a spurious slot
         if not slots_universal:
             slots_universal = [int(phones[0])] if phones.size else []
-        # --- per-slot posterior construction --------------------------
         uniform = np.full(n_local, 1.0 / n_local)
         slots: list[SausageSlot] = []
         projection = self.session_projection(utterance.session)
-        # Dirichlet jitter concentration: high when clean, low when noisy.
         jitter_conc = 60.0 * (1.0 - err) + 4.0
         for u in slots_universal:
             if u is None:
@@ -227,7 +372,6 @@ class ConfusionChannelRecognizer:
             else:
                 base = projection[u]
             probs = (1.0 - err) * base + err * uniform
-            # Per-utterance decoding noise.
             noisy = rng.gamma(np.maximum(probs * jitter_conc, 1e-3))
             total = noisy.sum()
             probs = noisy / total if total > 0 else uniform

@@ -212,19 +212,140 @@ class SausageSlot:
         return int(self.phones[int(np.argmax(self.probs))])
 
 
+def _trusted_slot(phones: np.ndarray, probs: np.ndarray) -> SausageSlot:
+    """Build a :class:`SausageSlot` without per-slot validation.
+
+    Only for arrays already validated *in batch* (see
+    :meth:`Sausage.from_slot_arrays`): the per-slot ``__post_init__``
+    checks dominated decode profiles at hundreds of thousands of slots
+    per campaign.
+    """
+    slot = object.__new__(SausageSlot)
+    object.__setattr__(slot, "phones", phones)
+    object.__setattr__(slot, "probs", probs)
+    return slot
+
+
 class Sausage:
-    """A confusion network over a recognizer phone set."""
+    """A confusion network over a recognizer phone set.
+
+    Two internal representations coexist: a list of
+    :class:`SausageSlot` objects (the historical API, ``self.slots``)
+    and a padded pair of ``(T, K)`` arrays (``slot_arrays``) that the
+    vectorized n-gram counting path consumes.  Either can be the source
+    of truth — a sausage built from slots converts to arrays on first
+    demand, and a sausage built by :meth:`from_slot_arrays` materializes
+    slot objects lazily — so producers and consumers each use the form
+    that is cheap for them.
+    """
 
     def __init__(self, slots: Iterable[SausageSlot], phone_set: PhoneSet) -> None:
-        self.slots = list(slots)
+        self._slots: list[SausageSlot] | None = list(slots)
         self.phone_set = phone_set
         n = len(phone_set)
-        for slot in self.slots:
+        for slot in self._slots:
             if slot.phones.max(initial=-1) >= n:
                 raise ValueError("slot phone id out of range for phone set")
+        self._phones2d: np.ndarray | None = None
+        self._probs2d: np.ndarray | None = None
+
+    @classmethod
+    def from_slot_arrays(
+        cls, phones: np.ndarray, probs: np.ndarray, phone_set: PhoneSet
+    ) -> "Sausage":
+        """Build a sausage from padded per-slot arrays (fast producers).
+
+        ``phones`` is ``(T, K)`` int64 with padding value ``-1`` (only on
+        the right of each row) and ``probs`` is ``(T, K)`` float64 with
+        ``0.0`` at padded positions.  Validation — the same invariants
+        :class:`SausageSlot` enforces per slot — runs once, vectorized,
+        over the whole batch; slot objects are materialized lazily.
+        """
+        phones = np.asarray(phones, dtype=np.int64)
+        probs = np.asarray(probs, dtype=np.float64)
+        cls._validate_slot_arrays(phones, probs, phone_set)
+        return cls._from_validated_arrays(phones, probs, phone_set)
+
+    @staticmethod
+    def _validate_slot_arrays(
+        phones: np.ndarray, probs: np.ndarray, phone_set: PhoneSet
+    ) -> None:
+        """The :meth:`from_slot_arrays` invariants, checks only.
+
+        Every check is row-wise, so validating a vertical concatenation
+        of several sausages' slot arrays validates each of them — batch
+        producers exploit this to pay the fixed numpy costs once.
+        """
+        if phones.ndim != 2 or probs.shape != phones.shape:
+            raise ValueError("phones/probs must be matching (T, K) arrays")
+        t, k = phones.shape
+        if t and k == 0:
+            raise ValueError("slot needs matching non-empty phones/probs")
+        if t:
+            valid = phones >= 0
+            counts = valid.sum(axis=1)
+            if np.any(counts == 0):
+                raise ValueError("slot needs matching non-empty phones/probs")
+            # Padding must be right-packed so row slices are contiguous.
+            if not np.array_equal(valid, np.arange(k)[None, :] < counts[:, None]):
+                raise ValueError("slot padding must be right-packed")
+            if phones.max() >= len(phone_set):
+                raise ValueError("slot phone id out of range for phone set")
+            both = valid[:, 1:] & valid[:, :-1]
+            if k > 1 and np.any((phones[:, 1:] <= phones[:, :-1]) & both):
+                raise ValueError("slot phones must be unique")
+            if np.any(probs < 0) or np.any(probs[~valid] != 0.0):
+                raise ValueError("slot probs must be a distribution")
+            # |sum - 1| <= 1e-6 per row (allclose minus its call overhead;
+            # NaN/inf sums still fail the comparison and raise).
+            if not bool(np.all(np.abs(probs.sum(axis=1) - 1.0) <= 1e-6)):
+                raise ValueError("slot probs must be a distribution")
+
+    @classmethod
+    def _from_validated_arrays(
+        cls, phones: np.ndarray, probs: np.ndarray, phone_set: PhoneSet
+    ) -> "Sausage":
+        """Wrap already-validated ``(T, K)`` arrays without re-checking."""
+        sausage = cls.__new__(cls)
+        sausage._slots = None
+        sausage.phone_set = phone_set
+        sausage._phones2d = phones
+        sausage._probs2d = probs
+        return sausage
+
+    @property
+    def slots(self) -> list[SausageSlot]:
+        """Per-slot objects (materialized lazily from array form)."""
+        if self._slots is None:
+            phones, probs = self._phones2d, self._probs2d
+            counts = (phones >= 0).sum(axis=1)
+            self._slots = [
+                _trusted_slot(phones[i, : counts[i]], probs[i, : counts[i]])
+                for i in range(phones.shape[0])
+            ]
+        return self._slots
+
+    def slot_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Padded ``(T, K)`` views: phones (pad ``-1``) and probs (pad 0).
+
+        The form the vectorized n-gram counting path consumes; computed
+        once and cached when the sausage was built from slot objects.
+        """
+        if self._phones2d is None:
+            slots = self._slots or []
+            k = max((s.phones.size for s in slots), default=0)
+            phones = np.full((len(slots), k), -1, dtype=np.int64)
+            probs = np.zeros((len(slots), k), dtype=np.float64)
+            for i, slot in enumerate(slots):
+                phones[i, : slot.phones.size] = slot.phones
+                probs[i, : slot.probs.size] = slot.probs
+            self._phones2d, self._probs2d = phones, probs
+        return self._phones2d, self._probs2d
 
     def __len__(self) -> int:
-        return len(self.slots)
+        if self._slots is not None:
+            return len(self._slots)
+        return int(self._phones2d.shape[0])
 
     def best_phones(self) -> np.ndarray:
         """Top-1 phone sequence."""
@@ -265,7 +386,12 @@ class Sausage:
 
         Keeps at most ``top_k`` alternatives per slot and drops
         alternatives below ``min_prob``; the slot winner always survives
-        and probabilities are renormalised.
+        and probabilities are renormalised.  A slot that loses no
+        alternative is passed through untouched — renormalising an
+        already-normalised slot would shift its posteriors by an ulp
+        (the mass sums to ≈1, not exactly 1), which in turn perturbs
+        expected n-gram counts that must be invariant when pruning
+        removes nothing (``top_k`` ≥ inventory, ``min_prob`` = 0).
         """
         if top_k is not None and top_k < 1:
             raise ValueError("top_k must be >= 1")
@@ -275,9 +401,15 @@ class Sausage:
         for slot in self.slots:
             keep = slot.probs >= min_prob
             keep[int(np.argmax(slot.probs))] = True  # winner survives
+            if keep.all() and (top_k is None or slot.phones.size <= top_k):
+                pruned.append(slot)
+                continue
             phones, probs = slot.phones[keep], slot.probs[keep]
             if top_k is not None and phones.size > top_k:
-                order = np.argsort(probs)[::-1][:top_k]
+                # Stable descending selection: on exact probability ties
+                # the earlier (lower-phone) alternative wins, matching
+                # np.argmax — so the slot winner genuinely survives.
+                order = np.argsort(-probs, kind="stable")[:top_k]
                 phones, probs = phones[order], probs[order]
             order = np.argsort(phones)
             probs = probs[order] / probs.sum()

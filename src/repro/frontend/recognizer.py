@@ -233,3 +233,34 @@ class AcousticPhoneRecognizer:
         )
         frames = self.features(self.acoustics.emit(utterance, rng))
         return self._decoder.decode(frames)
+
+    def stage_params(self) -> dict[str, object]:
+        """Decode parameters that change numerics (→ memoisation keys)."""
+        return self.decoder_config.stage_params()
+
+    def decode_batch(
+        self,
+        utterances: list[Utterance],
+        rngs: list[np.random.Generator] | None = None,
+    ) -> list[Sausage]:
+        """Decode many utterances through one batched lattice DP.
+
+        Acoustic rendering stays per-utterance with exactly the RNG
+        stream :meth:`decode` would use (``child_rng(seed,
+        "decode/<utt_id>")`` when ``rngs`` is not given), so in float64
+        the sausages are bitwise identical to looping :meth:`decode`.
+        """
+        if self._decoder is None:
+            raise RuntimeError(f"recognizer {self.name!r} is not trained")
+        if rngs is None:
+            rngs = [
+                child_rng(self.seed, f"decode/{utt.utt_id}")
+                for utt in utterances
+            ]
+        if len(rngs) != len(utterances):
+            raise ValueError("rngs must match utterances in length")
+        frames = [
+            self.features(self.acoustics.emit(utt, ensure_rng(rng)))
+            for utt, rng in zip(utterances, rngs)
+        ]
+        return self._decoder.decode_batch(frames)

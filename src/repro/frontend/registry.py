@@ -85,6 +85,8 @@ def build_frontends(
     train_utterances: int = 24,
     states_per_phone: int = 2,
     top_k: int = 5,
+    decode_dtype: str = "float64",
+    decode_beam: float | None = None,
 ):
     """Instantiate (and in acoustic mode, train) the frontend battery.
 
@@ -101,6 +103,10 @@ def build_frontends(
         share streams with the corpus).
     train_utterances:
         Acoustic mode: training utterances per recognizer.
+    decode_dtype / decode_beam:
+        Acoustic mode: Viterbi DP width and optional beam half-width
+        (see :class:`~repro.frontend.decoder.DecoderConfig`).  Anything
+        other than exact float64 decoding enters φ stage keys.
     """
     check_in("mode", mode, ["confusion", "acoustic"])
     seed = (bundle.config.seed + 77) if seed is None else seed
@@ -157,7 +163,9 @@ def build_frontends(
             training_language,
             am_family=spec.am_family,
             states_per_phone=states_per_phone,
-            decoder_config=DecoderConfig(top_k=top_k),
+            decoder_config=DecoderConfig(
+                top_k=top_k, dtype=decode_dtype, beam=decode_beam
+            ),
             features=spec.features,
             seed=seed + k,
         )

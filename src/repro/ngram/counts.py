@@ -23,6 +23,8 @@ a vectorized scatter.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.frontend.lattice import Lattice, Sausage
@@ -31,6 +33,7 @@ from repro.utils.validation import check_positive
 __all__ = [
     "encode_ngram",
     "decode_ngram",
+    "expected_count_arrays",
     "expected_counts_sausage",
     "expected_counts_lattice",
 ]
@@ -73,7 +76,75 @@ def expected_counts_sausage(
     independent under the edge-posterior distribution, so the expected
     count of (p_1,…,p_n) starting at slot i is simply
     ``prod_j P(slot_{i+j} = p_j)``.
+
+    Dispatches to the vectorized :func:`expected_count_arrays`; setting
+    ``REPRO_PHI_REFERENCE=1`` selects the original per-window loop (the
+    bitwise oracle the fast path is tested against).
     """
+    if os.environ.get("REPRO_PHI_REFERENCE"):
+        return _expected_counts_sausage_reference(sausage, order)
+    codes, sums = expected_count_arrays(sausage, order)
+    return dict(zip(codes.tolist(), sums.tolist()))
+
+
+def expected_count_arrays(
+    sausage: Sausage, order: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized expected counts: sorted unique codes and their sums.
+
+    Works on the sausage's padded ``(T, K)`` slot arrays: every window's
+    outer product over alternatives is one broadcast, padded combinations
+    are masked out, and a single ``np.unique``/``np.add.at`` pass
+    aggregates — accumulation order matches the per-window reference
+    loop exactly, so the sums are bitwise identical.
+    """
+    check_positive("order", order)
+    n_phones = len(sausage.phone_set)
+    t = len(sausage)
+    if t < order:
+        return np.empty(0, np.int64), np.empty(0, np.float64)
+    phones, probs = sausage.slot_arrays()
+    valid = phones >= 0
+    safe = np.where(valid, phones, 0)
+    w = t - order + 1
+    codes = safe[:w]
+    prods = probs[:w]
+    ok = valid[:w]
+    for j in range(1, order):
+        codes = (
+            codes[:, :, None] * n_phones + safe[j : j + w][:, None, :]
+        ).reshape(w, -1)
+        prods = (prods[:, :, None] * probs[j : j + w][:, None, :]).reshape(w, -1)
+        ok = (ok[:, :, None] & valid[j : j + w][:, None, :]).reshape(w, -1)
+    mask = ok.ravel()
+    if mask.all():
+        flat_codes, flat_probs = codes.ravel(), prods.ravel()
+    else:
+        flat_codes, flat_probs = codes.ravel()[mask], prods.ravel()[mask]
+    n_codes = n_phones**order
+    if n_codes <= 1 << 20:
+        # Dense aggregation: bincount walks the flat arrays once in
+        # order, so each code's additions happen in exactly the same
+        # sequence as np.add.at / the reference loop — bitwise equal —
+        # without np.unique's internal argsort.  The occurrence pass
+        # keeps codes whose expected count sums to exactly 0.0, which
+        # the reference dict also records.
+        occ = np.bincount(flat_codes, minlength=n_codes)
+        sums = np.bincount(
+            flat_codes, weights=flat_probs, minlength=n_codes
+        )
+        uniq = np.flatnonzero(occ)
+        return uniq, sums[uniq]
+    uniq, inverse = np.unique(flat_codes, return_inverse=True)
+    sums = np.zeros(uniq.size, dtype=np.float64)
+    np.add.at(sums, inverse, flat_probs)
+    return uniq, sums
+
+
+def _expected_counts_sausage_reference(
+    sausage: Sausage, order: int
+) -> dict[int, float]:
+    """The original per-window outer-product loop (bitwise oracle)."""
     check_positive("order", order)
     n_phones = len(sausage.phone_set)
     slots = sausage.slots

@@ -18,12 +18,13 @@ recognizer inventory size) and is indexed by the base-``f`` n-gram code.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.frontend.lattice import Sausage
-from repro.ngram.counts import expected_counts_sausage
+from repro.ngram.counts import expected_count_arrays, expected_counts_sausage
 from repro.obs.metrics import default_registry
 from repro.utils.sparse import SparseMatrix, SparseVector
 from repro.utils.validation import check_positive
@@ -91,11 +92,44 @@ class SupervectorExtractor:
         return self.layout.orders
 
     def extract(self, sausage: Sausage) -> SparseVector:
-        """Supervector of one utterance's sausage (Eqs. 2–3)."""
+        """Supervector of one utterance's sausage (Eqs. 2–3).
+
+        Per-order blocks stay sparse end to end: counts arrive as sorted
+        (code, sum) arrays, are normalized within the block, offset, and
+        concatenated — the ``f^n``-dimensional blocks are never
+        densified and no intermediate dict is built.  The per-block
+        totals are sequential (``cumsum``) sums, matching the reference
+        dict path bitwise.
+        """
         if len(sausage.phone_set) != self.layout.n_phones:
             raise ValueError(
                 "sausage phone set does not match extractor inventory"
             )
+        if os.environ.get("REPRO_PHI_REFERENCE"):
+            return self._extract_reference(sausage)
+        index_parts: list[np.ndarray] = []
+        value_parts: list[np.ndarray] = []
+        for order, offset in zip(self.layout.orders, self.layout.offsets):
+            codes, sums = expected_count_arrays(sausage, order)
+            if codes.size == 0:
+                continue
+            total = float(np.cumsum(sums)[-1])
+            if total <= 0.0:
+                continue
+            index_parts.append(codes + offset)
+            value_parts.append(sums * (1.0 / total))
+        if index_parts:
+            indices = np.concatenate(index_parts)
+            values = np.concatenate(value_parts)
+        else:
+            indices = np.empty(0, np.int64)
+            values = np.empty(0, np.float64)
+        _EXTRACTED.inc()
+        _NNZ.observe(float(indices.size))
+        return SparseVector(self.layout.dim, indices, values)
+
+    def _extract_reference(self, sausage: Sausage) -> SparseVector:
+        """The original dict-based extraction (bitwise oracle)."""
         items: dict[int, float] = {}
         for order, offset in zip(self.layout.orders, self.layout.offsets):
             counts = expected_counts_sausage(sausage, order)
@@ -125,32 +159,133 @@ class TFLLRScaler:
     :math:`\sqrt{\max(p_{all}, p_{min})}`, with the floor guarding unseen
     n-grams (which would otherwise get unbounded weight — the standard
     LIBLINEAR-era practice of clipping rare-term scaling).
+
+    Storage is sparse: only the columns observed in training keep an
+    explicit scale; every unseen column has :math:`p_{all} = 0`, which the
+    floor maps to the constant :math:`1/\sqrt{p_{min}}`.  The fitted state
+    is therefore ``O(nnz)`` instead of ``O(f^N)``, and :meth:`transform`
+    never materialises a dense ``dim``-length vector.  The per-column
+    sums accumulate entries in the same order as the dense
+    ``column_sums`` path, so the scales are bitwise identical; the dense
+    path remains selectable with ``REPRO_PHI_REFERENCE=1``.
     """
 
     def __init__(self, min_prob: float = 1e-5) -> None:
         check_positive("min_prob", min_prob)
         self.min_prob = float(min_prob)
-        self.scale_: np.ndarray | None = None
+        self.dim_: int | None = None
+        self.scale_indices_: np.ndarray | None = None
+        self.scale_values_: np.ndarray | None = None
 
     @property
     def is_fitted(self) -> bool:
-        return self.scale_ is not None
+        return self.scale_indices_ is not None
+
+    @property
+    def default_scale(self) -> float:
+        """Scale of every column unseen in training (floored at min_prob)."""
+        return float(1.0 / np.sqrt(self.min_prob))
+
+    @property
+    def scale_(self) -> np.ndarray | None:
+        """Dense view of the fitted scaling (debug/legacy; ``O(dim)``)."""
+        if self.scale_indices_ is None or self.dim_ is None:
+            return None
+        out = np.full(self.dim_, self.default_scale, dtype=np.float64)
+        out[self.scale_indices_] = self.scale_values_
+        return out
+
+    @scale_.setter
+    def scale_(self, dense: np.ndarray | None) -> None:
+        """Adopt a dense scaling (legacy artifacts); stored sparsely.
+
+        Columns whose scale equals the unseen-column default are not
+        stored — :meth:`transform` output is unchanged bitwise, and the
+        :attr:`scale_` getter reconstructs the identical dense vector.
+        """
+        if dense is None:
+            self.dim_ = None
+            self.scale_indices_ = None
+            self.scale_values_ = None
+            return
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim != 1:
+            raise ValueError("dense scale must be 1-D")
+        observed = np.nonzero(dense != self.default_scale)[0]
+        self.dim_ = int(dense.shape[0])
+        self.scale_indices_ = observed.astype(np.int64)
+        self.scale_values_ = dense[observed]
+
+    def load_sparse_scale(
+        self, dim: int, indices: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Restore a fitted scaling from its sparse persisted form."""
+        indices = np.asarray(indices, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        if indices.shape != values.shape or indices.ndim != 1:
+            raise ValueError("scale indices/values must be matching 1-D arrays")
+        if indices.size and (
+            indices[0] < 0
+            or indices[-1] >= dim
+            or not np.all(np.diff(indices) > 0)
+        ):
+            raise ValueError(
+                "scale indices must be strictly increasing and within dim"
+            )
+        self.dim_ = int(dim)
+        self.scale_indices_ = indices
+        self.scale_values_ = values
 
     def fit(self, train: SparseMatrix) -> "TFLLRScaler":
         """Estimate the per-component scaling from training supervectors."""
         if train.n_rows == 0:
             raise ValueError("cannot fit TFLLR scaling on an empty matrix")
-        p_all = train.column_sums() / train.n_rows
-        self.scale_ = 1.0 / np.sqrt(np.maximum(p_all, self.min_prob))
+        if os.environ.get("REPRO_PHI_REFERENCE"):
+            p_all = train.column_sums() / train.n_rows
+            self.scale_ = 1.0 / np.sqrt(np.maximum(p_all, self.min_prob))
+            return self
+        cols, inverse = np.unique(train.indices, return_inverse=True)
+        sums = np.zeros(cols.size, dtype=np.float64)
+        # Entry order matches column_sums()' np.add.at accumulation, so
+        # each column's sum is bitwise equal to the dense path.
+        np.add.at(sums, inverse, train.values)
+        p_observed = sums / train.n_rows
+        self.dim_ = train.dim
+        self.scale_indices_ = cols
+        self.scale_values_ = 1.0 / np.sqrt(
+            np.maximum(p_observed, self.min_prob)
+        )
         return self
 
     def transform(self, x: SparseMatrix) -> SparseMatrix:
         """Apply the fitted scaling to a batch of supervectors."""
-        if self.scale_ is None:
+        if not self.is_fitted:
             raise RuntimeError("TFLLRScaler is not fitted")
-        if x.dim != self.scale_.shape[0]:
+        if x.dim != self.dim_:
             raise ValueError("dimension mismatch with fitted scaling")
-        return x.scale_columns(self.scale_)
+        if os.environ.get("REPRO_PHI_REFERENCE"):
+            return x.scale_columns(self.scale_)
+        if self.dim_ <= 1 << 22:
+            # Dense per-column lookup: O(dim) to build, then one fancy
+            # gather — same values as the searchsorted mapping below but
+            # without the per-nnz binary searches.
+            lut = np.full(self.dim_, self.default_scale, dtype=np.float64)
+            lut[self.scale_indices_] = self.scale_values_
+            diag_entries = lut[x.indices]
+        elif self.scale_indices_.size == 0:
+            diag_entries = np.full(
+                x.indices.size, self.default_scale, dtype=np.float64
+            )
+        else:
+            pos = np.searchsorted(self.scale_indices_, x.indices)
+            pos = np.minimum(pos, self.scale_indices_.size - 1)
+            hit = self.scale_indices_[pos] == x.indices
+            diag_entries = np.where(
+                hit, self.scale_values_[pos], self.default_scale
+            )
+        return SparseMatrix(
+            x.dim, x.indptr, x.indices, x.values * diag_entries
+        )
 
     def fit_transform(self, train: SparseMatrix) -> SparseMatrix:
         """Fit on ``train`` and return it scaled."""

@@ -200,6 +200,30 @@ class Histogram:
             self._min = None
             self._max = None
 
+    def absorb(self, snap: Mapping[str, Any]) -> None:
+        """Fold another histogram's snapshot into this live instrument.
+
+        Exact accumulators add; the snapshot's retained ``samples``
+        (present when it was taken with ``include_samples=True``) are
+        replayed into the reservoir so the parent's quantiles see the
+        absorbed observations.  Used to merge process-pool workers'
+        registries back into the parent (:func:`repro.utils.parallel.pmap`).
+        """
+        count = int(snap.get("count") or 0)
+        if count == 0:
+            return
+        total = float(snap.get("total") or 0.0)
+        lo, hi = snap.get("min"), snap.get("max")
+        with self._lock:
+            self._count += count
+            self._total += total
+            if lo is not None and (self._min is None or lo < self._min):
+                self._min = float(lo)
+            if hi is not None and (self._max is None or hi > self._max):
+                self._max = float(hi)
+            for value in snap.get("samples") or ():
+                self._samples.append(float(value))
+
     def snapshot(self, *, include_samples: bool = False) -> dict[str, Any]:
         """JSON-able summary with count/total/mean/min/max/p50/p95/p99.
 
@@ -309,6 +333,30 @@ class MetricsRegistry:
         """Zero every registered instrument in place (names persist)."""
         for instrument in self:
             instrument.reset()
+
+    def absorb(self, snapshot: Mapping[str, Mapping[str, Any]]) -> None:
+        """Fold a worker process's registry snapshot into this registry.
+
+        Counters add their values and histograms replay their exact
+        accumulators and retained samples (:meth:`Histogram.absorb`).
+        Gauges are skipped: a last-value instrument from an exited
+        worker (queue depth, pool width) describes a process that no
+        longer exists, and summing it into the parent's own gauge would
+        corrupt both readings.  Unknown names are created on demand, so
+        instrumentation that only ever runs in workers still surfaces.
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("type")
+            if kind == "counter":
+                value = snap.get("value")
+                if value:
+                    self.counter(name).inc(float(value))
+            elif kind == "histogram":
+                self.histogram(name).absorb(snap)
+            elif kind != "gauge":
+                raise TypeError(
+                    f"metric {name!r} has unknown snapshot type {kind!r}"
+                )
 
 
 def _merge_histograms(

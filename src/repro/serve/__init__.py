@@ -51,6 +51,7 @@ from repro.serve.artifacts import (
     export_trained,
     load_system,
     save_system,
+    verify_system,
 )
 from repro.serve.cache import ScoreCache
 from repro.serve.engine import (
@@ -76,6 +77,7 @@ __all__ = [
     "export_trained",
     "load_system",
     "save_system",
+    "verify_system",
     "ScoreCache",
     "ScoringEngine",
     "QueueFullError",

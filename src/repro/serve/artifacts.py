@@ -64,6 +64,7 @@ __all__ = [
     "export_trained",
     "save_system",
     "load_system",
+    "verify_system",
 ]
 
 #: Artifact layout version; bump on any incompatible change.
@@ -325,6 +326,41 @@ def save_system(
     return directory
 
 
+def verify_system(directory: str | Path) -> list[dict[str, str]]:
+    """Fully re-hash every payload of a saved system against its manifest.
+
+    Unlike the ``mmap=True`` load path — which by design checks mapped
+    ``.npy`` payloads by existence and byte size only, so a same-length
+    bit flip in a weight matrix would go unnoticed until it skewed a
+    score — this audit computes the SHA-256 of **every** listed file,
+    array payloads included, and compares it to the digest pinned at
+    export time.
+
+    Returns one record per problem: ``{"file", "problem"}`` where
+    ``problem`` is ``"missing"`` or ``"checksum"``.  An empty list means
+    the artifact is byte-for-byte what :func:`save_system` wrote.  A
+    missing or unreadable manifest raises :class:`ArtifactError` — with
+    no digests there is nothing to verify against.
+    """
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise ArtifactError(f"no manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"unreadable manifest at {manifest_path}") from exc
+    problems: list[dict[str, str]] = []
+    for name in sorted(manifest.get("files", {})):
+        entry = manifest["files"][name]
+        path = directory / name
+        if not path.exists():
+            problems.append({"file": name, "problem": "missing"})
+        elif _file_sha256(path) != entry["sha256"]:
+            problems.append({"file": name, "problem": "checksum"})
+    return problems
+
+
 def load_system(
     directory: str | Path,
     *,
@@ -346,7 +382,9 @@ def load_system(
     being fully hashed — hashing would fault in every page and defeat
     the lazy open; the export-time SHA-256 still pins the bytes for
     ``mmap=False`` loads and offline audits.  Non-array payloads are
-    fully hash-verified in both modes.
+    fully hash-verified in both modes.  :func:`verify_system` (exposed
+    as ``repro exec verify <dir>``) re-hashes everything, catching the
+    same-length corruption the mapped fast path cannot.
     """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST

@@ -81,7 +81,7 @@ from repro.serve.artifacts import TrainedSystem
 from repro.serve.cache import ScoreCache
 from repro.faults.injection import FaultPlan
 from repro.serve.protocol import utterance_digest
-from repro.utils.parallel import pmap
+from repro.utils.parallel import effective_workers, pmap
 from repro.utils.rng import child_rng
 from repro.utils.timing import StageTimer
 
@@ -131,6 +131,21 @@ def _decode_one(frontend, seed: int, utterance: Utterance):
     return frontend.decode(
         utterance, child_rng(seed, f"decode/{frontend.name}/{utterance.utt_id}")
     )
+
+
+def _decode_many(frontend, seed: int, utterances: list[Utterance]):
+    """Batched decode with the same RNG keying (picklable for pmap).
+
+    Falls back to the scalar loop for frontends without a batched
+    decoder; with one, the batch is bitwise-identical in float64.
+    """
+    if hasattr(frontend, "decode_batch"):
+        rngs = [
+            child_rng(seed, f"decode/{frontend.name}/{u.utt_id}")
+            for u in utterances
+        ]
+        return frontend.decode_batch(utterances, rngs)
+    return [_decode_one(frontend, seed, u) for u in utterances]
 
 
 def _settle(future: Future, *, result=None, exception=None) -> bool:
@@ -651,11 +666,27 @@ class ScoringEngine:
                     continue
                 try:
                     self.faults.apply(frontend.name)
-                    decode = partial(_decode_one, frontend, seed)
                     with self._stage("decoding", audio_seconds=audio):
-                        sausages = pmap(
-                            decode, miss_utts, workers=self.workers
+                        n_chunks = max(
+                            1,
+                            min(
+                                len(miss_utts),
+                                effective_workers(self.workers),
+                            ),
                         )
+                        chunks = [
+                            list(c)
+                            for c in np.array_split(
+                                np.array(miss_utts, dtype=object), n_chunks
+                            )
+                            if len(c)
+                        ]
+                        batches = pmap(
+                            partial(_decode_many, frontend, seed),
+                            chunks,
+                            workers=self.workers,
+                        )
+                        sausages = [s for b in batches for s in b]
                     with self._stage("sv_generation", audio_seconds=audio):
                         raw_by_frontend[frontend.name] = self._extractors[
                             frontend.name

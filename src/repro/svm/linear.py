@@ -97,40 +97,56 @@ class LinearSVC:
         # Guard all-zero rows (empty supervectors).
         q_diag = np.maximum(q_diag, 1e-12)
 
-        alpha = np.zeros(n)
         w = np.zeros(x.dim)
         b = 0.0
-        rows = [x.row(i) for i in range(n)]
+        # Pre-split the CSR rows once (plain indptr slices — the matrix
+        # validated its rows on construction, so per-row SparseVector
+        # re-validation would be pure overhead).  The dot below is exactly
+        # SparseVector.dot_dense (same gather, same reduction order) with
+        # the per-call method and dimension-check overhead stripped —
+        # this loop runs n_rows × epochs × classes times per campaign.
+        indptr, xi, xv = x.indptr, x.indices, x.values
+        row_idx = [xi[indptr[i] : indptr[i + 1]] for i in range(n)]
+        row_val = [xv[indptr[i] : indptr[i + 1]] for i in range(n)]
+        bias_scale = self.bias_scale
+        # Scalar state lives in python floats: extracting numpy 0-d
+        # scalars (y[i], alpha[i], q_diag[i]) every iteration costs more
+        # than the arithmetic they feed, and float64 <-> python float is
+        # exact, so the update sequence is bit-for-bit unchanged.
+        y_list = y.tolist()
+        q_list = q_diag.tolist()
+        alpha_list = [0.0] * n
         for epoch in range(self.max_epochs):
-            order = rng.permutation(n)
+            order = rng.permutation(n).tolist()
             max_violation = 0.0
             for i in order:
-                row = rows[i]
-                margin = row.dot_dense(w) + self.bias_scale * b
-                grad = y[i] * margin - 1.0 + diag_add * alpha[i]
+                idx = row_idx[i]
+                val = row_val[i]
+                y_i = y_list[i]
+                a_i = alpha_list[i]
+                margin = float(w[idx] @ val) + bias_scale * b
+                grad = y_i * margin - 1.0 + diag_add * a_i
                 # Projected gradient for the box constraint.
-                if alpha[i] <= 0.0:
+                if a_i <= 0.0:
                     pg = min(grad, 0.0)
-                elif alpha[i] >= upper:
+                elif a_i >= upper:
                     pg = max(grad, 0.0)
                 else:
                     pg = grad
                 if pg != 0.0:
                     max_violation = max(max_violation, abs(pg))
-                    new_alpha = min(
-                        max(alpha[i] - grad / q_diag[i], 0.0), upper
-                    )
-                    delta = (new_alpha - alpha[i]) * y[i]
+                    new_alpha = min(max(a_i - grad / q_list[i], 0.0), upper)
+                    delta = (new_alpha - a_i) * y_i
                     if delta != 0.0:
-                        w[row.indices] += delta * row.values
-                        b += delta * self.bias_scale
-                        alpha[i] = new_alpha
+                        w[idx] += delta * val
+                        b += delta * bias_scale
+                        alpha_list[i] = new_alpha
             self.n_epochs_ = epoch + 1
             if max_violation < self.tol:
                 break
         self.weight_ = w
         self.bias_ = b * self.bias_scale
-        self.alpha_ = alpha
+        self.alpha_ = np.asarray(alpha_list)
         return self
 
     # ------------------------------------------------------------------

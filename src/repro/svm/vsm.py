@@ -102,7 +102,10 @@ class VSM:
             if not self.scaler.is_fitted:
                 raise RuntimeError("cannot serialise an unfitted VSM")
             state["min_prob"] = self.scaler.min_prob
-            state["scale"] = self.scaler.scale_
+            # Sparse persisted form: only training-observed columns carry
+            # an explicit scale; everything else is 1/sqrt(min_prob).
+            state["scale_indices"] = self.scaler.scale_indices_
+            state["scale_values"] = self.scaler.scale_values_
         for key, value in self.ovr.state_dict().items():
             state[f"ovr.{key}"] = value
         return state
@@ -123,10 +126,19 @@ class VSM:
             seed=int(state["ovr.seed"]),
         )
         if vsm.scaler is not None:
-            scale = np.asarray(state["scale"], dtype=np.float64)
-            if scale.shape != (vsm.extractor.dim,):
-                raise ValueError("TFLLR scale does not match supervector dim")
-            vsm.scaler.scale_ = scale
+            if "scale_indices" in state:
+                vsm.scaler.load_sparse_scale(
+                    vsm.extractor.dim,
+                    state["scale_indices"],
+                    state["scale_values"],
+                )
+            else:  # legacy artifacts persisted the dense scale vector
+                scale = np.asarray(state["scale"], dtype=np.float64)
+                if scale.shape != (vsm.extractor.dim,):
+                    raise ValueError(
+                        "TFLLR scale does not match supervector dim"
+                    )
+                vsm.scaler.scale_ = scale
         vsm.ovr = OneVsRestSVM.from_state(
             {
                 key[len("ovr.") :]: value

@@ -144,13 +144,26 @@ def chunked(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return out
 
 
-def _apply_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+def _apply_chunk(
+    fn: Callable[[T], R], chunk: list[T]
+) -> tuple[list[R], dict | None]:
     # Chaos hook, pool workers only: the parent's serial fallback must
     # stay injection-free or a transient worker fault would recur there
     # and masquerade as a persistent per-item failure.
-    if multiprocessing.parent_process() is not None:
+    in_worker = multiprocessing.parent_process() is not None
+    if in_worker:
         ambient_plan().apply("pmap")
-    return [fn(item) for item in chunk]
+        # A forked worker inherits the parent registry's accumulated
+        # values, and pool workers are reused across chunks — reset so
+        # the snapshot shipped back is this chunk's delta only.
+        default_registry().reset()
+    results = [fn(item) for item in chunk]
+    metrics = (
+        default_registry().snapshot(include_samples=True)
+        if in_worker
+        else None
+    )
+    return results, metrics
 
 
 def _run_serial(
@@ -260,8 +273,14 @@ def pmap(
                         fn, chunks[i], offsets[i], results, failures, on_error
                     )
                 else:
+                    chunk_values, worker_metrics = chunk_result
+                    if worker_metrics:
+                        # Metrics recorded inside the worker (decode
+                        # counters, φ histograms, …) would otherwise die
+                        # with the pool — merge them into this process.
+                        default_registry().absorb(worker_metrics)
                     off = offsets[i]
-                    for j, value in enumerate(chunk_result):
+                    for j, value in enumerate(chunk_values):
                         results[off + j] = value
         finally:
             pool.shutdown(wait=not broken, cancel_futures=True)

@@ -121,3 +121,47 @@ class TestDecode:
         )
         sausage = fe.decode(utterance, 0)
         assert len(sausage) >= utterance.n_phones  # only insertions
+
+
+class TestDecodeBatch:
+    """decode_batch is a pure speed switch: bitwise equal to the loop."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self, space):
+        lang = make_language("l", space.phone_set, 0, inventory_size=24)
+        gen = UtteranceGenerator(SessionSampler(13, seed=7), frame_rate=20.0)
+        return [
+            gen.sample_utterance(f"u{i}", lang, 4.0 + i, 3) for i in range(6)
+        ]
+
+    @staticmethod
+    def _assert_bitwise_equal(batch, looped):
+        assert len(batch) == len(looped)
+        for got, want in zip(batch, looped):
+            assert len(got) == len(want)
+            for gs, ws in zip(got.slots, want.slots):
+                np.testing.assert_array_equal(gs.phones, ws.phones)
+                assert gs.probs.tobytes() == ws.probs.tobytes()
+
+    def test_batch_matches_scalar_loop_bitwise(self, space, corpus):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        looped = [fe.decode(u) for u in corpus]
+        self._assert_bitwise_equal(fe.decode_batch(corpus), looped)
+
+    def test_batch_matches_reference_bitwise(
+        self, space, corpus, monkeypatch
+    ):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        batch = fe.decode_batch(corpus)
+        monkeypatch.setenv("REPRO_PHI_REFERENCE", "1")
+        reference = [fe.decode(u) for u in corpus]
+        self._assert_bitwise_equal(batch, reference)
+
+    def test_empty_batch(self, space):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        assert fe.decode_batch([]) == []
+
+    def test_rng_length_mismatch_raises(self, space, corpus):
+        fe = ConfusionChannelRecognizer("X", space, 30, seed=1)
+        with pytest.raises(ValueError):
+            fe.decode_batch(corpus, rngs=[np.random.default_rng(0)])

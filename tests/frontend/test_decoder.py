@@ -181,3 +181,112 @@ class TestDecoderKnobs:
         n_base = len(base.decode(frames))
         n_penalised = len(penalised.decode(frames))
         assert n_penalised <= n_base
+
+
+def _assert_sausages_bitwise_equal(batch, loop):
+    assert len(batch) == len(loop)
+    for sb, sl in zip(batch, loop):
+        assert len(sb) == len(sl)
+        for a, b in zip(sb.slots, sl.slots):
+            np.testing.assert_array_equal(a.phones, b.phones)
+            np.testing.assert_array_equal(a.probs, b.probs)
+
+
+def _render_batch(means, rng):
+    """Utterances exercising the padded-lattice edges: a 1-frame
+    utterance, mixed lengths, and two rows tied at the maximum length."""
+    return [
+        render(means, [0], 1, rng)[:1],          # single frame
+        render(means, [1, 2], 3, rng),           # short
+        render(means, [0, 1, 2, 1], 5, rng),     # max length …
+        render(means, [2, 0, 1, 0], 5, rng),     # … tied with this one
+        render(means, [1], 2, rng),
+    ]
+
+
+class TestBatchParity:
+    """decode_batch must reproduce the loop decoder: bitwise in float64,
+    within the documented tolerance in float32."""
+
+    @pytest.mark.parametrize("mode", ["fb", "softmax"])
+    def test_float64_bitwise(self, rng, mode):
+        decoder, means = separated_decoder(posterior_mode=mode, top_k=3)
+        frames_list = _render_batch(means, rng)
+        batch = decoder.decode_batch(frames_list)
+        loop = [decoder.decode(f) for f in frames_list]
+        _assert_sausages_bitwise_equal(batch, loop)
+
+    def test_float64_bitwise_with_beam(self, rng):
+        decoder, means = separated_decoder(beam=40.0)
+        frames_list = _render_batch(means, rng)
+        _assert_sausages_bitwise_equal(
+            decoder.decode_batch(frames_list),
+            [decoder.decode(f) for f in frames_list],
+        )
+
+    def test_single_frame_only_batch(self, rng):
+        # Every row is one frame: T_max == 1, no padding headroom at all.
+        decoder, means = separated_decoder()
+        frames_list = [render(means, [p], 1, rng)[:1] for p in (0, 1, 2)]
+        _assert_sausages_bitwise_equal(
+            decoder.decode_batch(frames_list),
+            [decoder.decode(f) for f in frames_list],
+        )
+
+    def test_empty_utterance_in_batch(self, rng):
+        decoder, means = separated_decoder()
+        frames_list = [
+            render(means, [0, 1], 3, rng),
+            np.zeros((0, 2)),
+            render(means, [2], 2, rng),
+        ]
+        batch = decoder.decode_batch(frames_list)
+        assert len(batch[1]) == 0
+        _assert_sausages_bitwise_equal(
+            batch, [decoder.decode(f) for f in frames_list]
+        )
+
+    def test_batch_disabled_falls_back_to_loop(self, rng):
+        decoder, means = separated_decoder(batch=False)
+        frames_list = _render_batch(means, rng)
+        _assert_sausages_bitwise_equal(
+            decoder.decode_batch(frames_list),
+            [decoder.decode(f) for f in frames_list],
+        )
+
+    def test_float32_batch_matches_loop_within_tolerance(self, rng):
+        decoder, means = separated_decoder(dtype="float32")
+        frames_list = _render_batch(means, rng)
+        batch = decoder.decode_batch(frames_list)
+        loop = [decoder.decode(f) for f in frames_list]
+        assert len(batch) == len(loop)
+        for sb, sl in zip(batch, loop):
+            assert len(sb) == len(sl)
+            for a, b in zip(sb.slots, sl.slots):
+                np.testing.assert_array_equal(a.phones, b.phones)
+                np.testing.assert_allclose(a.probs, b.probs, atol=1e-5)
+
+    def test_float32_tracks_float64_within_documented_tolerance(self, rng):
+        # The tolerance policy the tables comparator encodes: float32
+        # decode posteriors may drift from float64 by ~1e-5, no more.
+        from repro.core.reporting import tables_match
+
+        d32, means = separated_decoder(dtype="float32")
+        d64, _ = separated_decoder(dtype="float64")
+        frames_list = _render_batch(means, rng)
+        out32 = d32.decode_batch(frames_list)
+        out64 = d64.decode_batch(frames_list)
+        probs32 = [[s.probs for s in sg.slots] for sg in out32]
+        probs64 = [[s.probs for s in sg.slots] for sg in out64]
+        phones32 = [[s.phones for s in sg.slots] for sg in out32]
+        phones64 = [[s.phones for s in sg.slots] for sg in out64]
+        assert tables_match(phones32, phones64)
+        assert not tables_match(probs32, probs64)  # not bitwise …
+        assert tables_match(probs32, probs64, atol=1e-4)  # … but close
+
+    def test_float32_stage_params_mark_phi_keys(self):
+        decoder, _ = separated_decoder(dtype="float32", beam=25.0)
+        params = decoder.config.stage_params()
+        assert params == {"decode_dtype": "float32", "decode_beam": 25.0}
+        default, _ = separated_decoder()
+        assert default.config.stage_params() == {}

@@ -176,3 +176,63 @@ class TestRegistry:
         assert "frontend.decoder.decodes" in names
         assert "ngram.supervector.extracted" in names
         assert "parallel.pmap.calls" in names
+
+
+class TestAbsorb:
+    def test_histogram_absorb_merges_accumulators_and_samples(self):
+        parent = Histogram("h", maxlen=16)
+        parent.observe(1.0)
+        parent.observe(9.0)
+        worker = Histogram("h", maxlen=16)
+        for v in (2.0, 4.0, 20.0):
+            worker.observe(v)
+        parent.absorb(worker.snapshot(include_samples=True))
+        snap = parent.snapshot()
+        assert snap["count"] == 5
+        assert snap["total"] == pytest.approx(36.0)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 20.0
+        # Quantiles see the pooled reservoir.
+        assert parent.quantile(50.0) == 4.0
+
+    def test_histogram_absorb_empty_snapshot_is_noop(self):
+        parent = Histogram("h")
+        parent.observe(3.0)
+        parent.absorb(Histogram("h").snapshot(include_samples=True))
+        assert parent.count == 1
+        assert parent.quantile(50.0) == 3.0
+
+    def test_histogram_absorb_without_samples_keeps_exact_counts(self):
+        # A sample-free snapshot (include_samples=False) still carries
+        # the exact accumulators; only the quantile reservoir misses out.
+        parent = Histogram("h")
+        worker = Histogram("h")
+        worker.observe(7.0)
+        parent.absorb(worker.snapshot())
+        assert parent.count == 1
+        assert parent.snapshot()["total"] == 7.0
+
+    def test_registry_absorb_counters_histograms_not_gauges(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(2)
+        parent.gauge("g").set(5.0)
+        worker = MetricsRegistry()
+        worker.counter("c").inc(3)
+        worker.gauge("g").set(99.0)
+        worker.histogram("h").observe(1.5)
+        parent.absorb(worker.snapshot(include_samples=True))
+        assert parent.counter("c").value == 5.0
+        # A dead worker's last-value gauge must not leak into the parent.
+        assert parent.gauge("g").value == 5.0
+        assert parent.histogram("h").count == 1
+
+    def test_registry_absorb_creates_unknown_instruments(self):
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        worker.counter("only.in.worker").inc(4)
+        parent.absorb(worker.snapshot())
+        assert parent.counter("only.in.worker").value == 4.0
+
+    def test_registry_absorb_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().absorb({"x": {"type": "mystery", "value": 1}})

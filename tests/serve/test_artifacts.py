@@ -324,3 +324,74 @@ class TestStateDicts:
     def test_fusion_state_requires_fit(self):
         with pytest.raises(RuntimeError):
             LdaMmiFusion().state_dict()
+
+
+class TestVerifySystem:
+    def test_clean_artifact_verifies(self, artifact_dir):
+        from repro.serve import verify_system
+
+        assert verify_system(artifact_dir) == []
+
+    def test_same_length_bit_flip_in_npy_is_caught(
+        self, artifact_dir, tmp_path
+    ):
+        # The exact corruption the mmap load path cannot see: one byte
+        # flipped inside an array payload, file length unchanged.
+        from repro.serve import verify_system
+
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        target = broken / "fusion" / "weights.npy"
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0x01  # flip inside the array body, not the header
+        target.write_bytes(bytes(data))
+        # mmap load sees the right byte count and opens happily…
+        loaded = load_system(broken, mmap=True)
+        assert isinstance(loaded, TrainedSystem)
+        # …the full audit does not.
+        problems = verify_system(broken)
+        assert problems == [
+            {"file": "fusion/weights.npy", "problem": "checksum"}
+        ]
+        # And the eager (hashing) load refuses outright.
+        with pytest.raises(ArtifactError, match="corrupted"):
+            load_system(broken)
+
+    def test_missing_payload_reported(self, artifact_dir, tmp_path):
+        from repro.serve import verify_system
+
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        (broken / "frontends.pkl").unlink()
+        assert {"file": "frontends.pkl", "problem": "missing"} in (
+            verify_system(broken)
+        )
+
+    def test_missing_manifest_raises(self, tmp_path):
+        from repro.serve import verify_system
+
+        with pytest.raises(ArtifactError, match="manifest"):
+            verify_system(tmp_path / "nowhere")
+
+    def test_cli_exec_verify_detects_saved_system(
+        self, artifact_dir, tmp_path
+    ):
+        # `repro exec verify <saved-system>` routes to the full audit.
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "exec", "verify",
+             str(artifact_dir)],
+            capture_output=True, text=True, env=_subprocess_env(),
+        )
+        assert result.returncode == 0, result.stderr
+        assert "all payloads verified" in result.stdout
+
+    def test_cli_exec_verify_flags_corruption(self, artifact_dir, tmp_path):
+        broken = _copy_artifact(artifact_dir, tmp_path)
+        target = broken / "fusion" / "weights.npy"
+        data = bytearray(target.read_bytes())
+        data[-1] ^= 0x01
+        target.write_bytes(bytes(data))
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "exec", "verify", str(broken)],
+            capture_output=True, text=True, env=_subprocess_env(),
+        )
+        assert result.returncode == 1
+        assert "CORRUPT (checksum): fusion/weights.npy" in result.stdout

@@ -114,3 +114,70 @@ class TestWorkersGauge:
     def test_parallel_reports_pool_width(self):
         pmap(_square, list(range(64)), workers=2)
         assert self._gauge().value == 2
+
+
+# ----------------------------------------------------------------------
+# worker metrics merge: instrumentation recorded inside pool workers
+# must land in the parent registry (the decoder's counters used to be
+# silently dropped whenever decode fanned out across processes).
+# ----------------------------------------------------------------------
+def _square_with_metrics(x: int) -> int:
+    from repro.obs.metrics import default_registry
+
+    reg = default_registry()
+    reg.counter("test.pmap.metrics.calls").inc()
+    reg.histogram("test.pmap.metrics.values", maxlen=256).observe(float(x))
+    reg.gauge("test.pmap.metrics.gauge").set(float(x))
+    return x * x
+
+
+class TestWorkerMetricsMerge:
+    def test_pool_worker_metrics_reach_parent_registry(self):
+        from repro.obs.metrics import default_registry
+
+        reg = default_registry()
+        counter = reg.counter("test.pmap.metrics.calls")
+        hist = reg.histogram("test.pmap.metrics.values", maxlen=256)
+        gauge = reg.gauge("test.pmap.metrics.gauge")
+        gauge.set(-1.0)
+        base_calls = counter.value
+        base_count = hist.count
+        items = list(range(64))
+        assert pmap(_square_with_metrics, items, workers=2) == [
+            x * x for x in items
+        ]
+        assert counter.value == base_calls + len(items)
+        assert hist.count == base_count + len(items)
+        # Last-value gauges from exited workers are deliberately dropped.
+        assert gauge.value == -1.0
+
+    def test_serial_path_unchanged(self):
+        from repro.obs.metrics import default_registry
+
+        counter = default_registry().counter("test.pmap.metrics.calls")
+        base = counter.value
+        items = list(range(8))
+        assert pmap(_square_with_metrics, items, workers=1) == [
+            x * x for x in items
+        ]
+        assert counter.value == base + len(items)
+
+    def test_decoder_metrics_survive_pool_fanout(self):
+        # The concrete regression: frontend.decoder.decodes recorded in
+        # pool workers used to vanish.  Simulate the campaign fan-out by
+        # incrementing the decoder's own counter from workers.
+        from repro.obs.metrics import default_registry
+
+        import repro.frontend.decoder  # noqa: F401 - registers the counter
+
+        counter = default_registry().counter("frontend.decoder.decodes")
+        base = counter.value
+        pmap(_inc_decoder_counter, list(range(64)), workers=2)
+        assert counter.value == base + 64
+
+
+def _inc_decoder_counter(x: int) -> int:
+    from repro.obs.metrics import default_registry
+
+    default_registry().counter("frontend.decoder.decodes").inc()
+    return x
