@@ -1,0 +1,188 @@
+"""Distributed campaign gate: leased workers vs one process, plus chaos.
+
+Two drills over the :mod:`repro.dist` work-queue tier:
+
+1. **Distribution changes nothing but wall time.**  A campaign run by
+   ``WORKERS`` leased worker processes over one
+   :class:`~repro.exec.store.ArtifactStore` must produce tables
+   **bitwise identical** (:func:`~repro.core.reporting.tables_match`
+   with zero tolerance) to the single-process run, with every worker
+   finishing and the stage claims actually partitioned (non-zero
+   ``dist.claims`` *and* ``dist.waits``).  The wall-clock *speedup*
+   half of the gate is asserted only where the parallelism it measures
+   physically exists — bench scale (stage compute ≫ per-worker spawn +
+   corpus-build overhead) on a host with at least ``WORKERS`` cores;
+   smoke CI still runs the full drill and reports both timings.
+
+2. **A SIGKILLed worker's stages are re-claimed.**  With
+   ``error:worker-kill:1`` armed, the fleet monitor SIGKILLs one
+   worker that *holds a stage lease* mid-campaign.  The survivors must
+   detect the expired lease, steal the stage, and still publish
+   bitwise-identical tables — and the runlog manifest must carry
+   ``dist.lease_expirations >= 1`` as the proof the drill exercised
+   the re-claim path rather than killing an idle process.
+
+Results land in ``benchmarks/results/exec_dist*.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.core import bench_scale, run_campaign, smoke_scale
+from repro.core.reporting import tables_match
+from repro.dist import DistributedCampaign
+from repro.faults.injection import ENV_VAR, FaultPlan, reset_ambient_plan
+from repro.obs import trace, write_runlog
+from repro.obs.metrics import default_registry
+
+VARIANTS = ("M1", "M2")
+FUSION_THRESHOLD = 2
+WORKERS = 4
+
+_SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+#: The wall-clock gate needs real parallelism: one core per worker and
+#: enough stage compute to amortize each worker's interpreter spawn +
+#: corpus/frontend build (seconds).  Smoke scale on a small CI box
+#: still proves the correctness contract; it just cannot prove speedup.
+SPEEDUP_GATE = _SCALE != "smoke" and (os.cpu_count() or 1) >= WORKERS
+
+
+@pytest.fixture(scope="module")
+def dist_config():
+    config = smoke_scale() if _SCALE == "smoke" else bench_scale()
+    return replace(config, vote_thresholds=(FUSION_THRESHOLD,))
+
+
+@pytest.fixture(autouse=True)
+def clean_faults(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    reset_ambient_plan()
+    yield
+    reset_ambient_plan()
+
+
+@pytest.fixture(scope="module")
+def single_run(dist_config):
+    """The single-process reference: wall seconds + rendered tables."""
+    t0 = time.perf_counter()
+    result = run_campaign(
+        dist_config, variants=VARIANTS, fusion_threshold=FUSION_THRESHOLD
+    )
+    return time.perf_counter() - t0, result.to_text()
+
+
+def test_distributed_campaign_speedup_and_bitwise_tables(
+    dist_config, single_run, report, benchmark, tmp_path_factory
+):
+    """N leased workers: identical bytes, partitioned work, speedup."""
+    single_s, reference = single_run
+    store = tmp_path_factory.mktemp("dist-store")
+    default_registry().reset()
+
+    def distributed():
+        return DistributedCampaign(
+            dist_config,
+            store=store,
+            workers=WORKERS,
+            variants=VARIANTS,
+            fusion_threshold=FUSION_THRESHOLD,
+        ).run(join_timeout=1800)
+
+    outcome = benchmark.pedantic(distributed, rounds=1, iterations=1)
+    identical = tables_match(reference, outcome.tables, atol=0.0, rtol=0.0)
+    speedup = single_s / outcome.wall_s
+    lines = [
+        f"Distributed campaign: {WORKERS} leased workers over one store",
+        f"scale: {_SCALE}  (speedup gate "
+        f"{'armed' if SPEEDUP_GATE else 'reporting only'}, "
+        f"{os.cpu_count()} cores)",
+        "",
+        f"{'run':<16}{'wall s':>10}",
+        f"{'1 process':<16}{single_s:>10.2f}",
+        f"{f'{WORKERS} workers':<16}{outcome.wall_s:>10.2f}",
+        "",
+        f"speedup: {speedup:.2f}x",
+        f"tables bitwise identical: {identical}",
+        f"workers finished: {len(outcome.workers_done)}/{WORKERS}",
+        f"dist.claims: {outcome.metrics['dist.claims']:.0f}  "
+        f"dist.waits: {outcome.metrics['dist.waits']:.0f}",
+    ]
+    report("exec_dist_speedup", "\n".join(lines))
+    benchmark.extra_info["speedup"] = speedup
+    # The determinism contract is unconditional: distribution may only
+    # ever change wall time, never a byte of the tables.
+    assert identical
+    assert outcome.tables == reference
+    assert len(outcome.workers_done) == WORKERS
+    assert outcome.workers_failed == ()
+    # The work was actually partitioned, not computed N times over.
+    assert outcome.metrics["dist.claims"] > 0
+    assert outcome.metrics["dist.waits"] > 0
+    if SPEEDUP_GATE:
+        assert outcome.wall_s < single_s
+
+
+def test_sigkill_mid_campaign_reclaims_and_matches(
+    dist_config, single_run, report, benchmark, tmp_path_factory
+):
+    """Chaos drill: kill a lease holder; survivors re-claim, bytes hold."""
+    _, reference = single_run
+    store = tmp_path_factory.mktemp("dist-chaos-store")  # cold on purpose
+    runlog_dir = tmp_path_factory.mktemp("dist-runlog")
+    default_registry().reset()
+
+    def chaotic():
+        trace.start_trace("dist-chaos-campaign")
+        try:
+            outcome = DistributedCampaign(
+                dist_config,
+                store=store,
+                workers=WORKERS,
+                variants=VARIANTS,
+                fusion_threshold=FUSION_THRESHOLD,
+                lease_ttl=2.0,
+                faults=FaultPlan.parse("error:worker-kill:1"),
+            ).run(join_timeout=1800)
+        finally:
+            root = trace.stop_trace()
+        manifest = write_runlog(
+            runlog_dir / "run", root, metrics=default_registry().snapshot()
+        )
+        return outcome, manifest
+
+    outcome, manifest = benchmark.pedantic(chaotic, rounds=1, iterations=1)
+    identical = tables_match(reference, outcome.tables, atol=0.0, rtol=0.0)
+    lines = [
+        f"Chaos drill: SIGKILL one lease-holding worker of {WORKERS}",
+        "fault spec: error:worker-kill:1  (lease ttl 2s)",
+        "",
+        f"campaign finished in {outcome.wall_s:.2f}s on "
+        f"{len(outcome.workers_done)} survivors",
+        f"chaos kills: {outcome.metrics['dist.chaos_kills']:.0f}  "
+        f"lease expirations: "
+        f"{outcome.metrics['dist.lease_expirations']:.0f}  "
+        f"steals: {outcome.metrics['dist.steals']:.0f}",
+        f"tables bitwise identical: {identical}",
+        f"runlog manifest: {manifest}",
+    ]
+    report("exec_dist_chaos", "\n".join(lines))
+    # Exactly one worker was killed; everyone else finished.
+    assert outcome.metrics["dist.chaos_kills"] == 1
+    assert len(outcome.workers_done) == WORKERS - 1
+    # The victim held a lease, so its death MUST surface as an expiry
+    # that a survivor stole — the whole point of the drill.
+    assert outcome.metrics["dist.lease_expirations"] >= 1
+    assert outcome.metrics["dist.steals"] >= 1
+    # And the re-claimed stages changed nothing: bytes still match.
+    assert identical
+    assert outcome.tables == reference
+    # The runlog carries the evidence for post-mortems.
+    recorded = json.loads((manifest / "manifest.json").read_text())
+    assert recorded["metrics"]["dist.lease_expirations"]["value"] >= 1

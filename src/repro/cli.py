@@ -21,9 +21,16 @@ and the observability vertical (:mod:`repro.obs`):
 
 - ``obs show``   render a runlog's stage tree and per-stage roll-up
 
-plus stage-store maintenance (:mod:`repro.exec`):
+plus stage-store maintenance and distributed execution
+(:mod:`repro.exec`, :mod:`repro.dist`):
 
-- ``exec verify``  re-hash every store payload, report/remove corruption
+- ``exec verify``   re-hash every store payload, report/remove corruption
+- ``exec run``      coordinate a leased multi-process campaign over a
+  store (``--workers N``); rerun the same command to resume after any
+  crash — coordinator included
+- ``exec workers``  attach N reinforcement workers to a campaign
+  published by ``exec run`` (another terminal/host on the same
+  filesystem)
 
 Experiment commands accept ``--scale smoke|bench`` and ``--seed``;
 offline commands that execute stages also take ``--retries`` and
@@ -468,6 +475,107 @@ def cmd_exec_verify(args) -> int:
     return 1
 
 
+def cmd_exec_run(args) -> int:
+    """Coordinate a distributed campaign: N leased workers over a store.
+
+    Everything durable lives under ``--store`` (spec, journal, leases,
+    stage products), so the whole command — workers *and* coordinator —
+    can be SIGKILLed and rerun: the rerun attaches to the journal and
+    finishes from where the store left off.
+    """
+    from repro.dist import DistError, DistributedCampaign
+    from repro.faults.injection import FaultPlan
+
+    config = (
+        smoke_scale(args.seed)
+        if args.scale == "smoke"
+        else bench_scale(args.seed)
+    )
+    if trace.enabled():
+        from repro.serve.artifacts import config_fingerprint
+
+        trace.annotate_root(
+            config_sha256=config_fingerprint(config),
+            scale=args.scale,
+            seed=args.seed,
+        )
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+    campaign = DistributedCampaign(
+        config,
+        store=args.store,
+        workers=args.workers,
+        campaign_id=args.campaign,
+        fusion_threshold=args.threshold,
+        retries=args.retries,
+        on_error=args.on_error,
+        lease_ttl=args.lease_ttl,
+        poison_threshold=args.poison_threshold,
+        faults=faults,
+        registry=_registry(),
+    )
+    print(
+        f"campaign {campaign.campaign_id}: {args.workers} workers over "
+        f"store {args.store} (lease ttl {args.lease_ttl:g}s)"
+    )
+    try:
+        outcome = campaign.run(join_timeout=args.timeout or None)
+    except DistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    verb = "resumed" if outcome.resumed else "completed"
+    print(
+        f"{verb} in {outcome.wall_s:.1f}s: "
+        f"{len(outcome.workers_done)} workers finished"
+        + (
+            f", {len(outcome.workers_failed)} failed"
+            if outcome.workers_failed
+            else ""
+        )
+        + f", tables sha256 {outcome.tables_sha256[:12]}…"
+    )
+    interesting = {
+        k: int(v)
+        for k, v in sorted(outcome.metrics.items())
+        if v and k.split(".", 1)[1]
+        in ("claims", "steals", "lease_expirations", "poisoned", "waits")
+    }
+    if interesting:
+        print("  " + "  ".join(f"{k}={v}" for k, v in interesting.items()))
+    if outcome.degraded:
+        print(f"  degraded frontends: {', '.join(outcome.degraded)}")
+    print()
+    print(outcome.tables)
+    if args.output:
+        from pathlib import Path as _Path
+
+        path = _Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(outcome.tables)
+        print(f"saved to {path}")
+    return 0
+
+
+def cmd_exec_workers(args) -> int:
+    """Attach reinforcement workers to a published campaign."""
+    from repro.dist import DistError, attach_workers
+
+    print(
+        f"joining campaign {args.campaign} at store {args.store} "
+        f"with {args.n} worker(s)"
+    )
+    try:
+        codes = attach_workers(
+            args.store, args.campaign, args.n, registry=_registry()
+        )
+    except DistError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    failed = {slot: c for slot, c in codes.items() if c not in (0, None)}
+    for slot, code in sorted(codes.items()):
+        print(f"  worker {slot}: exit {code}")
+    return 1 if failed else 0
+
+
 def cmd_obs_show(args) -> int:
     """Render a runlog's stage tree and per-stage roll-up."""
     from repro.obs import read_runlog, render_runlog
@@ -664,6 +772,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pv.set_defaults(func=cmd_exec_verify)
 
+    pr = exec_sub.add_parser(
+        "run",
+        help="coordinate a distributed campaign: N leased worker "
+        "processes over one store",
+    )
+    common(pr)
+    with_faults(pr)
+    pr.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="artifact-store directory shared by every worker; also "
+        "holds the campaign journal (dist/<id>/) and lease board",
+    )
+    pr.add_argument(
+        "--workers", "-n", type=int, default=4,
+        help="worker processes in the coordinator's fleet (default: 4)",
+    )
+    pr.add_argument(
+        "--campaign", default=None, metavar="ID",
+        help="campaign id (journal directory name); defaults to the "
+        "config fingerprint, so rerunning the same experiment resumes it",
+    )
+    pr.add_argument("--threshold", "-V", type=int, default=3)
+    pr.add_argument(
+        "--lease-ttl", type=float, default=5.0, metavar="S",
+        help="stage lease time-to-live; a worker silent this long is "
+        "presumed dead and its stages are re-claimed (default: 5)",
+    )
+    pr.add_argument(
+        "--poison-threshold", type=int, default=3, metavar="K",
+        help="quarantine a stage after it kills K consecutive claimants "
+        "(default: 3)",
+    )
+    pr.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="coordinator-side fault plan (REPRO_FAULTS syntax); the "
+        "'worker-kill' target SIGKILLs a lease-holding worker per firing",
+    )
+    pr.add_argument(
+        "--timeout", type=float, default=0.0, metavar="S",
+        help="abort if the fleet has not drained in this long "
+        "(0 = wait forever)",
+    )
+    pr.add_argument("--output", "-o", default=None, help="save tables here")
+    pr.set_defaults(func=cmd_exec_run)
+
+    pw = exec_sub.add_parser(
+        "workers",
+        help="attach N reinforcement workers to a published campaign",
+    )
+    pw.add_argument("n", type=int, help="worker processes to contribute")
+    pw.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="the campaign's artifact-store directory",
+    )
+    pw.add_argument(
+        "--campaign", required=True, metavar="ID",
+        help="campaign id published by `repro exec run`",
+    )
+    pw.set_defaults(func=cmd_exec_workers)
+
     p = sub.add_parser(
         "obs", help="observability tools (runlog inspection)"
     )
@@ -722,16 +890,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code.
 
     With ``REPRO_TRACE=1`` in the environment, every command except
-    the ``obs``/``exec`` maintenance tools runs under a trace and
-    writes a runlog (see :func:`_run_traced`); an already-active trace
-    (embedding callers) is left untouched.
+    the ``obs``/``exec`` maintenance tools (``exec run`` — a real
+    campaign — *is* traced) runs under a trace and writes a runlog
+    (see :func:`_run_traced`); an already-active trace (embedding
+    callers) is left untouched.
     """
     args = build_parser().parse_args(argv)
-    if (
-        trace.env_enabled()
-        and args.command not in ("obs", "exec")
-        and not trace.enabled()
-    ):
+    untraced = args.command == "obs" or (
+        args.command == "exec"
+        and getattr(args, "exec_command", None) != "run"
+    )
+    if trace.env_enabled() and not untraced and not trace.enabled():
         return _run_traced(args)
     return int(args.func(args))
 

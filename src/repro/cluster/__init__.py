@@ -9,9 +9,13 @@ the serving stack scale with cores and survive process death:
   control, circuit breakers, score cache) behind an ephemeral HTTP
   port, loading the artifact with ``mmap=True`` so N workers share one
   page-cache copy of the model arrays;
-- :mod:`repro.cluster.supervisor` — :class:`WorkerSupervisor`: spawn,
-  health-check, respawn, drain; applies the ``worker`` chaos fault
-  target (``REPRO_FAULTS=error:worker:1`` SIGKILLs one live worker);
+- :mod:`repro.cluster.fleet` — :class:`ProcessFleet`: the generic
+  spawn/monitor/respawn/drain machinery with crash-loop backoff,
+  shared with the distributed campaign tier (:mod:`repro.dist`);
+- :mod:`repro.cluster.supervisor` — :class:`WorkerSupervisor`: the
+  serving fleet (engine workers behind ephemeral HTTP ports); applies
+  the ``worker`` chaos fault target
+  (``REPRO_FAULTS=error:worker:1`` SIGKILLs one live worker);
 - :mod:`repro.cluster.hashing` — rendezvous hashing of utterance
   content keys onto stable worker slots, so each worker's score cache
   stays warm and a membership change only moves the dead slot's keys;
@@ -42,11 +46,13 @@ from repro.cluster.frontdoor import (
     make_cluster,
     run_cluster,
 )
+from repro.cluster.fleet import ProcessFleet
 from repro.cluster.hashing import rendezvous_choose, rendezvous_rank, routing_key
 from repro.cluster.supervisor import ClusterError, WorkerHandle, WorkerSupervisor
 from repro.cluster.worker import worker_main
 
 __all__ = [
+    "ProcessFleet",
     "ClusterFrontDoor",
     "ClusterRequestHandler",
     "make_cluster",

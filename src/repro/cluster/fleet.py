@@ -1,0 +1,513 @@
+"""Generic local process-fleet plumbing: spawn, monitor, drain.
+
+:class:`ProcessFleet` is the reusable half of what
+:class:`~repro.cluster.supervisor.WorkerSupervisor` always did for
+serving workers: own N slots ("w0" … "wN-1"), spawn one child process
+per slot with a ``("ready", payload)`` pipe handshake, poll liveness
+from a monitor thread, optionally respawn dead slots, apply a chaos
+fault target, and drain cleanly (SIGTERM → bounded join → SIGKILL).
+What runs *inside* the processes is the caller's business: the serving
+tier plugs in :func:`repro.cluster.worker.worker_main`, the distributed
+campaign tier (:mod:`repro.dist`) plugs in its lease-claiming campaign
+worker — same lifecycle, different payload.
+
+Crash-loop backoff
+------------------
+A worker that dies *immediately* (before :attr:`min_uptime` seconds of
+service, or before its ready handshake) used to be respawned every
+``health_interval`` tick forever — a broken artifact directory turned
+the monitor into a fork bomb with extra steps.  The fleet now tracks a
+per-slot streak of early deaths: the first one still respawns
+immediately (a chaos SIGKILL right after start must not slow
+recovery), but from the second consecutive early death on, respawns
+back off exponentially (``backoff_base · 2^(streak-2)``, capped at
+``backoff_cap``) and each delayed respawn increments the
+``<prefix>.crash_loops`` counter.  After :attr:`max_crash_loops`
+consecutive early deaths the slot is left permanently **degraded** —
+reported dead by :meth:`alive` and :meth:`describe`, never respawned
+again — so the rest of the fleet keeps serving instead of burning CPU
+on a corpse.  A worker that survives past ``min_uptime`` resets its
+slot's streak.
+
+Chaos hook: the monitor applies ``fault_target`` (default ``worker``;
+the distributed tier uses ``worker-kill``) once per tick, but only
+when :meth:`_chaos_victim` nominates a live victim — so a directive's
+``times`` budget is only spent on kills that actually happen.
+Subclasses override :meth:`_chaos_victim` to aim (e.g. at a worker
+currently holding a stage lease).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any, Callable
+
+from repro.faults.injection import FaultPlan, InjectedFault
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ClusterError", "WorkerHandle", "ProcessFleet"]
+
+
+class ClusterError(RuntimeError):
+    """The fleet could not reach (or hold) a servable state."""
+
+
+class WorkerHandle:
+    """One slot's current process (replaced in place on respawn)."""
+
+    __slots__ = (
+        "slot",
+        "process",
+        "port",
+        "generation",
+        "ready",
+        "ready_at",
+        "crash_streak",
+        "next_respawn_at",
+        "degraded",
+    )
+
+    def __init__(self, slot: str) -> None:
+        self.slot = slot
+        self.process = None
+        self.port: Any = None
+        self.generation = 0
+        self.ready = False
+        #: monotonic time of the last successful install (0 = never)
+        self.ready_at = 0.0
+        #: consecutive early deaths (reset by surviving min_uptime)
+        self.crash_streak = 0
+        #: monotonic time before which the slot must not respawn
+        self.next_respawn_at = 0.0
+        #: crash-looped past the cap; permanently out of the fleet
+        self.degraded = False
+
+
+class ProcessFleet:
+    """Spawns, health-checks, respawns and drains a worker fleet.
+
+    Parameters
+    ----------
+    n_workers:
+        Fleet size; slots are named ``w0`` … ``w{n-1}``.
+    target:
+        Child process entry point (spawn context — must be picklable).
+    make_args:
+        ``make_args(slot, child_conn) -> tuple`` building ``target``'s
+        argument list for one slot; the child must send
+        ``("ready", payload)`` on ``child_conn`` once servable.
+    name_prefix:
+        Process-name prefix (``<prefix>-<slot>``) and monitor thread
+        name.
+    health_interval / spawn_timeout:
+        Monitor poll period; how long one worker may take to reach its
+        ready handshake.
+    faults / fault_target:
+        Fleet-side chaos plan (default: parsed from ``REPRO_FAULTS``)
+        and the directive target the monitor applies per tick; an armed
+        ``error:<target>[:times]`` SIGKILLs one victim per firing.
+    registry / metrics_prefix:
+        Metrics sink and counter namespace: ``<prefix>.respawns``,
+        ``<prefix>.chaos_kills``, ``<prefix>.crash_loops``.
+    respawn:
+        ``False`` leaves dead slots down (the distributed campaign
+        tier's default: its workers *exit on purpose* when the shared
+        campaign completes).
+    min_uptime / backoff_base / backoff_cap / max_crash_loops:
+        Crash-loop policy (see module docstring).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        *,
+        target: Callable[..., None],
+        make_args: Callable[[str, Any], tuple],
+        name_prefix: str = "repro-fleet",
+        health_interval: float = 0.25,
+        spawn_timeout: float = 120.0,
+        faults: FaultPlan | None = None,
+        fault_target: str = "worker",
+        registry: MetricsRegistry | None = None,
+        metrics_prefix: str = "cluster",
+        respawn: bool = True,
+        min_uptime: float = 1.0,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        max_crash_loops: int = 8,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self._target = target
+        self._make_args = make_args
+        self.name_prefix = name_prefix
+        self.health_interval = float(health_interval)
+        self.spawn_timeout = float(spawn_timeout)
+        self.faults = faults if faults is not None else FaultPlan.from_env()
+        self.fault_target = fault_target
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self.respawn = bool(respawn)
+        self.min_uptime = float(min_uptime)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.max_crash_loops = int(max_crash_loops)
+        self._respawns = self.metrics.counter(f"{metrics_prefix}.respawns")
+        self._chaos_kills = self.metrics.counter(
+            f"{metrics_prefix}.chaos_kills"
+        )
+        self._crash_loops = self.metrics.counter(
+            f"{metrics_prefix}.crash_loops"
+        )
+        # spawn (not fork): the monitor thread respawns workers while
+        # other threads in this process are live, and forking a
+        # multi-threaded process can inherit held locks mid-flight.
+        self._ctx = multiprocessing.get_context("spawn")
+        self._lock = threading.Lock()
+        self._handles = {
+            f"w{i}": WorkerHandle(f"w{i}") for i in range(n_workers)
+        }
+        self._monitor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ProcessFleet":
+        """Spawn every slot; block until all are servable."""
+        if self._started:
+            return self
+        pending = []
+        for slot in self._handles:
+            pending.append((slot, self._launch(slot)))
+        deadline = time.monotonic() + self.spawn_timeout
+        for slot, (process, conn) in pending:
+            try:
+                port = self._await_ready(slot, process, conn, deadline)
+            except ClusterError:
+                self._kill_all()
+                raise
+            self._install(slot, process, port)
+        self._started = True
+        self._stopping.clear()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name=f"{self.name_prefix}-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        return self
+
+    def stop(self, *, drain_timeout: float = 10.0) -> None:
+        """Drain the fleet: SIGTERM, bounded join, SIGKILL stragglers."""
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join()
+            self._monitor = None
+        with self._lock:
+            processes = [
+                h.process
+                for h in self._handles.values()
+                if h.process is not None
+            ]
+            for handle in self._handles.values():
+                handle.ready = False
+        for process in processes:
+            if process.is_alive():
+                process.terminate()  # SIGTERM → worker drains
+        deadline = time.monotonic() + drain_timeout
+        for process in processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+                process.join()
+        self._started = False
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until every slot's process has exited on its own.
+
+        The completion primitive of run-to-completion fleets (respawn
+        off): distributed campaign workers exit when the shared run is
+        done, chaos victims are already dead, and a degraded slot has
+        nothing running.  Returns ``False`` on timeout.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            with self._lock:
+                running = [
+                    h.process
+                    for h in self._handles.values()
+                    if h.process is not None and h.process.is_alive()
+                ]
+            if not running:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            running[0].join(timeout=0.05)
+
+    def __enter__(self) -> "ProcessFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def slots(self) -> list[str]:
+        """All slot names, in index order."""
+        return list(self._handles)
+
+    def alive(self) -> dict[str, bool]:
+        """Live-and-servable flag per slot (checked against the OS)."""
+        with self._lock:
+            return {
+                slot: bool(
+                    handle.ready
+                    and handle.process is not None
+                    and handle.process.is_alive()
+                )
+                for slot, handle in self._handles.items()
+            }
+
+    def ports(self) -> dict[str, Any]:
+        """Ready-handshake payload per slot (``None`` until ready)."""
+        with self._lock:
+            return {slot: h.port for slot, h in self._handles.items()}
+
+    def exitcodes(self) -> dict[str, int | None]:
+        """Exit code per slot (``None`` while running / never spawned)."""
+        with self._lock:
+            return {
+                slot: (
+                    None
+                    if handle.process is None
+                    else handle.process.exitcode
+                )
+                for slot, handle in self._handles.items()
+            }
+
+    def describe(self) -> dict[str, dict]:
+        """Per-slot summary for health/stats aggregation."""
+        alive = self.alive()
+        with self._lock:
+            return {
+                slot: {
+                    "alive": alive[slot],
+                    "port": handle.port,
+                    "pid": (
+                        handle.process.pid
+                        if handle.process is not None
+                        else None
+                    ),
+                    "generation": handle.generation,
+                    "crash_streak": handle.crash_streak,
+                    "degraded": handle.degraded,
+                }
+                for slot, handle in self._handles.items()
+            }
+
+    # ------------------------------------------------------------------
+    # chaos
+    # ------------------------------------------------------------------
+    def kill_one(self, slot: str | None = None) -> str | None:
+        """SIGKILL one live worker (first live slot unless named).
+
+        Returns the killed slot, or ``None`` when nothing was live.
+        With respawn on, the monitor notices the death and respawns —
+        this is the crash the lifecycle tests and chaos benches script.
+        """
+        with self._lock:
+            candidates = (
+                [slot] if slot is not None else list(self._handles)
+            )
+            for name in candidates:
+                handle = self._handles.get(name)
+                if (
+                    handle is not None
+                    and handle.process is not None
+                    and handle.process.is_alive()
+                ):
+                    handle.ready = False
+                    handle.process.kill()
+                    self._chaos_kills.inc()
+                    return name
+        return None
+
+    def _chaos_victim(self) -> str | None:
+        """The slot a monitor-tick chaos kill should hit (first live)."""
+        for slot, live in self.alive().items():
+            if live:
+                return slot
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _launch(self, slot: str):
+        """Start one worker process; returns ``(process, parent_conn)``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=self._target,
+            args=tuple(self._make_args(slot, child_conn)),
+            # Not daemonic: a daemonic process may not have children,
+            # and workers may open process pools of their own.
+            # stop()/_kill_all() own the cleanup instead.
+            name=f"{self.name_prefix}-{slot}",
+            daemon=False,
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _coerce_ready(self, payload: Any) -> Any:
+        """Validate/convert the ready payload (identity by default)."""
+        return payload
+
+    def _await_ready(self, slot, process, conn, deadline) -> Any:
+        try:
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ClusterError(
+                        f"worker {slot} did not become ready within "
+                        f"{self.spawn_timeout:.0f}s"
+                    )
+                if conn.poll(min(0.1, remaining)):
+                    message = conn.recv()
+                    break
+                if not process.is_alive():
+                    raise ClusterError(
+                        f"worker {slot} died before its ready handshake "
+                        f"(exitcode {process.exitcode})"
+                    )
+        except (EOFError, OSError) as exc:
+            raise ClusterError(
+                f"worker {slot} closed its pipe before ready: {exc}"
+            ) from None
+        finally:
+            conn.close()
+        if not (isinstance(message, tuple) and message[0] == "ready"):
+            raise ClusterError(
+                f"worker {slot} sent bad handshake {message!r}"
+            )
+        return self._coerce_ready(message[1])
+
+    def _install(self, slot: str, process, port: Any) -> None:
+        with self._lock:
+            handle = self._handles[slot]
+            handle.process = process
+            handle.port = port
+            handle.generation += 1
+            handle.ready = True
+            handle.ready_at = time.monotonic()
+
+    def _kill_all(self) -> None:
+        with self._lock:
+            processes = [
+                h.process
+                for h in self._handles.values()
+                if h.process is not None
+            ]
+        for process in processes:
+            if process.is_alive():
+                process.kill()
+            process.join()
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.wait(self.health_interval):
+            victim = self._chaos_victim()
+            if victim is not None:
+                # Victim first, fault second: an armed kill budget is
+                # only spent when there is actually someone to kill.
+                try:
+                    self.faults.apply(self.fault_target)
+                except InjectedFault:
+                    self.kill_one(victim)
+            now = time.monotonic()
+            with self._lock:
+                dead = [
+                    slot
+                    for slot, handle in self._handles.items()
+                    if handle.process is not None
+                    and not handle.process.is_alive()
+                ]
+                for slot in dead:
+                    self._handles[slot].ready = False
+                due = [
+                    slot
+                    for slot in dead
+                    if self.respawn
+                    and not self._handles[slot].degraded
+                    and now >= self._handles[slot].next_respawn_at
+                ]
+            for slot in due:
+                if self._stopping.is_set():
+                    return
+                self._respawn(slot)
+
+    def _note_early_death(self, handle: WorkerHandle) -> bool:
+        """Record one early death; returns whether respawn must wait.
+
+        Called with ``self._lock`` held.  The first early death keeps
+        the slot immediately respawnable (a chaos kill right after
+        start must not slow recovery); from the second on, the slot
+        backs off exponentially and ``<prefix>.crash_loops`` counts the
+        loop; past :attr:`max_crash_loops` the slot degrades for good.
+        """
+        handle.crash_streak += 1
+        if handle.crash_streak > self.max_crash_loops:
+            handle.degraded = True
+            return True
+        if handle.crash_streak >= 2:
+            delay = min(
+                self.backoff_cap,
+                self.backoff_base * 2.0 ** (handle.crash_streak - 2),
+            )
+            handle.next_respawn_at = time.monotonic() + delay
+            self._crash_loops.inc()
+            return True
+        return False
+
+    def _respawn(self, slot: str) -> None:
+        with self._lock:
+            handle = self._handles[slot]
+            old = handle.process
+            # ready_at == -1 marks a death whose streak accounting
+            # already ran (we are re-entering after its backoff).
+            accounted = handle.ready_at < 0
+            uptime = (
+                time.monotonic() - handle.ready_at
+                if handle.ready_at > 0
+                else 0.0
+            )
+        if old is not None:
+            old.join()  # reap the zombie before replacing it
+        if not accounted:
+            with self._lock:
+                handle.ready_at = -1.0
+                if uptime >= self.min_uptime:
+                    handle.crash_streak = 0
+                    handle.next_respawn_at = 0.0
+                elif self._note_early_death(handle):
+                    return  # backing off (or degraded); later tick retries
+        try:
+            process, conn = self._launch(slot)
+            port = self._await_ready(
+                slot, process, conn, time.monotonic() + self.spawn_timeout
+            )
+        except ClusterError:
+            # Spawn failure is itself an early death: the replacement
+            # never served, so the streak advances and the slot waits
+            # out its (longer) backoff before the next attempt.
+            with self._lock:
+                self._note_early_death(handle)
+            return
+        self._install(slot, process, port)
+        self._respawns.inc()

@@ -6,6 +6,14 @@ The :class:`WorkerSupervisor` owns N engine worker processes (see
 process inherits its predecessor's rendezvous key range and re-warms
 the same cache working set.
 
+The generic process plumbing — spawn context, ready handshake, monitor
+thread, crash-loop backoff, drain — lives in
+:class:`repro.cluster.fleet.ProcessFleet`, which the distributed
+campaign tier (:mod:`repro.dist`) reuses for its lease-claiming
+workers.  This subclass contributes only what is serving-specific: the
+:func:`~repro.cluster.worker.worker_main` payload, per-slot engine
+kwargs/environment, and an integer-port ready handshake.
+
 Lifecycle contract:
 
 - :meth:`start` spawns every slot concurrently and blocks until each
@@ -14,51 +22,34 @@ Lifecycle contract:
 - a monitor thread polls liveness every ``health_interval`` seconds and
   respawns dead slots; while a slot is down :meth:`alive` reports it
   dead, which the front door folds into routing (keys fail over to
-  survivors) and ``/healthz`` (``degraded`` until the respawn lands);
+  survivors) and ``/healthz`` (``degraded`` until the respawn lands).
+  A slot that keeps dying young backs off exponentially and is left
+  degraded past the crash-loop cap (see :mod:`repro.cluster.fleet`);
 - :meth:`stop` drains: SIGTERM to every worker (finish in-flight work,
   then exit), bounded join, SIGKILL stragglers.
 
 Chaos hook: the monitor thread applies the fault target ``worker``
-(:mod:`repro.faults.injection`) once per tick.  An armed
-``error:worker[:times]`` directive therefore SIGKILLs one live worker
-per firing — *from the supervisor process*, so the ``times`` budget is
-spent exactly once per fleet instead of once per inherited child
-environment, and respawned workers do not crash-loop on a stale budget.
+(:mod:`repro.faults.injection`) once per tick while any worker is
+live.  An armed ``error:worker[:times]`` directive therefore SIGKILLs
+one live worker per firing — *from the supervisor process*, so the
+``times`` budget is spent exactly once per fleet instead of once per
+inherited child environment, and respawned workers do not crash-loop
+on a stale budget.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
-import signal
-import threading
-import time
 
+from repro.cluster.fleet import ClusterError, ProcessFleet, WorkerHandle
 from repro.cluster.worker import worker_main
-from repro.faults.injection import FaultPlan, InjectedFault
+from repro.faults.injection import FaultPlan
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["ClusterError", "WorkerHandle", "WorkerSupervisor"]
 
 
-class ClusterError(RuntimeError):
-    """The cluster tier could not reach a servable state."""
-
-
-class WorkerHandle:
-    """One slot's current process (replaced in place on respawn)."""
-
-    __slots__ = ("slot", "process", "port", "generation", "ready")
-
-    def __init__(self, slot: str) -> None:
-        self.slot = slot
-        self.process = None
-        self.port: int | None = None
-        self.generation = 0
-        self.ready = False
-
-
-class WorkerSupervisor:
+class WorkerSupervisor(ProcessFleet):
     """Spawns, health-checks, respawns and drains engine workers.
 
     Parameters
@@ -97,8 +88,6 @@ class WorkerSupervisor:
         faults: FaultPlan | None = None,
         registry: MetricsRegistry | None = None,
     ) -> None:
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
         self.artifact_dir = str(artifact_dir)
         self.host = host
         self.engine_kwargs = dict(engine_kwargs or {})
@@ -111,248 +100,28 @@ class WorkerSupervisor:
         self.worker_env = {
             slot: dict(env) for slot, env in (worker_env or {}).items()
         }
-        self.health_interval = float(health_interval)
-        self.spawn_timeout = float(spawn_timeout)
-        self.faults = faults if faults is not None else FaultPlan.from_env()
-        self.metrics = registry if registry is not None else MetricsRegistry()
-        self._respawns = self.metrics.counter("cluster.respawns")
-        self._chaos_kills = self.metrics.counter("cluster.chaos_kills")
-        # spawn (not fork): the monitor thread respawns workers while
-        # the front door's handler threads are live, and forking a
-        # multi-threaded process can inherit held locks mid-flight.
-        self._ctx = multiprocessing.get_context("spawn")
-        self._lock = threading.Lock()
-        self._handles = {f"w{i}": WorkerHandle(f"w{i}") for i in range(n_workers)}
-        self._monitor: threading.Thread | None = None
-        self._stopping = threading.Event()
-        self._started = False
-
-    # ------------------------------------------------------------------
-    # lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> "WorkerSupervisor":
-        """Spawn every slot; block until all are servable."""
-        if self._started:
-            return self
-        pending = []
-        for slot in self._handles:
-            pending.append((slot, self._launch(slot)))
-        deadline = time.monotonic() + self.spawn_timeout
-        for slot, (process, conn) in pending:
-            try:
-                port = self._await_ready(slot, process, conn, deadline)
-            except ClusterError:
-                self._kill_all()
-                raise
-            self._install(slot, process, port)
-        self._started = True
-        self._stopping.clear()
-        self._monitor = threading.Thread(
-            target=self._monitor_loop, name="repro-cluster-monitor", daemon=True
-        )
-        self._monitor.start()
-        return self
-
-    def stop(self, *, drain_timeout: float = 10.0) -> None:
-        """Drain the fleet: SIGTERM, bounded join, SIGKILL stragglers."""
-        self._stopping.set()
-        if self._monitor is not None:
-            self._monitor.join()
-            self._monitor = None
-        with self._lock:
-            processes = [
-                h.process for h in self._handles.values() if h.process is not None
-            ]
-            for handle in self._handles.values():
-                handle.ready = False
-        for process in processes:
-            if process.is_alive():
-                process.terminate()  # SIGTERM → worker drains
-        deadline = time.monotonic() + drain_timeout
-        for process in processes:
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
-        for process in processes:
-            if process.is_alive():
-                process.kill()
-                process.join()
-        self._started = False
-
-    def __enter__(self) -> "WorkerSupervisor":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    # ------------------------------------------------------------------
-    # views the front door routes by
-    # ------------------------------------------------------------------
-    def slots(self) -> list[str]:
-        """All slot names, in index order."""
-        return list(self._handles)
-
-    def alive(self) -> dict[str, bool]:
-        """Live-and-servable flag per slot (checked against the OS)."""
-        with self._lock:
-            return {
-                slot: bool(
-                    handle.ready
-                    and handle.process is not None
-                    and handle.process.is_alive()
-                )
-                for slot, handle in self._handles.items()
-            }
-
-    def ports(self) -> dict[str, int | None]:
-        """Bound HTTP port per slot (``None`` until first handshake)."""
-        with self._lock:
-            return {slot: h.port for slot, h in self._handles.items()}
-
-    def describe(self) -> dict[str, dict]:
-        """Per-slot summary for ``/healthz`` / ``/stats`` aggregation."""
-        alive = self.alive()
-        with self._lock:
-            return {
-                slot: {
-                    "alive": alive[slot],
-                    "port": handle.port,
-                    "pid": (
-                        handle.process.pid if handle.process is not None else None
-                    ),
-                    "generation": handle.generation,
-                }
-                for slot, handle in self._handles.items()
-            }
-
-    # ------------------------------------------------------------------
-    # chaos
-    # ------------------------------------------------------------------
-    def kill_one(self, slot: str | None = None) -> str | None:
-        """SIGKILL one live worker (first live slot unless named).
-
-        Returns the killed slot, or ``None`` when nothing was live.
-        The monitor loop notices the death and respawns it — this is
-        the crash the lifecycle tests and chaos benches script.
-        """
-        with self._lock:
-            candidates = (
-                [slot] if slot is not None else list(self._handles)
-            )
-            for name in candidates:
-                handle = self._handles.get(name)
-                if (
-                    handle is not None
-                    and handle.process is not None
-                    and handle.process.is_alive()
-                ):
-                    handle.ready = False
-                    handle.process.kill()
-                    self._chaos_kills.inc()
-                    return name
-        return None
-
-    # ------------------------------------------------------------------
-    # internals
-    # ------------------------------------------------------------------
-    def _launch(self, slot: str):
-        """Start one worker process; returns ``(process, parent_conn)``."""
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
+        super().__init__(
+            n_workers,
             target=worker_main,
-            args=(
-                self.artifact_dir,
-                self.host,
-                child_conn,
-                self.engine_kwargs,
-                self.worker_env.get(slot),
-            ),
-            # Not daemonic: a daemonic process may not have children,
-            # and the worker's decode path (pmap) may open a process
-            # pool when --decode-workers > 1.  stop()/_kill_all() own
-            # the cleanup instead.
-            name=f"repro-cluster-{slot}",
-            daemon=False,
+            make_args=self._worker_args,
+            name_prefix="repro-cluster",
+            health_interval=health_interval,
+            spawn_timeout=spawn_timeout,
+            faults=faults,
+            fault_target="worker",
+            registry=registry,
+            metrics_prefix="cluster",
+            respawn=True,
         )
-        process.start()
-        child_conn.close()
-        return process, parent_conn
 
-    def _await_ready(self, slot, process, conn, deadline) -> int:
-        try:
-            while True:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise ClusterError(
-                        f"worker {slot} did not become ready within "
-                        f"{self.spawn_timeout:.0f}s"
-                    )
-                if conn.poll(min(0.1, remaining)):
-                    message = conn.recv()
-                    break
-                if not process.is_alive():
-                    raise ClusterError(
-                        f"worker {slot} died before its ready handshake "
-                        f"(exitcode {process.exitcode})"
-                    )
-        except (EOFError, OSError) as exc:
-            raise ClusterError(
-                f"worker {slot} closed its pipe before ready: {exc}"
-            ) from None
-        finally:
-            conn.close()
-        if not (isinstance(message, tuple) and message[0] == "ready"):
-            raise ClusterError(f"worker {slot} sent bad handshake {message!r}")
-        return int(message[1])
+    def _worker_args(self, slot: str, child_conn) -> tuple:
+        return (
+            self.artifact_dir,
+            self.host,
+            child_conn,
+            self.engine_kwargs,
+            self.worker_env.get(slot),
+        )
 
-    def _install(self, slot: str, process, port: int) -> None:
-        with self._lock:
-            handle = self._handles[slot]
-            handle.process = process
-            handle.port = port
-            handle.generation += 1
-            handle.ready = True
-
-    def _kill_all(self) -> None:
-        with self._lock:
-            processes = [
-                h.process for h in self._handles.values() if h.process is not None
-            ]
-        for process in processes:
-            if process.is_alive():
-                process.kill()
-            process.join()
-
-    def _monitor_loop(self) -> None:
-        while not self._stopping.wait(self.health_interval):
-            try:
-                self.faults.apply("worker")
-            except InjectedFault:
-                self.kill_one()
-            with self._lock:
-                dead = [
-                    slot
-                    for slot, handle in self._handles.items()
-                    if handle.process is not None
-                    and not handle.process.is_alive()
-                ]
-                for slot in dead:
-                    self._handles[slot].ready = False
-            for slot in dead:
-                if self._stopping.is_set():
-                    return
-                self._respawn(slot)
-
-    def _respawn(self, slot: str) -> None:
-        with self._lock:
-            old = self._handles[slot].process
-        if old is not None:
-            old.join()  # reap the zombie before replacing it
-        try:
-            process, conn = self._launch(slot)
-            port = self._await_ready(
-                slot, process, conn, time.monotonic() + self.spawn_timeout
-            )
-        except ClusterError:
-            # Leave the slot dead; the next monitor tick retries.
-            return
-        self._install(slot, process, port)
-        self._respawns.inc()
+    def _coerce_ready(self, payload) -> int:
+        return int(payload)

@@ -309,6 +309,7 @@ class PhonotacticSystem:
         retry: RetryPolicy | None = None,
         on_error: str = "fail",
         max_quarantine_fraction: float = 0.1,
+        claims=None,
     ) -> None:
         if not frontends:
             raise ValueError("need at least one frontend")
@@ -337,6 +338,9 @@ class PhonotacticSystem:
         self.fingerprint = fingerprint or self._derived_fingerprint()
         self.retry = retry
         self.on_error = on_error
+        #: optional repro.dist.LeaseBoard partitioning store-keyed
+        #: stages across worker processes (see repro.exec.graph)
+        self.claims = claims
         self.max_quarantine_fraction = float(max_quarantine_fraction)
         #: frontends dropped by ``on_error="degrade"``: name -> reason
         self.degraded: dict[str, str] = {}
@@ -464,6 +468,7 @@ class PhonotacticSystem:
                     kind="sparse",
                     meta={"frontend": frontend.name, "corpus": tag},
                     retry=self.retry,
+                    claims=self.claims,
                 )
                 # A matrix with quarantined utterances is *partial*: it
                 # may be used for this degraded run but must not be
@@ -809,6 +814,7 @@ class PhonotacticSystem:
                 workers=self.system.workers,
                 retry=self.retry,
                 failures=failures,
+                claims=self.claims,
             )
         if failures:
             self._apply_degradation(failures)
@@ -870,6 +876,7 @@ class PhonotacticSystem:
                 decode=_decode_vote,
                 meta={"threshold": int(threshold), "frontends": members},
                 retry=self.retry,
+                claims=self.claims,
             )
             sp.inc("pool", len(pseudo))
             sp.inc("candidates", int(vote_counts.shape[0]))
@@ -935,6 +942,7 @@ class PhonotacticSystem:
                 workers=self.system.workers,
                 retry=self.retry,
                 failures=failures,
+                claims=self.claims,
             )
             if failures:
                 self._apply_degradation(failures)
@@ -996,6 +1004,7 @@ class PhonotacticSystem:
                 kind="array",
                 meta={"members": [result.model_id], "frontend": sub.name},
                 retry=self.retry,
+                claims=self.claims,
             )
             out[sub.name] = evaluate_scores(calibrated, test_labels)
         return out
@@ -1109,6 +1118,7 @@ class PhonotacticSystem:
             kind="array",
             meta={"members": [r.model_id for r in results]},
             retry=self.retry,
+            claims=self.claims,
         )
 
     def _degraded_fused_scores(
@@ -1147,6 +1157,7 @@ def build_system(
     retry: RetryPolicy | None = None,
     on_error: str = "fail",
     max_quarantine_fraction: float = 0.1,
+    claims=None,
 ) -> PhonotacticSystem:
     """Construct bundle + frontends + system from an experiment config.
 
@@ -1156,7 +1167,9 @@ def build_system(
     supervector-only :class:`repro.utils.io.MatrixCache` for callers not
     yet migrated to the store.  ``retry`` / ``on_error`` /
     ``max_quarantine_fraction`` configure the fault-tolerance ladder
-    (see :class:`PhonotacticSystem`).
+    (see :class:`PhonotacticSystem`); ``claims`` attaches a
+    :class:`repro.dist.LeaseBoard` so store-keyed stages are claimed
+    across worker processes instead of recomputed per process.
     """
     from repro.serve.artifacts import config_fingerprint
 
@@ -1178,4 +1191,5 @@ def build_system(
         retry=retry,
         on_error=on_error,
         max_quarantine_fraction=max_quarantine_fraction,
+        claims=claims,
     )

@@ -1,0 +1,68 @@
+"""Distributed campaign execution: a leased work queue over the store.
+
+``repro.dist`` turns the content-addressed
+:class:`~repro.exec.store.ArtifactStore` into the coordination
+substrate for multi-*process* campaigns.  There is no broker and no
+RPC: everything the protocol needs — claims, heartbeats, results,
+provenance, the campaign spec itself — is files under the store
+directory, which is why any participant (workers, the coordinator, the
+whole machine mid-campaign) can be SIGKILLed and the campaign still
+completes with bitwise-identical tables.
+
+- :mod:`repro.dist.leases` — :class:`LeaseBoard`: atomic
+  ``O_CREAT|O_EXCL`` stage claims, mtime-heartbeat renewal, safe
+  expiry-steal (rename + re-verify, never blind unlink), and the
+  poison ledger that quarantines a stage after it kills
+  :data:`POISON_THRESHOLD` consecutive claimants
+  (:class:`repro.faults.PoisonedStageError`);
+- :mod:`repro.dist.journal` — :class:`CampaignJournal`: the
+  ``campaign.json`` spec (exactly-once creation, fingerprint-checked
+  attach), the append-only ``journal.jsonl`` provenance log, and each
+  worker's published table text;
+- :mod:`repro.dist.worker` — :func:`dist_worker_main`: a full
+  :func:`~repro.core.campaign.run_campaign` driver with the lease
+  board threaded in as ``claims``, so PR 5's retry / quarantine /
+  degrade ladder applies unchanged inside every worker;
+- :mod:`repro.dist.scheduler` — :class:`DistributedCampaign`: spec
+  publication, a :class:`~repro.cluster.fleet.ProcessFleet` of workers
+  (respawn off; ``worker-kill`` chaos target aimed at lease holders),
+  metrics absorption and the bitwise table cross-check.
+
+CLI: ``repro exec run --store DIR --workers N`` (coordinator; rerun
+the same command to resume after any crash) and ``repro exec workers N
+--store DIR --campaign ID`` (join reinforcements).  See
+``docs/execution.md`` ("Distributed campaigns") and
+``docs/robustness.md`` (the escalation ladder's re-claim/poison rung).
+"""
+
+from repro.dist.journal import CampaignJournal, build_spec, config_from_spec
+from repro.dist.leases import (
+    DEFAULT_LEASE_TTL,
+    POISON_THRESHOLD,
+    DistError,
+    LeaseBoard,
+)
+from repro.dist.scheduler import (
+    DistOutcome,
+    DistributedCampaign,
+    attach_workers,
+    run_distributed_campaign,
+)
+from repro.dist.worker import dist_worker_main, lease_dir, run_dist_worker
+
+__all__ = [
+    "DEFAULT_LEASE_TTL",
+    "POISON_THRESHOLD",
+    "DistError",
+    "LeaseBoard",
+    "CampaignJournal",
+    "build_spec",
+    "config_from_spec",
+    "DistOutcome",
+    "DistributedCampaign",
+    "run_distributed_campaign",
+    "attach_workers",
+    "dist_worker_main",
+    "run_dist_worker",
+    "lease_dir",
+]

@@ -1,0 +1,217 @@
+"""Crash-safe campaign journal: spec + append-only event log + tables.
+
+One distributed campaign owns one directory (conventionally
+``<store>/dist/<campaign-id>``) holding everything a process needs to
+*join* the campaign or *resume* it after any crash:
+
+``campaign.json``
+    The immutable campaign spec — serialized
+    :class:`~repro.core.config.ExperimentConfig` (via the same
+    round-trip :mod:`repro.serve.artifacts` uses), variants, fusion
+    threshold, fault-tolerance knobs, lease parameters, and the config
+    fingerprint.  Written once with ``O_CREAT | O_EXCL``; a second
+    coordinator *attaches* instead, and a fingerprint mismatch is a
+    hard error — two different experiments must never share a campaign
+    directory's journal.
+
+``journal.jsonl``
+    Append-only JSON-lines event log: worker lifecycle
+    (``worker_start`` / ``worker_done`` / ``worker_failed``), the lease
+    board's protocol events (``claim`` / ``publish`` /
+    ``lease_expired`` / ``poisoned`` …, each carrying the worker id —
+    the per-stage provenance trail), and coordinator bookkeeping
+    (``coordinator_start`` / ``coordinator_resume`` /
+    ``campaign_done``).  Writes are single ``O_APPEND`` syscalls, which
+    POSIX keeps atomic between local writers; the reader skips torn or
+    foreign lines rather than failing, so a SIGKILL mid-append cannot
+    brick the campaign.
+
+``tables/<worker>.txt``
+    Each finishing worker's full rendered table text, published via
+    temp + ``os.replace``.  The coordinator cross-checks every
+    finisher's SHA-256 — bitwise table agreement across workers is the
+    distributed tier's correctness gate, not a benchmark nicety.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.dist.leases import DistError
+
+__all__ = ["CampaignJournal", "build_spec", "config_from_spec"]
+
+_SPEC = "campaign.json"
+_JOURNAL = "journal.jsonl"
+_TABLES = "tables"
+
+
+def build_spec(
+    config: Any,
+    *,
+    variants: tuple[str, ...],
+    fusion_threshold: int,
+    retries: int = 1,
+    on_error: str = "fail",
+    max_quarantine_fraction: float = 0.1,
+    lease_ttl: float,
+    poison_threshold: int,
+) -> dict[str, Any]:
+    """The JSON campaign spec all workers reconstruct their run from."""
+    from repro.serve.artifacts import _config_to_dict, config_fingerprint
+
+    return {
+        "version": 1,
+        "fingerprint": config_fingerprint(config),
+        "config": _config_to_dict(config),
+        "variants": list(variants),
+        "fusion_threshold": int(fusion_threshold),
+        "retries": int(retries),
+        "on_error": str(on_error),
+        "max_quarantine_fraction": float(max_quarantine_fraction),
+        "lease_ttl": float(lease_ttl),
+        "poison_threshold": int(poison_threshold),
+        "created_unix": time.time(),
+    }
+
+
+def config_from_spec(spec: dict[str, Any]) -> Any:
+    """Rebuild the :class:`ExperimentConfig` a spec was built from."""
+    from repro.serve.artifacts import _config_from_dict
+
+    return _config_from_dict(spec["config"])
+
+
+class CampaignJournal:
+    """One campaign directory's spec, event log and table records."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        (self.directory / _TABLES).mkdir(exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # spec
+    # ------------------------------------------------------------------
+    @property
+    def spec_path(self) -> Path:
+        return self.directory / _SPEC
+
+    def write_spec(self, spec: dict[str, Any]) -> bool:
+        """Publish the campaign spec; returns whether *we* created it.
+
+        ``O_CREAT | O_EXCL``: of two racing coordinators exactly one
+        creates, the other attaches.  Attaching validates the
+        fingerprint — resuming a campaign directory with a different
+        experiment config is always a mistake.
+        """
+        try:
+            fd = os.open(
+                self.spec_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            existing = self.spec()
+            if existing.get("fingerprint") != spec.get("fingerprint"):
+                raise DistError(
+                    f"campaign directory {self.directory} belongs to "
+                    f"config fingerprint "
+                    f"{str(existing.get('fingerprint'))[:12]}…, not "
+                    f"{str(spec.get('fingerprint'))[:12]}…"
+                ) from None
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(spec, sort_keys=True, default=list))
+        return True
+
+    def spec(self) -> dict[str, Any]:
+        """The campaign spec (raises :class:`DistError` when absent)."""
+        try:
+            return json.loads(self.spec_path.read_text())
+        except OSError:
+            raise DistError(
+                f"no campaign spec at {self.spec_path}; nothing to join"
+            ) from None
+        except json.JSONDecodeError as exc:
+            raise DistError(
+                f"campaign spec {self.spec_path} is not valid JSON: {exc}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # event log
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / _JOURNAL
+
+    def append(self, event: str, **fields: Any) -> None:
+        """Append one event line (single atomic ``O_APPEND`` write)."""
+        record = {"event": event, "ts": time.time(), **fields}
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        fd = os.open(
+            self.journal_path,
+            os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+            0o644,
+        )
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+
+    def events(self, event: str | None = None) -> list[dict[str, Any]]:
+        """All journal events, oldest first (optionally one kind).
+
+        Torn or malformed lines — a writer SIGKILLed mid-append — are
+        skipped: the journal is a provenance trail, not a ledger whose
+        every byte must balance.
+        """
+        return [
+            record
+            for record in self._iter_events()
+            if event is None or record.get("event") == event
+        ]
+
+    def _iter_events(self) -> Iterator[dict[str, Any]]:
+        try:
+            text = self.journal_path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                yield record
+
+    # ------------------------------------------------------------------
+    # tables
+    # ------------------------------------------------------------------
+    def record_tables(self, worker_id: str, text: str) -> str:
+        """Persist one worker's rendered tables; returns their SHA-256."""
+        safe = worker_id.replace("/", "_").replace(":", "-")
+        path = self.directory / _TABLES / f"{safe}.txt"
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def tables(self) -> dict[str, str]:
+        """Published table text per worker file stem."""
+        out: dict[str, str] = {}
+        for path in sorted((self.directory / _TABLES).glob("*.txt")):
+            out[path.stem] = path.read_text()
+        return out

@@ -1,0 +1,422 @@
+"""Renewable stage leases over a shared filesystem.
+
+The :class:`LeaseBoard` is the coordination half of distributed
+campaigns: worker processes sharing one
+:class:`~repro.exec.store.ArtifactStore` directory claim store-keyed
+stages through lease files before computing them, so each stage runs in
+exactly one process while every other worker polls for the winner's
+put.  The board is pure filesystem protocol — no sockets, no broker —
+which is what lets a campaign survive the death of *any* participant,
+coordinator included:
+
+- **claim**: ``O_CREAT | O_EXCL`` on ``<key>.lease`` — the same atomic
+  primitive the store's ``index.lock`` uses; exactly one claimant wins.
+- **heartbeat**: the holder's board renews every held lease's mtime
+  from a daemon thread (period ``ttl/4``), so a live worker's lease
+  never looks abandoned no matter how long its stage computes.
+- **expiry and steal**: a lease whose mtime is older than ``ttl`` marks
+  a dead holder (SIGKILL, OOM, power loss — heartbeats stop with the
+  process).  A waiter *breaks* it with the rename-to-unique dance of
+  :meth:`repro.exec.store.ArtifactStore._break_stale_lock` — never a
+  blind unlink, so racing breakers cannot delete a successor's fresh
+  lease — and re-claims the stage.
+- **poison**: every break appends the victim to ``<key>.deaths``; a
+  stage whose consecutive-claimant death count reaches the poison
+  threshold is quarantined — further claims raise
+  :class:`repro.faults.PoisonedStageError`, which the per-worker
+  escalation ladder treats like any exhausted stage (degrade the
+  frontend, or fail the campaign).  A stage that *completes* clears its
+  death history: those deaths were the workers', not the stage's.
+
+Metrics (process-wide registry): ``dist.claims``, ``dist.waits``,
+``dist.steals``, ``dist.lease_expirations``, ``dist.poisoned``,
+``dist.lease_lost``, ``dist.break_aborts``.
+
+A note on double compute: a worker that stalls long enough for its
+lease to be stolen may still finish and publish.  That is harmless by
+design — stage values are deterministic and content-addressed, so the
+two puts carry identical bytes under the same key — and is counted as
+``dist.lease_lost`` rather than treated as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.faults import PoisonedStageError
+from repro.obs.metrics import default_registry
+
+__all__ = [
+    "DistError",
+    "LeaseBoard",
+    "DEFAULT_LEASE_TTL",
+    "POISON_THRESHOLD",
+]
+
+#: Seconds without a heartbeat after which a lease counts as abandoned.
+#: Heartbeats renew every ttl/4, so a live holder has 3 missed renewals
+#: of slack before anyone may steal its stage.
+DEFAULT_LEASE_TTL = 5.0
+
+#: Consecutive claimant deaths after which a stage is poisoned.
+POISON_THRESHOLD = 3
+
+#: Test hook invoked between observing an expired lease and renaming
+#: it — lets tests force the renewal-races-expiry interleaving.
+_pre_break_hook: Callable[[str], None] | None = None
+
+_CLAIMS = default_registry().counter("dist.claims")
+_WAITS = default_registry().counter("dist.waits")
+_STEALS = default_registry().counter("dist.steals")
+_EXPIRATIONS = default_registry().counter("dist.lease_expirations")
+_POISONED = default_registry().counter("dist.poisoned")
+_LOST = default_registry().counter("dist.lease_lost")
+_BREAK_ABORTS = default_registry().counter("dist.break_aborts")
+
+
+class DistError(RuntimeError):
+    """A distributed campaign could not complete coherently."""
+
+
+class LeaseBoard:
+    """Claim/renew/steal ledger for one lease directory.
+
+    Parameters
+    ----------
+    directory:
+        Lease directory (conventionally ``<store>/leases``); created if
+        missing.  All workers of a campaign must share it.
+    worker_id:
+        This process's identity, written into every lease it takes and
+        into the put metadata of every stage it publishes.
+    ttl:
+        Lease expiry in seconds (see :data:`DEFAULT_LEASE_TTL`).
+    poison_threshold:
+        Consecutive claimant deaths that quarantine a stage.
+    poll_interval:
+        Sleep between :meth:`wait` polls while another worker computes.
+    heartbeat:
+        ``False`` disables the renewal thread (tests drive
+        :meth:`renew_all` by hand to script expiry races).
+    on_event:
+        Optional callback receiving one dict per protocol event
+        (``claim`` / ``publish`` / ``claim_failed`` / ``lease_expired``
+        / ``poisoned`` / ``lease_lost``) — the campaign journal's feed.
+        Exceptions from the callback are suppressed: provenance must
+        never take down the work it describes.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        worker_id: str,
+        ttl: float = DEFAULT_LEASE_TTL,
+        poison_threshold: int = POISON_THRESHOLD,
+        poll_interval: float = 0.05,
+        heartbeat: bool = True,
+        on_event: Callable[[dict], None] | None = None,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError("ttl must be > 0")
+        if poison_threshold < 1:
+            raise ValueError("poison_threshold must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker_id = str(worker_id)
+        self.ttl = float(ttl)
+        self.poison_threshold = int(poison_threshold)
+        self.poll_interval = float(poll_interval)
+        self.on_event = on_event
+        self._held: dict[str, Path] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._heartbeat_enabled = bool(heartbeat)
+        self._heartbeat_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def _lease_path(self, key: str) -> Path:
+        return self.directory / f"{key}.lease"
+
+    def _deaths_path(self, key: str) -> Path:
+        return self.directory / f"{key}.deaths"
+
+    # ------------------------------------------------------------------
+    # claim protocol (the interface repro.exec.graph.run_stage speaks)
+    # ------------------------------------------------------------------
+    def try_claim(
+        self,
+        key: str,
+        *,
+        family: str = "",
+        meta: dict[str, Any] | None = None,
+    ) -> bool:
+        """One claim attempt; ``True`` means this worker owns the stage.
+
+        Raises :class:`~repro.faults.PoisonedStageError` when the
+        stage's death count has reached the poison threshold —
+        including when *this very call* broke the lease that pushed it
+        there.
+        """
+        self._check_poison(key)
+        if self._acquire(key, family):
+            return True
+        path = self._lease_path(key)
+        try:
+            st = path.stat()
+        except OSError:
+            # Released (or broken) between our O_EXCL loss and the
+            # stat; one immediate retry, else the next poll comes back.
+            return self._acquire(key, family)
+        if time.time() - st.st_mtime <= self.ttl:
+            return False
+        if not self._break(key):
+            return False
+        self._check_poison(key)
+        return self._acquire(key, family)
+
+    def wait(self, key: str) -> None:
+        """Sleep one poll interval while another worker computes ``key``."""
+        _WAITS.inc()
+        self._stop.wait(self.poll_interval)
+
+    def release(self, key: str, *, completed: bool) -> None:
+        """Give up the lease taken by a successful :meth:`try_claim`.
+
+        ``completed=True`` (the stage's value is published) also clears
+        the stage's death history — it has proven harmless, so earlier
+        claimant deaths must not poison it for future campaigns.
+        ``completed=False`` (the compute raised) just frees the lease:
+        clean failures are the retry/degrade ladder's business, and
+        counting them as deaths would poison stages that merely have a
+        deterministic bug on every worker.
+        """
+        with self._lock:
+            path = self._held.pop(key, None)
+        if path is None:
+            return
+        owner = self._read_lease(path).get("worker")
+        if owner != self.worker_id:
+            # Stolen while we computed (our heartbeat stalled past the
+            # ttl): the current lease belongs to the thief, and our
+            # publish — if any — was a harmless duplicate of identical
+            # bytes.  Leave the thief's lease alone.
+            _LOST.inc()
+            self._emit("lease_lost", key=key)
+            return
+        path.unlink(missing_ok=True)
+        if completed:
+            self._deaths_path(key).unlink(missing_ok=True)
+            self._emit("publish", key=key)
+        else:
+            self._emit("claim_failed", key=key)
+
+    # ------------------------------------------------------------------
+    # heartbeats
+    # ------------------------------------------------------------------
+    def renew_all(self) -> int:
+        """Touch every held lease's mtime; returns how many renewed."""
+        with self._lock:
+            held = dict(self._held)
+        renewed = 0
+        now = time.time()
+        for path in held.values():
+            try:
+                os.utime(path, (now, now))
+                renewed += 1
+            except OSError:
+                # Broken under us; release() classifies it as lost.
+                continue
+        return renewed
+
+    def held(self) -> list[str]:
+        """Keys this worker currently holds leases for (sorted)."""
+        with self._lock:
+            return sorted(self._held)
+
+    def _ensure_heartbeat(self) -> None:
+        if not self._heartbeat_enabled or self._heartbeat_thread is not None:
+            return
+        def beat() -> None:
+            while not self._stop.wait(self.ttl / 4.0):
+                self.renew_all()
+        self._heartbeat_thread = threading.Thread(
+            target=beat, name=f"repro-lease-heartbeat-{self.worker_id}",
+            daemon=True,
+        )
+        self._heartbeat_thread.start()
+
+    def close(self) -> None:
+        """Stop the heartbeat thread and drop any still-held leases."""
+        self._stop.set()
+        if self._heartbeat_thread is not None:
+            self._heartbeat_thread.join()
+            self._heartbeat_thread = None
+        for key in self.held():
+            self.release(key, completed=False)
+
+    def __enter__(self) -> "LeaseBoard":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # poison ledger
+    # ------------------------------------------------------------------
+    def deaths(self, key: str) -> int:
+        """Recorded consecutive claimant deaths for ``key``."""
+        try:
+            payload = json.loads(self._deaths_path(key).read_text())
+        except (OSError, json.JSONDecodeError):
+            return 0
+        return int(payload.get("count", 0))
+
+    def poisoned(self, key: str) -> bool:
+        """Whether ``key`` has crossed the poison threshold."""
+        return self.deaths(key) >= self.poison_threshold
+
+    def _check_poison(self, key: str) -> None:
+        count = self.deaths(key)
+        if count >= self.poison_threshold:
+            raise PoisonedStageError(key, count)
+
+    def _record_death(self, key: str, victim: dict[str, Any]) -> int:
+        """Append one claimant death; returns the new count.
+
+        Only the winning breaker of a lease calls this, so writes are
+        serialized per death: two breakers of the *same* lease instance
+        cannot both win the rename.
+        """
+        path = self._deaths_path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            payload = {"count": 0, "victims": []}
+        payload["count"] = int(payload.get("count", 0)) + 1
+        payload.setdefault("victims", []).append(
+            {k: victim.get(k) for k in ("worker", "pid", "family")}
+        )
+        tmp = path.with_name(
+            f".deaths-{self.worker_id}-{os.urandom(4).hex()}"
+        )
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        if payload["count"] == self.poison_threshold:
+            _POISONED.inc()
+            self._emit(
+                "poisoned", key=key, deaths=payload["count"],
+                family=victim.get("family"),
+            )
+        return payload["count"]
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _acquire(self, key: str, family: str) -> bool:
+        path = self._lease_path(key)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        payload = {
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "family": family,
+            "claimed_unix": time.time(),
+        }
+        os.write(fd, json.dumps(payload).encode())
+        os.close(fd)
+        with self._lock:
+            self._held[key] = path
+        _CLAIMS.inc()
+        self._emit("claim", key=key, family=family)
+        self._ensure_heartbeat()
+        return True
+
+    def _break(self, key: str) -> bool:
+        """Break an expired lease; ``True`` when this worker broke it.
+
+        Same rename-verify protocol as the store's stale-lock break: an
+        atomic rename to a breaker-unique name elects exactly one
+        breaker, and re-verifying the renamed file's mtime catches the
+        holder renewing (or a new holder claiming) between our stat and
+        our rename — in which case the fresh lease is restored via
+        ``os.link`` (which never clobbers a newer one) and the break is
+        aborted.
+        """
+        path = self._lease_path(key)
+        breaker = self.directory / (
+            f".break-{self.worker_id}-{os.urandom(4).hex()}"
+        )
+        if _pre_break_hook is not None:
+            _pre_break_hook(key)
+        try:
+            os.rename(path, breaker)
+        except OSError:
+            return False  # lost the race: broken or released already
+        try:
+            age = time.time() - breaker.stat().st_mtime
+        except OSError:
+            return False
+        if age <= self.ttl:
+            try:
+                os.link(breaker, path)
+            except OSError:
+                pass  # an even newer lease exists; nothing to restore
+            breaker.unlink(missing_ok=True)
+            _BREAK_ABORTS.inc()
+            return False
+        victim = self._read_lease(breaker)
+        breaker.unlink(missing_ok=True)
+        deaths = self._record_death(key, victim)
+        _EXPIRATIONS.inc()
+        _STEALS.inc()
+        self._emit(
+            "lease_expired",
+            key=key,
+            victim=victim.get("worker"),
+            family=victim.get("family"),
+            deaths=deaths,
+        )
+        return True
+
+    @staticmethod
+    def _read_lease(path: Path) -> dict[str, Any]:
+        try:
+            return json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.on_event is None:
+            return
+        record = {"event": event, "worker": self.worker_id, **fields}
+        try:
+            self.on_event(record)
+        except Exception:  # noqa: BLE001 - provenance must not kill work
+            pass
+
+    # ------------------------------------------------------------------
+    # introspection (scheduler-side: who holds what right now?)
+    # ------------------------------------------------------------------
+    def holders(self) -> dict[str, dict[str, Any]]:
+        """Current lease payloads by key (best-effort snapshot).
+
+        Read by the chaos scheduler to aim ``worker-kill`` drills at a
+        worker that actually holds a lease, and by operators debugging
+        a stuck campaign.  Unparseable or vanished files are skipped.
+        """
+        out: dict[str, dict[str, Any]] = {}
+        for path in self.directory.glob("*.lease"):
+            payload = self._read_lease(path)
+            if payload:
+                out[path.name[: -len(".lease")]] = payload
+        return out

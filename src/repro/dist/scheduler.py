@@ -1,0 +1,372 @@
+"""Distributed campaign coordination: fleet, journal, cross-checks.
+
+:class:`DistributedCampaign` (CLI: ``repro exec run --workers N``) is
+the coordinator of a leased work-queue campaign.  It is intentionally
+*not* a scheduler in the classic sense — it assigns nothing.  The
+workers self-schedule through the
+:class:`~repro.dist.leases.LeaseBoard`; the coordinator's job is the
+bureaucracy around them:
+
+1. publish (or attach to) the campaign journal's spec, so any number
+   of worker processes — its own fleet, ``repro exec workers N`` on
+   another terminal, a replacement coordinator after a crash — can
+   join the same campaign by directory path alone;
+2. run a local worker fleet on :class:`~repro.cluster.fleet.
+   ProcessFleet` with respawn *off* (a dist worker exiting zero is a
+   worker that finished the campaign, not a casualty) and wait for it
+   to drain;
+3. absorb every finished worker's metrics snapshot into this process's
+   registry — so ``dist.claims`` / ``dist.lease_expirations`` /
+   ``dist.poisoned`` land in the coordinator's runlog — and
+   cross-check that all finishers published **bitwise-identical**
+   tables, the distributed tier's correctness gate;
+4. journal ``campaign_done``, so a later ``--resume`` is a cheap
+   no-op-ish rerun against a warm store.
+
+Chaos: the fleet's monitor applies the ``worker-kill`` fault target
+(``REPRO_FAULTS=error:worker-kill:1``), and the victim is aimed — a
+slot whose worker currently *holds a lease*, preferring the
+long-running ``phi`` stages — so a drill reliably produces the
+lease-expiry → re-claim path it exists to prove, instead of sometimes
+killing an idle worker and proving nothing.
+
+Crash-safety of the coordinator itself: everything durable lives under
+the store (spec, journal, leases, stage products).  Kill the
+coordinator and its orphaned workers keep computing; start a new
+coordinator with the same store and campaign id and it attaches,
+spawns reinforcements, and finishes — stages already published are
+store hits, stages mid-flight are claimed leases to wait on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.cluster.fleet import ProcessFleet
+from repro.dist.journal import CampaignJournal, build_spec
+from repro.dist.leases import (
+    DEFAULT_LEASE_TTL,
+    POISON_THRESHOLD,
+    DistError,
+    LeaseBoard,
+)
+from repro.dist.worker import dist_worker_main, lease_dir
+from repro.faults.injection import FaultPlan
+from repro.obs import trace
+from repro.obs.metrics import MetricsRegistry, default_registry
+
+__all__ = [
+    "DistOutcome",
+    "DistributedCampaign",
+    "run_distributed_campaign",
+    "attach_workers",
+]
+
+
+@dataclass
+class DistOutcome:
+    """What one coordinated distributed campaign produced."""
+
+    campaign_id: str
+    directory: Path
+    tables: str
+    tables_sha256: str
+    workers_done: tuple[str, ...]
+    workers_failed: tuple[str, ...]
+    degraded: tuple[str, ...]
+    wall_s: float
+    resumed: bool
+    #: coordinator-side view of the fleet's summed counters
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+
+class _DistFleet(ProcessFleet):
+    """Campaign-worker fleet with lease-aware chaos victim selection."""
+
+    def __init__(self, *args: Any, board: LeaseBoard, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._board = board
+
+    def _chaos_victim(self) -> str | None:
+        """A live slot holding a lease — ``phi`` holders first.
+
+        ``worker-kill`` drills exist to prove re-claim; killing a
+        worker that holds nothing proves nothing.  φ stages run the
+        longest, so their holder is the victim least likely to
+        publish-and-release in the instant between selection and
+        SIGKILL.  No holder yet → no victim → the fault budget is kept
+        for a later tick.
+        """
+        holders = self._board.holders()
+        if not holders:
+            return None
+        by_worker: dict[str, str] = {}
+        for payload in holders.values():
+            worker = str(payload.get("worker", ""))
+            family = str(payload.get("family", ""))
+            if worker not in by_worker or family == "phi":
+                by_worker[worker] = family
+        with self._lock:
+            slot_of = {
+                f"{slot}-{handle.process.pid}": slot
+                for slot, handle in self._handles.items()
+                if handle.process is not None and handle.process.is_alive()
+            }
+        chosen: str | None = None
+        for worker, family in by_worker.items():
+            slot = slot_of.get(worker)
+            if slot is None:
+                continue
+            if family == "phi":
+                return slot
+            chosen = chosen or slot
+        return chosen
+
+
+class DistributedCampaign:
+    """Coordinate one campaign across N local worker processes.
+
+    Parameters mirror :func:`repro.core.campaign.run_campaign` where
+    they overlap; the distributed knobs are ``workers`` (fleet size),
+    ``campaign_id`` (journal directory name; defaults to the config
+    fingerprint's first 12 hex chars, so re-running the same experiment
+    resumes it), ``lease_ttl`` / ``poison_threshold`` (see
+    :mod:`repro.dist.leases`) and ``faults`` (the coordinator-side plan
+    whose ``worker-kill`` target the fleet monitor applies).
+    """
+
+    def __init__(
+        self,
+        config: Any,
+        *,
+        store: str | Path,
+        workers: int = 4,
+        campaign_id: str | None = None,
+        variants: tuple[str, ...] = ("M1", "M2"),
+        fusion_threshold: int = 3,
+        retries: int = 1,
+        on_error: str = "fail",
+        max_quarantine_fraction: float = 0.1,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        poison_threshold: int = POISON_THRESHOLD,
+        health_interval: float = 0.25,
+        spawn_timeout: float = 120.0,
+        faults: FaultPlan | None = None,
+        registry: MetricsRegistry | None = None,
+        worker_env: dict[str, dict] | None = None,
+    ) -> None:
+        store = getattr(store, "directory", store)
+        self.config = config
+        self.store_dir = Path(store)
+        self.workers = int(workers)
+        self.variants = tuple(variants)
+        self.fusion_threshold = int(fusion_threshold)
+        self.retries = int(retries)
+        self.on_error = on_error
+        self.max_quarantine_fraction = float(max_quarantine_fraction)
+        self.lease_ttl = float(lease_ttl)
+        self.poison_threshold = int(poison_threshold)
+        self.health_interval = float(health_interval)
+        self.spawn_timeout = float(spawn_timeout)
+        self.faults = faults
+        self.registry = registry if registry is not None else default_registry()
+        self.worker_env = worker_env or {}
+        self.spec = build_spec(
+            config,
+            variants=self.variants,
+            fusion_threshold=self.fusion_threshold,
+            retries=self.retries,
+            on_error=self.on_error,
+            max_quarantine_fraction=self.max_quarantine_fraction,
+            lease_ttl=self.lease_ttl,
+            poison_threshold=self.poison_threshold,
+        )
+        self.campaign_id = campaign_id or self.spec["fingerprint"][:12]
+        self.campaign_dir = self.store_dir / "dist" / self.campaign_id
+
+    # ------------------------------------------------------------------
+    def run(self, *, join_timeout: float | None = None) -> DistOutcome:
+        """Publish the spec, run the fleet to completion, cross-check.
+
+        Raises :class:`DistError` when no worker finished (every one
+        crashed or was killed) or when two finishers disagree on the
+        table bytes — the latter would mean the determinism contract
+        broke, which must never be papered over.
+        """
+        t0 = time.monotonic()
+        journal = CampaignJournal(self.campaign_dir)
+        created = journal.write_spec(self.spec)
+        journal.append(
+            "coordinator_start" if created else "coordinator_resume",
+            workers=self.workers,
+            campaign=self.campaign_id,
+        )
+        # The coordinator's own board is observer-only: it never claims,
+        # it just reads lease files to aim chaos kills.
+        board = LeaseBoard(
+            lease_dir(self.store_dir),
+            worker_id="coordinator",
+            ttl=self.lease_ttl,
+            poison_threshold=self.poison_threshold,
+            heartbeat=False,
+        )
+        fleet = _DistFleet(
+            self.workers,
+            board=board,
+            target=dist_worker_main,
+            make_args=self._worker_args,
+            name_prefix=f"repro-dist-{self.campaign_id}",
+            health_interval=self.health_interval,
+            spawn_timeout=self.spawn_timeout,
+            faults=self.faults,
+            fault_target="worker-kill",
+            registry=self.registry,
+            metrics_prefix="dist",
+            respawn=False,
+        )
+        with trace.span(
+            "dist.campaign",
+            campaign=self.campaign_id,
+            workers=self.workers,
+            resumed=not created,
+        ):
+            fleet.start()
+            try:
+                if not fleet.join(timeout=join_timeout):
+                    raise DistError(
+                        f"campaign {self.campaign_id} did not finish "
+                        f"within {join_timeout:.0f}s"
+                    )
+            finally:
+                fleet.stop()
+                board.close()
+        return self._conclude(journal, time.monotonic() - t0, not created)
+
+    def _worker_args(self, slot: str, child_conn) -> tuple:
+        return (
+            str(self.store_dir),
+            str(self.campaign_dir),
+            slot,
+            child_conn,
+            self.worker_env.get(slot),
+        )
+
+    # ------------------------------------------------------------------
+    def _conclude(
+        self, journal: CampaignJournal, wall_s: float, resumed: bool
+    ) -> DistOutcome:
+        done = journal.events("worker_done")
+        failed = journal.events("worker_failed")
+        if not done:
+            detail = "; ".join(
+                f"{ev.get('worker')}: {ev.get('error')}" for ev in failed
+            )
+            raise DistError(
+                f"campaign {self.campaign_id}: no worker finished"
+                + (f" ({detail})" if detail else "")
+            )
+        shas = {str(ev.get("tables_sha256")) for ev in done}
+        if len(shas) != 1:
+            raise DistError(
+                f"campaign {self.campaign_id}: finished workers disagree "
+                f"on table bytes ({sorted(s[:12] for s in shas)}) — "
+                "determinism contract violated"
+            )
+        # Fold the finishers' counters into the coordinator registry:
+        # dist.* and exec.* totals then show up in traced runlogs.
+        for ev in done:
+            metrics = ev.get("metrics")
+            if isinstance(metrics, dict):
+                self.registry.absorb(metrics)
+        tables = journal.tables()
+        if not tables:
+            raise DistError(
+                f"campaign {self.campaign_id}: workers reported done but "
+                "published no tables"
+            )
+        text = next(iter(tables.values()))
+        degraded = sorted(
+            {name for ev in done for name in ev.get("degraded", ())}
+        )
+        journal.append(
+            "campaign_done",
+            campaign=self.campaign_id,
+            tables_sha256=next(iter(shas)),
+            workers_done=sorted(str(ev.get("worker")) for ev in done),
+            wall_s=round(wall_s, 3),
+        )
+        counters = {
+            name: snap.get("value")
+            for name, snap in self.registry.snapshot().items()
+            if snap.get("type") == "counter" and name.startswith("dist.")
+        }
+        return DistOutcome(
+            campaign_id=self.campaign_id,
+            directory=self.campaign_dir,
+            tables=text,
+            tables_sha256=next(iter(shas)),
+            workers_done=tuple(
+                sorted(str(ev.get("worker")) for ev in done)
+            ),
+            workers_failed=tuple(
+                sorted(str(ev.get("worker")) for ev in failed)
+            ),
+            degraded=tuple(degraded),
+            wall_s=wall_s,
+            resumed=resumed,
+            metrics=counters,
+        )
+
+
+def run_distributed_campaign(config: Any, **kwargs: Any) -> DistOutcome:
+    """One-call façade over :class:`DistributedCampaign`."""
+    return DistributedCampaign(config, **kwargs).run()
+
+
+def attach_workers(
+    store: str | Path,
+    campaign_id: str,
+    n_workers: int,
+    *,
+    health_interval: float = 0.25,
+    spawn_timeout: float = 120.0,
+    registry: MetricsRegistry | None = None,
+) -> dict[str, int | None]:
+    """Join ``n_workers`` extra processes to an existing campaign.
+
+    The CLI's ``repro exec workers N`` — reinforcements from another
+    terminal or host sharing the filesystem.  Requires the campaign
+    spec to exist (a coordinator published it); returns each slot's
+    exit code once the fleet drains on campaign completion.
+    """
+    store_dir = Path(getattr(store, "directory", store))
+    campaign_dir = store_dir / "dist" / campaign_id
+    journal = CampaignJournal(campaign_dir)
+    journal.spec()  # raises DistError when there is nothing to join
+    fleet = ProcessFleet(
+        n_workers,
+        target=dist_worker_main,
+        make_args=lambda slot, conn: (
+            str(store_dir),
+            str(campaign_dir),
+            f"j{slot}",
+            conn,
+            None,
+        ),
+        name_prefix=f"repro-dist-{campaign_id}-join",
+        health_interval=health_interval,
+        spawn_timeout=spawn_timeout,
+        faults=FaultPlan(),
+        registry=registry,
+        metrics_prefix="dist",
+        respawn=False,
+    )
+    fleet.start()
+    try:
+        fleet.join()
+    finally:
+        fleet.stop()
+    return fleet.exitcodes()

@@ -1,0 +1,146 @@
+"""The distributed campaign worker process.
+
+Each worker is deliberately *the whole campaign driver*: it rebuilds
+the experiment from the journal's spec and runs the ordinary
+:func:`repro.core.campaign.run_campaign` — the only distributed thing
+about it is the :class:`~repro.dist.leases.LeaseBoard` threaded into
+its :class:`~repro.core.pipeline.PhonotacticSystem` as ``claims``,
+which turns every store-keyed stage into claim-compute-publish or
+poll-for-the-winner.  That design is what makes the fault semantics of
+PR 5 carry over unchanged: retries, utterance quarantine and
+``on_error="degrade"`` all run *inside* each worker exactly as in a
+single-process campaign, and the lease layer only decides *which
+process* pays for each stage.
+
+It also means every worker independently assembles the full result
+tables from the shared store at the end — cheap (all stage products
+are cached by then) and the basis of the coordinator's bitwise
+cross-check: N workers publishing byte-identical tables is the
+end-to-end proof that distribution changed nothing but wall time.
+
+Lifecycle mirrors :func:`repro.cluster.worker.worker_main`: env
+overrides land before the heavy imports (so per-worker ``REPRO_FAULTS``
+plans work), the ready handshake is ``("ready", worker_id)``, SIGINT is
+ignored (shutdown is the coordinator's job), and a worker that fails
+logs ``worker_failed`` to the journal and exits nonzero — at which
+point its leases expire and the survivors re-claim its stages.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+__all__ = ["dist_worker_main", "run_dist_worker"]
+
+
+def dist_worker_main(
+    store_dir: str,
+    campaign_dir: str,
+    slot: str,
+    conn=None,
+    env_overrides: dict | None = None,
+) -> None:
+    """Process entry point (spawn context — picklable args only)."""
+    for key, value in (env_overrides or {}).items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = str(value)
+    # A terminal Ctrl-C hits the whole foreground process group; the
+    # coordinator owns shutdown (it SIGTERMs the fleet), so workers
+    # don't die mid-stage with a KeyboardInterrupt traceback.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Imports happen after the env overrides so ambient fault plans and
+    # pool sizing read the per-worker environment.
+    worker_id = f"{slot}-{os.getpid()}"
+    run_dist_worker(store_dir, campaign_dir, worker_id, conn=conn)
+
+
+def run_dist_worker(
+    store_dir: str,
+    campaign_dir: str,
+    worker_id: str,
+    *,
+    conn=None,
+) -> "object":
+    """Join the campaign at ``campaign_dir`` and work it to completion.
+
+    Returns the :class:`~repro.core.campaign.CampaignResult` (useful
+    for in-process tests; the spawn entry point discards it — the
+    journal and store carry everything the coordinator needs).
+    """
+    from repro.core.campaign import run_campaign
+    from repro.core.pipeline import build_system
+    from repro.dist.journal import CampaignJournal, config_from_spec
+    from repro.dist.leases import LeaseBoard
+    from repro.exec.store import ArtifactStore
+    from repro.faults import RetryPolicy
+    from repro.obs.metrics import default_registry
+
+    journal = CampaignJournal(campaign_dir)
+    spec = journal.spec()
+    config = config_from_spec(spec)
+    store = ArtifactStore(store_dir)
+    board = LeaseBoard(
+        lease_dir(store_dir),
+        worker_id=worker_id,
+        ttl=float(spec["lease_ttl"]),
+        poison_threshold=int(spec["poison_threshold"]),
+        on_event=lambda record: journal.append(**record),
+    )
+    retries = int(spec.get("retries", 1))
+    retry = RetryPolicy(max_attempts=retries) if retries > 1 else None
+    system = build_system(
+        config,
+        store=store,
+        retry=retry,
+        on_error=spec.get("on_error", "fail"),
+        max_quarantine_fraction=float(
+            spec.get("max_quarantine_fraction", 0.1)
+        ),
+        claims=board,
+    )
+    if conn is not None:
+        try:
+            conn.send(("ready", worker_id))
+        finally:
+            conn.close()
+    journal.append("worker_start", worker=worker_id, pid=os.getpid())
+    try:
+        result = run_campaign(
+            config,
+            system=system,
+            variants=tuple(spec["variants"]),
+            fusion_threshold=int(spec["fusion_threshold"]),
+        )
+    except BaseException as exc:
+        journal.append(
+            "worker_failed",
+            worker=worker_id,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        board.close()
+        raise
+    text = result.to_text()
+    sha = journal.record_tables(worker_id, text)
+    board.close()
+    journal.append(
+        "worker_done",
+        worker=worker_id,
+        tables_sha256=sha,
+        degraded=sorted(result.degraded),
+        quarantined=sorted(result.quarantined),
+        metrics=default_registry().snapshot(),
+    )
+    return result
+
+
+def lease_dir(store_dir: str) -> str:
+    """The lease directory all of a store's campaigns share.
+
+    Stage keys are content-addressed globally, so leases live beside
+    the store's objects rather than per campaign: two overlapping
+    campaigns with shared stages coordinate instead of duplicating.
+    """
+    return os.path.join(str(store_dir), "leases")

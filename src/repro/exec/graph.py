@@ -49,6 +49,19 @@ Chaos drills reach stages through the ambient ``REPRO_FAULTS`` plan
 applies the targets ``<family>`` and, when the stage's ``meta`` names a
 frontend, ``<family>/<frontend>`` — so ``error:phi:2`` fails two decode
 attempts anywhere and ``error:phi/FE_A`` fails only frontend ``FE_A``'s.
+
+Distributed claims
+------------------
+Both entry points also accept ``claims=``, a lease board (duck-typed;
+see :class:`repro.dist.LeaseBoard`) that turns store-keyed stages into
+a work queue across *processes*: before computing a missing stage the
+worker must win ``claims.try_claim(key)``; losers poll the store
+(:meth:`~repro.exec.store.ArtifactStore.refresh` + get) until the
+winner's put appears or the winner's lease expires and the stage can be
+re-claimed.  Stages without a store key (in-memory assembly) bypass the
+board and run in every worker.  The claim protocol is deliberately
+invisible to compute functions, so retries, fault injection and failure
+collection behave identically with and without it.
 """
 
 from __future__ import annotations
@@ -104,6 +117,7 @@ def run_stage(
     decode: Callable[[Any], Any] | None = None,
     meta: dict[str, Any] | None = None,
     retry: RetryPolicy | None = None,
+    claims: Any | None = None,
 ) -> Any:
     """Execute one stage with store memoization and obs accounting.
 
@@ -123,6 +137,17 @@ def run_stage(
     propagates unchanged.  Ambient ``REPRO_FAULTS`` targets
     ``<family>`` / ``<family>/<frontend>`` fire before each compute
     attempt (no-op when unarmed).
+
+    With ``claims`` (a lease board; requires ``store`` and ``key``),
+    computing a missing stage first requires winning the stage's lease:
+    the winner computes and publishes as usual (its worker id is added
+    to the put's ``meta`` for provenance), while losers poll — refresh
+    the store, re-check for the winner's put, and periodically retry
+    the claim so an expired lease (dead winner) is stolen.  A value that
+    arrives through polling counts as ``.cached``, exactly like a warm
+    store hit.  A stage the board has poisoned raises
+    :class:`repro.faults.PoisonedStageError` from the claim attempt,
+    which failure-collection mode records like any other stage error.
     """
     registry = default_registry()
     plan = ambient_plan()
@@ -137,45 +162,79 @@ def run_stage(
             return fn()
         return retry.call(fn, key=f"{label}/{what}")
 
-    if store is not None and key is not None:
+    def load_cached() -> Any:
         try:
             stored = guarded(lambda: store.get(key), "get")
         except KeyError:
-            pass
-        else:
-            with trace.span(f"exec.{family}", cached=True):
-                value = decode(stored) if decode is not None else stored
-            registry.counter(f"exec.stage.{family}.cached").inc()
+            return _MISS
+        with trace.span(f"exec.{family}", cached=True):
+            value = decode(stored) if decode is not None else stored
+        registry.counter(f"exec.stage.{family}.cached").inc()
+        return value
+
+    if store is not None and key is not None:
+        value = load_cached()
+        if value is not _MISS:
             return value
+
+    claimed = claims is not None and store is not None and key is not None
+    if claimed:
+        while True:
+            if claims.try_claim(key, family=family, meta=meta):
+                # Double-check under the lease: another worker may have
+                # published between our miss and our claim.
+                value = load_cached()
+                if value is not _MISS:
+                    claims.release(key, completed=True)
+                    return value
+                break
+            claims.wait(key)
+            store.refresh()
+            value = load_cached()
+            if value is not _MISS:
+                return value
+        meta = {**(meta or {}), "worker": claims.worker_id}
 
     def attempt() -> Any:
         for target in fault_targets:
             plan.apply(target)
         return compute()
 
-    with trace.span(f"exec.{family}", cached=False) as sp:
-        if retry is None:
-            value = attempt()
-        else:
-            value = retry.call(
-                attempt,
-                key=f"{label}/compute",
-                on_retry=lambda n, exc: sp.inc("retries").set_attrs(
-                    last_error=type(exc).__name__
+    try:
+        with trace.span(f"exec.{family}", cached=False) as sp:
+            if retry is None:
+                value = attempt()
+            else:
+                value = retry.call(
+                    attempt,
+                    key=f"{label}/compute",
+                    on_retry=lambda n, exc: sp.inc("retries").set_attrs(
+                        last_error=type(exc).__name__
+                    ),
+                )
+        registry.counter(f"exec.stage.{family}.executed").inc()
+        if store is not None and key is not None:
+            guarded(
+                lambda: store.put(
+                    key,
+                    kind,
+                    encode(value) if encode is not None else value,
+                    meta=meta,
                 ),
+                "put",
             )
-    registry.counter(f"exec.stage.{family}.executed").inc()
-    if store is not None and key is not None:
-        guarded(
-            lambda: store.put(
-                key,
-                kind,
-                encode(value) if encode is not None else value,
-                meta=meta,
-            ),
-            "put",
-        )
+    except BaseException:
+        if claimed:
+            claims.release(key, completed=False)
+        raise
+    else:
+        if claimed:
+            claims.release(key, completed=True)
     return value
+
+
+#: Sentinel distinguishing "store miss" from a stored ``None``.
+_MISS = object()
 
 
 @dataclass
@@ -306,6 +365,7 @@ class StageGraph:
         workers: int | None = 1,
         retry: RetryPolicy | None = None,
         failures: dict[str, BaseException] | None = None,
+        claims: Any | None = None,
     ) -> dict[str, Any]:
         """Resolve ``targets`` (default: every stage); returns all values.
 
@@ -323,6 +383,10 @@ class StageGraph:
         :class:`StageDependencyError` and skipped, and all independent
         stages still execute; the returned dict then holds only the
         stages that succeeded.
+
+        ``claims`` is handed to every instrumented, store-keyed stage
+        (see :func:`run_stage`), partitioning the run's frontier across
+        the worker processes sharing the store and lease board.
         """
         targets = list(targets) if targets is not None else self.names()
         order, live_deps = self._plan(targets, store)
@@ -358,6 +422,7 @@ class StageGraph:
                 decode=stage.decode,
                 meta=stage.meta,
                 retry=retry,
+                claims=claims,
             )
 
         def poisoned_deps(name: str) -> list[str]:

@@ -95,6 +95,12 @@ _LOCK_STALE_S = 30.0
 #: Prefix of in-flight payload temp files (swept on store open).
 _TMP_PREFIX = ".tmp-"
 
+#: Test hook invoked between observing a stale ``index.lock`` and
+#: breaking it — lets regression tests force the historical TOCTOU
+#: interleaving (two waiters both see the stale lock, a third process
+#: acquires, the break must not delete the new holder's lock).
+_break_hook: Callable[[], None] | None = None
+
 
 class StoreError(RuntimeError):
     """The store or one of its payloads cannot be used safely."""
@@ -207,6 +213,12 @@ class ArtifactStore:
         for orphan in self.directory.glob(".index-*.tmp"):
             orphan.unlink(missing_ok=True)
             swept += 1
+        for orphan in self.directory.glob(".lockbreak-*"):
+            # A lock breaker killed between rename and unlink leaves
+            # its uniquely-named grab behind; the lock itself is gone,
+            # so this is litter, not a held lock.
+            orphan.unlink(missing_ok=True)
+            swept += 1
         return swept
 
     @contextmanager
@@ -217,6 +229,17 @@ class ArtifactStore:
         locks older than :data:`_LOCK_STALE_S` are presumed abandoned
         by a killed process and broken.  Raises :class:`StoreError` on
         timeout rather than proceeding unlocked.
+
+        Stale locks are broken by *renaming* them to a waiter-unique
+        name and re-verifying staleness on the renamed file, never by a
+        blind unlink: two waiters that both observed the same stale
+        lock would otherwise both unlink, and the slower one could
+        delete the lock a third process had just legitimately acquired
+        under the same name.  The rename is atomic, so exactly one
+        breaker wins; a breaker that discovers it grabbed a *fresh*
+        lock (the holder renewed, or a new holder appeared between stat
+        and rename) hands it back via ``os.link`` — which never
+        clobbers — and backs off.
         """
         lock_path = self.directory / _LOCK
         deadline = time.monotonic() + self.lock_timeout
@@ -232,7 +255,7 @@ class ArtifactStore:
                 except OSError:
                     continue  # holder released between open and stat
                 if age > _LOCK_STALE_S:
-                    lock_path.unlink(missing_ok=True)
+                    self._break_stale_lock(lock_path)
                     continue
                 if time.monotonic() >= deadline:
                     raise StoreError(
@@ -246,6 +269,41 @@ class ArtifactStore:
             yield
         finally:
             lock_path.unlink(missing_ok=True)
+
+    def _break_stale_lock(self, lock_path: Path) -> bool:
+        """Safely break a lock observed stale; returns whether we broke it.
+
+        See :meth:`_file_lock` for the rationale.  The breaker file is
+        named after this pid *and* a per-call token so concurrent
+        breakers in one process can never collide on the rename target.
+        """
+        token = os.urandom(4).hex()
+        breaker = lock_path.with_name(
+            f".lockbreak-{os.getpid()}-{token}"
+        )
+        if _break_hook is not None:
+            _break_hook()
+        try:
+            os.rename(lock_path, breaker)
+        except OSError:
+            return False  # lost the race: broken or released already
+        try:
+            age = time.time() - breaker.stat().st_mtime
+        except OSError:
+            return False
+        if age <= _LOCK_STALE_S:
+            # What we grabbed is *fresh* — the holder touched it (or a
+            # new holder acquired) between our stat and our rename.
+            # Hand it back without clobbering any newer lock: link()
+            # fails with EEXIST instead of overwriting.
+            try:
+                os.link(breaker, lock_path)
+            except OSError:
+                pass  # an even newer lock exists; nothing to restore
+            breaker.unlink(missing_ok=True)
+            return False
+        breaker.unlink(missing_ok=True)
+        return True
 
     # ------------------------------------------------------------------
     # bookkeeping
@@ -261,6 +319,25 @@ class ArtifactStore:
         """Whether the index records a payload under ``key``."""
         with self._lock:
             return key in self._index
+
+    def refresh(self) -> int:
+        """Merge the on-disk index into memory; returns new-key count.
+
+        A long-lived store handle only learns about its *own* puts; in
+        a distributed campaign other worker processes publish stages
+        through the same directory, and a worker waiting on a leased
+        stage must be able to observe the winner's put without
+        reopening the store.  Disk entries never override keys this
+        process already holds (memory wins per key, matching
+        :meth:`_write_index`'s merge direction).
+        """
+        disk = self._read_index()
+        if not disk:
+            return 0
+        with self._lock:
+            before = len(self._index)
+            self._index = {**disk, **self._index}
+            return len(self._index) - before
 
     def entry(self, key: str) -> dict[str, Any]:
         """The index entry for ``key`` (a copy; raises ``KeyError``)."""

@@ -22,7 +22,15 @@ Escalation order in the batch stack, cheapest remedy first:
    renormalizing the Eq. 20 fusion weights over the survivors
    (:class:`repro.core.pipeline.PhonotacticSystem`, mirroring the
    serving layer's circuit breakers);
-4. **fail** with :class:`AllFrontendsFailedError` when nothing
+4. **re-claim** (distributed campaigns only): a stage whose worker
+   process died is taken over by a surviving worker once its lease
+   expires (:class:`repro.dist.LeaseBoard`);
+5. **poison** (distributed campaigns only): a stage that has killed
+   :data:`~repro.dist.POISON_THRESHOLD`-many consecutive claimants is
+   quarantined with :class:`PoisonedStageError` — deliberately *not*
+   retryable, so it flows into the same degrade/fail handling as an
+   exhausted retry;
+6. **fail** with :class:`AllFrontendsFailedError` when nothing
    survives — a silently empty campaign would be worse than a crash.
 
 Import order note: :mod:`~repro.faults.injection` is stdlib-only and is
@@ -50,6 +58,7 @@ __all__ = [
     "DEFAULT_RETRYABLE",
     "RetryPolicy",
     "AllFrontendsFailedError",
+    "PoisonedStageError",
 ]
 
 
@@ -60,3 +69,27 @@ class AllFrontendsFailedError(RuntimeError):
     degrading to an empty survivor set would mean emitting tables fused
     over nothing, so the campaign aborts instead.
     """
+
+
+class PoisonedStageError(RuntimeError):
+    """A distributed stage was quarantined after killing its claimants.
+
+    Raised by :meth:`repro.dist.LeaseBoard.try_claim` once a stage's
+    recorded claimant-death count reaches the board's poison threshold:
+    a stage that reliably takes its worker process down with it must
+    not be retried by the next volunteer.  It is classified as
+    **non-retryable** (never part of
+    :data:`repro.faults.retry.DEFAULT_RETRYABLE`), so
+    :func:`repro.exec.graph.run_stage` surfaces it immediately and the
+    per-worker escalation ladder handles it like any exhausted stage:
+    ``on_error="degrade"`` drops the owning frontend, otherwise the
+    campaign fails.
+    """
+
+    def __init__(self, key: str, deaths: int) -> None:
+        super().__init__(
+            f"stage {key[:12]}… poisoned after killing {deaths} "
+            "consecutive claimant(s)"
+        )
+        self.key = key
+        self.deaths = deaths

@@ -27,7 +27,12 @@ one live engine worker per firing (the supervisor catches the raise and
 pulls the trigger), so process-death chaos is scripted with the same
 syntax as everything else and the ``times`` budget is spent
 supervisor-side exactly once per fleet, not once per inherited child
-environment.  Directives are separated
+environment.  The distributed campaign tier
+(:class:`~repro.dist.scheduler.DistributedCampaign`) applies
+``worker-kill`` the same way, but *aims* each firing at a worker that
+currently holds a stage lease (``phi`` holders first) — the drill that
+proves lease expiry and re-claim, run from the bench as
+``REPRO_FAULTS=error:worker-kill:1``.  Directives are separated
 by ``,`` or ``|``: ``error:store:3|stall:phi:0.2``.
 
 Activation is either explicit — pass a plan to

@@ -1,0 +1,102 @@
+"""ProcessFleet generics: run-to-completion joins and crash-loop backoff.
+
+The serving-specific fleet behaviour (HTTP health, routing, respawn on
+chaos kill) lives in ``test_cluster.py``; these tests drive the
+generic layer directly with throwaway worker targets.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.fleet import ProcessFleet
+from repro.faults.injection import FaultPlan
+from repro.obs.metrics import MetricsRegistry
+
+
+def _ready_then_exit(slot: str, conn) -> None:
+    """A worker that serves for exactly zero seconds: the crash-loop."""
+    conn.send(("ready", slot))
+    conn.close()
+
+
+def _make_fleet(n: int, *, registry, **overrides) -> ProcessFleet:
+    params = dict(
+        target=_ready_then_exit,
+        make_args=lambda slot, conn: (slot, conn),
+        name_prefix="repro-fleet-test",
+        health_interval=0.05,
+        spawn_timeout=60.0,
+        faults=FaultPlan(),
+        registry=registry,
+        metrics_prefix="cluster",
+    )
+    params.update(overrides)
+    return ProcessFleet(n, **params)
+
+
+def _counter(registry, name: str) -> float:
+    snap = registry.snapshot().get(name, {})
+    return float(snap.get("value", 0.0))
+
+
+class TestRunToCompletion:
+    def test_join_drains_when_workers_exit_zero(self):
+        registry = MetricsRegistry()
+        fleet = _make_fleet(2, registry=registry, respawn=False)
+        fleet.start()
+        try:
+            assert fleet.join(timeout=30.0) is True
+            codes = fleet.exitcodes()
+            assert sorted(codes) == ["w0", "w1"]
+            assert all(code == 0 for code in codes.values())
+            # respawn off: voluntary exits are not casualties
+            assert _counter(registry, "cluster.respawns") == 0
+        finally:
+            fleet.stop()
+
+    def test_ready_payload_is_surfaced(self):
+        fleet = _make_fleet(1, registry=MetricsRegistry(), respawn=False)
+        fleet.start()
+        try:
+            assert fleet.ports() == {"w0": "w0"}
+        finally:
+            fleet.join(timeout=30.0)
+            fleet.stop()
+
+
+class TestCrashLoopBackoff:
+    def test_crash_looping_slot_backs_off_and_degrades(self):
+        registry = MetricsRegistry()
+        fleet = _make_fleet(
+            1,
+            registry=registry,
+            respawn=True,
+            min_uptime=3600.0,  # every death counts as early
+            backoff_base=0.05,
+            backoff_cap=0.1,
+            max_crash_loops=2,
+        )
+        fleet.start()
+        try:
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if fleet.describe()["w0"]["degraded"]:
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("slot never degraded")
+            description = fleet.describe()["w0"]
+            assert description["degraded"] is True
+            assert description["crash_streak"] > 2
+            assert fleet.alive() == {"w0": False}
+            # Each *delayed* respawn counted as one crash loop; the
+            # first early death respawns immediately and is free.
+            assert _counter(registry, "cluster.crash_loops") >= 1
+            assert _counter(registry, "cluster.respawns") >= 1
+            # Degraded means *out of the fleet*: no further respawns.
+            generation = fleet.describe()["w0"]["generation"]
+            time.sleep(0.4)
+            assert fleet.describe()["w0"]["generation"] == generation
+        finally:
+            fleet.stop()

@@ -1,0 +1,1 @@
+"""Distributed campaign execution tests (:mod:`repro.dist`)."""

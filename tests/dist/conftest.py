@@ -1,0 +1,47 @@
+"""dist test fixtures: metric isolation and lease-board factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.leases import LeaseBoard
+from repro.obs.metrics import default_registry
+
+
+@pytest.fixture(autouse=True)
+def fresh_metrics():
+    """Zero the process-wide registry so per-test deltas are absolute.
+
+    The registry resets *in place*, so the lease module's counter
+    handles (``dist.claims`` …) stay valid across tests.
+    """
+    default_registry().reset()
+    yield default_registry()
+    default_registry().reset()
+
+
+@pytest.fixture()
+def make_board(tmp_path):
+    """Factory for lease boards sharing one lease directory.
+
+    Heartbeats are off by default so tests script renewal and expiry
+    by hand (``renew_all`` / backdated mtimes) without real-time races.
+    """
+    boards = []
+
+    def factory(worker: str, **overrides) -> LeaseBoard:
+        params = dict(
+            worker_id=worker,
+            ttl=5.0,
+            poison_threshold=3,
+            poll_interval=0.01,
+            heartbeat=False,
+        )
+        params.update(overrides)
+        board = LeaseBoard(tmp_path / "leases", **params)
+        boards.append(board)
+        return board
+
+    yield factory
+    for board in boards:
+        board.close()

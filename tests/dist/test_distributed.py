@@ -1,0 +1,186 @@
+"""repro.dist end to end: real worker processes over one store.
+
+These are the slowest dist tests (spawned interpreters pay import +
+corpus-build cost), so the campaign config is tiny and the reference
+tables are computed once per module.  The correctness bar everywhere
+is *bitwise* table equality with the single-process run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core.campaign import run_campaign
+from repro.core.config import ExperimentConfig, SystemConfig
+from repro.corpus.splits import CorpusConfig
+from repro.dist import (
+    CampaignJournal,
+    DistError,
+    DistributedCampaign,
+    attach_workers,
+)
+
+VARIANTS = ("M2",)
+FUSION = 2
+
+
+def _dist_config() -> ExperimentConfig:
+    """A seconds-scale experiment: 4 languages, one test duration."""
+    return ExperimentConfig(
+        corpus=CorpusConfig(
+            n_languages=4,
+            n_families=2,
+            train_per_language=8,
+            dev_per_language=4,
+            test_per_language=8,
+            durations=(3.0,),
+            seed=77,
+        ),
+        system=SystemConfig(orders=(1, 2), svm_max_epochs=10, mmi_iterations=5),
+        vote_thresholds=(2,),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_tables() -> str:
+    """Single-process tables for the shared tiny config."""
+    result = run_campaign(
+        _dist_config(), variants=VARIANTS, fusion_threshold=FUSION
+    )
+    return result.to_text()
+
+
+def _coordinator_main(store_dir: str, campaign_id: str) -> None:
+    """Child-process coordinator for the kill/resume test (spawnable)."""
+    DistributedCampaign(
+        _dist_config(),
+        store=store_dir,
+        workers=2,
+        campaign_id=campaign_id,
+        variants=VARIANTS,
+        fusion_threshold=FUSION,
+        lease_ttl=2.0,
+    ).run(join_timeout=300)
+
+
+def _wait_for_pids_to_exit(pids, timeout: float = 120.0) -> None:
+    deadline = time.monotonic() + timeout
+    for pid in pids:
+        while time.monotonic() < deadline:
+            try:
+                os.kill(int(pid), 0)
+            except OSError:
+                break  # gone
+            time.sleep(0.1)
+
+
+class TestDistributedCampaign:
+    def test_two_workers_bitwise_match_then_resume(
+        self, tmp_path, reference_tables
+    ):
+        store = tmp_path / "store"
+        outcome = DistributedCampaign(
+            _dist_config(),
+            store=store,
+            workers=2,
+            variants=VARIANTS,
+            fusion_threshold=FUSION,
+            lease_ttl=3.0,
+        ).run(join_timeout=300)
+        assert outcome.tables == reference_tables
+        assert len(outcome.workers_done) == 2
+        assert outcome.workers_failed == ()
+        assert outcome.resumed is False
+        assert outcome.metrics["dist.claims"] > 0
+        # Resume against the warm store: one worker, everything cached.
+        again = DistributedCampaign(
+            _dist_config(),
+            store=store,
+            workers=1,
+            variants=VARIANTS,
+            fusion_threshold=FUSION,
+            lease_ttl=3.0,
+        ).run(join_timeout=300)
+        assert again.resumed is True
+        assert again.campaign_id == outcome.campaign_id
+        assert again.tables == reference_tables
+        journal = CampaignJournal(again.directory)
+        starts = journal.events("coordinator_start")
+        resumes = journal.events("coordinator_resume")
+        assert len(starts) == 1 and len(resumes) == 1
+
+    def test_coordinator_sigkill_then_replacement_finishes(
+        self, tmp_path, reference_tables
+    ):
+        """Kill the *coordinator* mid-campaign; a replacement attaches.
+
+        Everything durable lives under the store, so the replacement
+        sees the journal, joins the lease board's campaign and
+        concludes with the same bitwise tables — the orphaned workers
+        of the dead coordinator just keep computing into the store.
+        """
+        store = tmp_path / "store"
+        campaign_id = "kill-the-boss"
+        ctx = multiprocessing.get_context("spawn")
+        coordinator = ctx.Process(
+            target=_coordinator_main,
+            args=(str(store), campaign_id),
+            daemon=False,
+        )
+        coordinator.start()
+        journal = CampaignJournal(store / "dist" / campaign_id)
+        deadline = time.monotonic() + 180.0
+        # Wait until the campaign is truly mid-flight (stages claimed).
+        while time.monotonic() < deadline:
+            if journal.events("claim"):
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("campaign never started claiming stages")
+        os.kill(coordinator.pid, signal.SIGKILL)
+        coordinator.join()
+        assert coordinator.exitcode == -signal.SIGKILL
+        # The replacement coordinator attaches and finishes the run.
+        outcome = DistributedCampaign(
+            _dist_config(),
+            store=store,
+            workers=1,
+            campaign_id=campaign_id,
+            variants=VARIANTS,
+            fusion_threshold=FUSION,
+            lease_ttl=2.0,
+        ).run(join_timeout=300)
+        assert outcome.resumed is True
+        assert outcome.tables == reference_tables
+        assert len(outcome.workers_done) >= 1
+        assert journal.events("coordinator_resume")
+        # Let the dead coordinator's orphans drain before tmp cleanup.
+        orphan_pids = [
+            ev.get("pid") for ev in journal.events("worker_start")
+        ]
+        _wait_for_pids_to_exit(orphan_pids)
+
+    def test_attach_workers_requires_a_published_campaign(self, tmp_path):
+        with pytest.raises(DistError, match="nothing to join"):
+            attach_workers(tmp_path / "store", "no-such-campaign", 1)
+
+    def test_campaign_dir_collision_with_other_config(self, tmp_path):
+        store = tmp_path / "store"
+        campaign = DistributedCampaign(
+            _dist_config(),
+            store=store,
+            workers=1,
+            campaign_id="shared-id",
+            variants=VARIANTS,
+            fusion_threshold=FUSION,
+        )
+        CampaignJournal(campaign.campaign_dir)  # directory exists
+        campaign_journal = CampaignJournal(campaign.campaign_dir)
+        campaign_journal.write_spec({**campaign.spec, "fingerprint": "f" * 64})
+        with pytest.raises(DistError, match="fingerprint"):
+            campaign.run(join_timeout=60)

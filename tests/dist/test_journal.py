@@ -1,0 +1,131 @@
+"""CampaignJournal: spec exactly-once, torn-line tolerance, tables."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.core.config import smoke_scale
+from repro.dist import (
+    CampaignJournal,
+    DistError,
+    build_spec,
+    config_from_spec,
+)
+
+
+@pytest.fixture()
+def spec():
+    return build_spec(
+        smoke_scale(7),
+        variants=("M1", "M2"),
+        fusion_threshold=3,
+        retries=2,
+        on_error="degrade",
+        lease_ttl=4.0,
+        poison_threshold=3,
+    )
+
+
+class TestSpec:
+    def test_create_then_attach(self, tmp_path, spec):
+        journal = CampaignJournal(tmp_path / "c")
+        assert journal.write_spec(spec) is True
+        assert journal.write_spec(spec) is False  # attach, not clobber
+        stored = journal.spec()
+        assert stored["fingerprint"] == spec["fingerprint"]
+        assert stored["lease_ttl"] == 4.0
+        assert tuple(stored["variants"]) == ("M1", "M2")
+
+    def test_config_round_trips_through_spec(self, tmp_path, spec):
+        from repro.serve.artifacts import config_fingerprint
+
+        journal = CampaignJournal(tmp_path / "c")
+        journal.write_spec(spec)
+        rebuilt = config_from_spec(journal.spec())
+        assert config_fingerprint(rebuilt) == spec["fingerprint"]
+
+    def test_fingerprint_mismatch_refuses_attach(self, tmp_path, spec):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.write_spec(spec)
+        other = build_spec(
+            smoke_scale(8),  # different seed, different experiment
+            variants=("M1", "M2"),
+            fusion_threshold=3,
+            lease_ttl=4.0,
+            poison_threshold=3,
+        )
+        with pytest.raises(DistError, match="fingerprint"):
+            journal.write_spec(other)
+
+    def test_missing_spec_is_an_error(self, tmp_path):
+        with pytest.raises(DistError, match="nothing to join"):
+            CampaignJournal(tmp_path / "c").spec()
+
+
+class TestEventLog:
+    def test_append_and_filter(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.append("worker_start", worker="w0")
+        journal.append("claim", worker="w0", key="k1")
+        journal.append("worker_done", worker="w0", tables_sha256="s")
+        assert [e["event"] for e in journal.events()] == [
+            "worker_start",
+            "claim",
+            "worker_done",
+        ]
+        done = journal.events("worker_done")
+        assert len(done) == 1
+        assert done[0]["worker"] == "w0"
+        assert done[0]["ts"] > 0
+
+    def test_torn_and_foreign_lines_are_skipped(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.append("worker_start", worker="w0")
+        # A writer SIGKILLed mid-append, plus stray junk.
+        with open(journal.journal_path, "a") as fh:
+            fh.write('{"event": "worker_done", "worker": "w1"')  # torn
+            fh.write("\nnot json at all\n")
+            fh.write('"a bare string"\n')
+        journal.append("worker_done", worker="w2", tables_sha256="s")
+        assert [e["event"] for e in journal.events()] == [
+            "worker_start",
+            "worker_done",
+        ]
+        assert journal.events("worker_done")[0]["worker"] == "w2"
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        assert CampaignJournal(tmp_path / "c").events() == []
+
+
+class TestTables:
+    def test_record_and_read_back(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        text = "== Table 4 ==\nrow\n"
+        sha = journal.record_tables("w0-123", text)
+        assert sha == hashlib.sha256(text.encode()).hexdigest()
+        assert journal.tables() == {"w0-123": text}
+
+    def test_worker_id_is_sanitized(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.record_tables("host:9/w0", "t")
+        assert list(journal.tables()) == ["host-9_w0"]
+
+    def test_no_temp_files_survive(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.record_tables("w0", "t")
+        leftovers = [
+            name
+            for name in os.listdir(journal.directory / "tables")
+            if name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_journal_lines_are_valid_json(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "c")
+        journal.append("claim", worker="w0")
+        for line in journal.journal_path.read_text().splitlines():
+            json.loads(line)

@@ -1,0 +1,208 @@
+"""LeaseBoard protocol: claim, renew, steal, poison — no real workers.
+
+Every scenario here drives two or more boards (one per pretend worker)
+over a single lease directory, with heartbeats off so expiry is
+scripted by backdating lease mtimes instead of sleeping through TTLs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.dist import leases as leases_mod
+from repro.faults import PoisonedStageError
+
+KEY = "a" * 64
+
+
+def _backdate(board, key: str, by: float = 120.0) -> None:
+    """Age a lease's mtime past any TTL used in these tests."""
+    path = board._lease_path(key)
+    stale = time.time() - by
+    os.utime(path, (stale, stale))
+
+
+def _counter(registry, name: str) -> float:
+    snap = registry.snapshot().get(name, {})
+    return float(snap.get("value", 0.0))
+
+
+class TestClaim:
+    def test_claim_is_exclusive(self, make_board):
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY, family="phi") is True
+        assert b.try_claim(KEY, family="phi") is False
+        assert a.held() == [KEY]
+        assert b.held() == []
+
+    def test_completed_release_frees_the_key(self, make_board):
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY)
+        a.release(KEY, completed=True)
+        assert a.held() == []
+        assert b.try_claim(KEY) is True
+
+    def test_release_without_hold_is_noop(self, make_board):
+        a = make_board("w0")
+        a.release(KEY, completed=True)  # never claimed; must not raise
+        assert a.held() == []
+
+    def test_claim_counts_and_payload(self, make_board, fresh_metrics):
+        a = make_board("w0")
+        assert a.try_claim(KEY, family="svm_train")
+        holders = a.holders()
+        assert holders[KEY]["worker"] == "w0"
+        assert holders[KEY]["family"] == "svm_train"
+        assert holders[KEY]["pid"] == os.getpid()
+        assert _counter(fresh_metrics, "dist.claims") == 1
+
+
+class TestExpiryAndSteal:
+    def test_fresh_lease_is_not_stolen(self, make_board):
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY)
+        assert b.try_claim(KEY) is False  # fresh: hands off
+
+    def test_expired_lease_is_stolen(self, make_board, fresh_metrics):
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY, family="phi")
+        _backdate(a, KEY)
+        assert b.try_claim(KEY, family="phi") is True
+        assert b.deaths(KEY) == 1
+        assert b.holders()[KEY]["worker"] == "w1"
+        assert _counter(fresh_metrics, "dist.lease_expirations") == 1
+        assert _counter(fresh_metrics, "dist.steals") == 1
+
+    def test_stalled_owner_release_is_lease_lost(
+        self, make_board, fresh_metrics
+    ):
+        # The classic double-compute: w0's lease is stolen while it
+        # still thinks it is computing.  Its release must not touch the
+        # thief's lease.
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY)
+        _backdate(a, KEY)
+        assert b.try_claim(KEY) is True
+        a.release(KEY, completed=True)
+        assert b.holders()[KEY]["worker"] == "w1"  # thief untouched
+        assert _counter(fresh_metrics, "dist.lease_lost") == 1
+
+    def test_renew_all_defends_the_lease(self, make_board):
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY)
+        _backdate(a, KEY)
+        assert a.renew_all() == 1
+        assert b.try_claim(KEY) is False  # renewed: fresh again
+
+    def test_renewal_racing_expiry_aborts_the_break(
+        self, make_board, fresh_metrics, monkeypatch
+    ):
+        # w1 observes the lease expired, but w0's heartbeat fires in
+        # the stat->rename window.  The breaker must notice it grabbed
+        # a *fresh* lease, hand it back, and abort — never steal it.
+        a = make_board("w0")
+        b = make_board("w1")
+        assert a.try_claim(KEY)
+        _backdate(a, KEY)
+        monkeypatch.setattr(
+            leases_mod, "_pre_break_hook", lambda key: a.renew_all()
+        )
+        assert b.try_claim(KEY) is False
+        monkeypatch.setattr(leases_mod, "_pre_break_hook", None)
+        assert a.holders()[KEY]["worker"] == "w0"  # restored intact
+        assert b.deaths(KEY) == 0
+        assert _counter(fresh_metrics, "dist.break_aborts") == 1
+        assert _counter(fresh_metrics, "dist.lease_expirations") == 0
+
+    def test_heartbeat_thread_keeps_lease_alive(self, make_board):
+        a = make_board("w0", ttl=0.4, heartbeat=True)
+        b = make_board("w1", ttl=0.4)
+        assert a.try_claim(KEY)
+        time.sleep(1.0)  # > 2 TTLs; heartbeats renew every ttl/4
+        assert b.try_claim(KEY) is False
+        a.close()  # releases the lease and stops the heartbeat
+        assert b.try_claim(KEY) is True
+
+
+class TestPoison:
+    def test_consecutive_deaths_poison_the_stage(
+        self, make_board, fresh_metrics
+    ):
+        w1 = make_board("w1", poison_threshold=2)
+        w2 = make_board("w2", poison_threshold=2)
+        w3 = make_board("w3", poison_threshold=2)
+        assert w1.try_claim(KEY, family="phi")
+        _backdate(w1, KEY)
+        assert w2.try_claim(KEY, family="phi") is True  # death 1
+        _backdate(w2, KEY)
+        with pytest.raises(PoisonedStageError) as exc:
+            w3.try_claim(KEY, family="phi")  # death 2 == threshold
+        assert exc.value.deaths == 2
+        assert w3.poisoned(KEY)
+        # Poison is durable: later claimants refuse without breaking.
+        with pytest.raises(PoisonedStageError):
+            w1.try_claim(KEY)
+        assert _counter(fresh_metrics, "dist.poisoned") == 1
+
+    def test_completion_clears_the_death_ledger(self, make_board):
+        w1 = make_board("w1", poison_threshold=2)
+        w2 = make_board("w2", poison_threshold=2)
+        assert w1.try_claim(KEY)
+        _backdate(w1, KEY)
+        assert w2.try_claim(KEY) is True
+        assert w2.deaths(KEY) == 1
+        w2.release(KEY, completed=True)  # the stage proved harmless
+        assert w2.deaths(KEY) == 0
+        assert w1.try_claim(KEY) is True
+
+    def test_clean_failure_is_not_a_death(self, make_board):
+        w1 = make_board("w1", poison_threshold=1)
+        assert w1.try_claim(KEY)
+        w1.release(KEY, completed=False)  # compute raised; worker lives
+        assert w1.deaths(KEY) == 0
+        assert w1.try_claim(KEY) is True
+
+
+class TestEvents:
+    def test_protocol_events_are_emitted(self, make_board):
+        events = []
+        a = make_board("w0", on_event=events.append)
+        b = make_board("w1", on_event=events.append)
+        assert a.try_claim(KEY, family="phi")
+        _backdate(a, KEY)
+        assert b.try_claim(KEY, family="phi")
+        b.release(KEY, completed=True)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["claim", "lease_expired", "claim", "publish"]
+        expired = events[1]
+        assert expired["victim"] == "w0"
+        assert expired["family"] == "phi"
+        assert expired["deaths"] == 1
+
+    def test_event_callback_errors_are_suppressed(self, make_board):
+        def boom(record):
+            raise RuntimeError("provenance must not kill work")
+
+        a = make_board("w0", on_event=boom)
+        assert a.try_claim(KEY) is True
+        a.release(KEY, completed=True)
+        assert a.held() == []
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            leases_mod.LeaseBoard(tmp_path, worker_id="w", ttl=0.0)
+        with pytest.raises(ValueError):
+            leases_mod.LeaseBoard(
+                tmp_path, worker_id="w", poison_threshold=0
+            )

@@ -1,0 +1,207 @@
+"""run_stage + LeaseBoard: claim-compute-publish vs poll-for-winner.
+
+These tests run two pretend workers *in one process* (threads + two
+store handles on one directory), which keeps every interleaving
+scriptable while still exercising the real filesystem protocol.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+
+import pytest
+
+from repro.dist.leases import LeaseBoard
+from repro.exec.graph import run_stage
+from repro.exec.store import ArtifactStore
+from repro.faults import PoisonedStageError
+
+KEY = hashlib.sha256(b"stage-under-test").hexdigest()
+
+
+def _board(tmp_path, worker, **overrides) -> LeaseBoard:
+    params = dict(
+        worker_id=worker, ttl=5.0, poll_interval=0.01, heartbeat=False
+    )
+    params.update(overrides)
+    return LeaseBoard(tmp_path / "leases", **params)
+
+
+def test_winner_computes_loser_polls(tmp_path, fresh_metrics):
+    store_a = ArtifactStore(tmp_path / "store")
+    store_b = ArtifactStore(tmp_path / "store")
+    board_a = _board(tmp_path, "w0")
+    board_b = _board(tmp_path, "w1")
+    claimed = threading.Event()
+    result = {}
+
+    def winner_compute():
+        claimed.set()  # the loser only starts once our lease exists
+        time.sleep(0.2)
+        return {"value": 42}
+
+    def winner():
+        result["winner"] = run_stage(
+            winner_compute,
+            family="fuse",
+            store=store_a,
+            key=KEY,
+            kind="json",
+            claims=board_a,
+        )
+
+    thread = threading.Thread(target=winner)
+    thread.start()
+    try:
+        assert claimed.wait(5.0)
+
+        def loser_compute():
+            raise AssertionError("the loser must never compute")
+
+        value = run_stage(
+            loser_compute,
+            family="fuse",
+            store=store_b,
+            key=KEY,
+            kind="json",
+            claims=board_b,
+        )
+    finally:
+        thread.join()
+        board_a.close()
+        board_b.close()
+    assert result["winner"] == {"value": 42}
+    assert value == {"value": 42}
+    snap = fresh_metrics.snapshot()
+    assert snap["exec.stage.fuse.executed"]["value"] == 1
+    assert snap["exec.stage.fuse.cached"]["value"] == 1
+    assert snap["dist.waits"]["value"] >= 1
+    # Provenance: the winner's identity is in the put metadata.
+    assert store_a.entry(KEY)["meta"]["worker"] == "w0"
+    # Both leases are gone: winner released on publish.
+    assert board_a.held() == board_b.held() == []
+
+
+def test_half_published_payload_is_recomputed_cleanly(
+    tmp_path, fresh_metrics
+):
+    """Re-claim after a worker died mid-put: satellite case from PR 3.
+
+    The dead worker left (a) an expired lease and (b) a half-written
+    ``.tmp-`` payload.  A payload only becomes visible via
+    ``os.replace`` of a *completed* temp, so the re-claimer must see a
+    store miss (never a torn read), sweep the orphan on open, steal the
+    lease and compute the stage itself.
+    """
+    seed = ArtifactStore(tmp_path / "store")
+    dead = _board(tmp_path, "dead-1")
+    assert dead.try_claim(KEY, family="fuse")
+    # Fake the mid-put corpse: a torn temp under the payload directory.
+    shard = seed.directory / "objects" / KEY[:2]
+    shard.mkdir(parents=True, exist_ok=True)
+    (shard / ".tmp-torn.json").write_text('{"value": 4')
+    # The worker is dead: its lease ages out.
+    stale = time.time() - 120.0
+    os.utime(dead._lease_path(KEY), (stale, stale))
+
+    # A new worker opens the store (orphan sweep) and runs the stage.
+    store = ArtifactStore(tmp_path / "store")
+    assert not list(shard.glob(".tmp-*"))  # swept, not published
+    board = _board(tmp_path, "w9")
+    try:
+        value = run_stage(
+            lambda: {"value": 42},
+            family="fuse",
+            store=store,
+            key=KEY,
+            kind="json",
+            claims=board,
+        )
+    finally:
+        board.close()
+        dead.close()
+    assert value == {"value": 42}
+    assert store.get(KEY) == {"value": 42}
+    snap = fresh_metrics.snapshot()
+    assert snap["dist.lease_expirations"]["value"] == 1
+    assert snap["exec.stage.fuse.executed"]["value"] == 1
+
+
+def test_compute_failure_releases_the_lease(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    board = _board(tmp_path, "w0")
+    other = _board(tmp_path, "w1")
+    try:
+        with pytest.raises(ValueError, match="deterministic bug"):
+            run_stage(
+                lambda: (_ for _ in ()).throw(
+                    ValueError("deterministic bug")
+                ),
+                family="fuse",
+                store=store,
+                key=KEY,
+                kind="json",
+                claims=board,
+            )
+        assert board.held() == []
+        # A clean failure is not a death: no poison progress, and the
+        # next claimant takes the stage immediately.
+        assert other.deaths(KEY) == 0
+        assert other.try_claim(KEY) is True
+    finally:
+        board.close()
+        other.close()
+
+
+def test_poisoned_stage_raises_from_claim(tmp_path):
+    store = ArtifactStore(tmp_path / "store")
+    board = _board(tmp_path, "w0", poison_threshold=1)
+    graveyard = _board(tmp_path, "old", poison_threshold=1)
+    assert graveyard.try_claim(KEY, family="fuse")
+    stale = time.time() - 120.0
+    os.utime(graveyard._lease_path(KEY), (stale, stale))
+    try:
+        with pytest.raises(PoisonedStageError):
+            run_stage(
+                lambda: {"value": 1},
+                family="fuse",
+                store=store,
+                key=KEY,
+                kind="json",
+                claims=board,
+            )
+    finally:
+        board.close()
+        graveyard.close()
+
+
+def test_warm_store_skips_the_claim_protocol(tmp_path, fresh_metrics):
+    store = ArtifactStore(tmp_path / "store")
+    store.put(KEY, "json", {"value": 7})
+    board = _board(tmp_path, "w0")
+    try:
+        value = run_stage(
+            lambda: pytest.fail("cached stage must not compute"),
+            family="fuse",
+            store=store,
+            key=KEY,
+            kind="json",
+            claims=board,
+        )
+    finally:
+        board.close()
+    assert value == {"value": 7}
+    assert fresh_metrics.snapshot()["dist.claims"]["value"] == 0
+
+
+def test_refresh_lets_a_handle_see_foreign_puts(tmp_path):
+    a = ArtifactStore(tmp_path / "store")
+    b = ArtifactStore(tmp_path / "store")
+    a.put(KEY, "json", {"who": "a"})
+    assert not b.has(KEY)  # a long-lived handle only knows its own puts
+    assert b.refresh() == 1
+    assert b.get(KEY) == {"who": "a"}
+    assert b.refresh() == 0  # idempotent

@@ -266,3 +266,89 @@ class TestHygiene:
         fresh = ArtifactStore(tmp_path / "store")
         assert fresh.keys() == sorted(["a" * 64, "b" * 64, "c" * 64])
         assert fresh.get("b" * 64) == {"who": "b"}
+
+
+def _race_break_stale_lock(store_dir, barrier, queue):
+    """Child process: race one stale-lock break against a sibling."""
+    from repro.exec.store import ArtifactStore
+
+    store = ArtifactStore(store_dir)
+    lock = store.directory / "index.lock"
+    barrier.wait(timeout=30)
+    queue.put(store._break_stale_lock(lock))
+
+
+class TestStaleLockBreakRace:
+    """The unlink-based break had a TOCTOU hole: between *observing* a
+    stale lock and *deleting* it, another waiter could break it first
+    and a third process could acquire a fresh lock under the same name
+    — which the slow unlink then destroyed, leaving two writers inside
+    the critical section.  The rename-and-reverify protocol closes it.
+    """
+
+    def test_break_aborts_when_lock_turns_fresh_in_window(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+        import time
+
+        from repro.exec import store as store_mod
+
+        store = ArtifactStore(tmp_path / "store")
+        lock = store.directory / "index.lock"
+        lock.write_text("1111")
+        stale = time.time() - 120.0
+        os.utime(lock, (stale, stale))
+
+        def faster_racer():
+            # Deterministically script the hole: inside our TOCTOU
+            # window the stale lock is broken by someone else AND a
+            # third process acquires a fresh lock under the same name.
+            monkeypatch.setattr(store_mod, "_break_hook", None)
+            lock.unlink()
+            lock.write_text("2222")
+
+        monkeypatch.setattr(store_mod, "_break_hook", faster_racer)
+        assert store._break_stale_lock(lock) is False
+        # The fresh holder's lock survived our (aborted) break.
+        assert lock.read_text() == "2222"
+        assert not list(store.directory.glob(".lockbreak-*"))
+
+    def test_exactly_one_of_two_racing_processes_breaks(self, tmp_path):
+        import multiprocessing
+        import os
+        import time
+
+        store = ArtifactStore(tmp_path / "store")
+        lock = store.directory / "index.lock"
+        lock.write_text("4242")
+        stale = time.time() - 120.0
+        os.utime(lock, (stale, stale))
+
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_race_break_stale_lock,
+                args=(str(store.directory), barrier, queue),
+            )
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        results = [queue.get(timeout=60) for _ in procs]
+        for proc in procs:
+            proc.join(timeout=30)
+        # The rename elects exactly one breaker; the loser backs off
+        # instead of unlinking a lock it no longer understands.
+        assert sorted(results) == [False, True]
+        assert not lock.exists()
+        assert not list(store.directory.glob(".lockbreak-*"))
+
+    def test_breaker_litter_swept_on_open(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        # A breaker killed between rename and unlink leaves its grab.
+        (store.directory / ".lockbreak-999-deadbeef").write_text("4242")
+        reopened = ArtifactStore(tmp_path / "store")
+        assert not list(reopened.directory.glob(".lockbreak-*"))
